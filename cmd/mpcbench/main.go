@@ -1,0 +1,59 @@
+// Command mpcbench regenerates the paper-reproduction experiment tables
+// (the E1–E14 index of DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mpcbench                 # run every experiment at full scale
+//	mpcbench -experiment=E5  # run one experiment
+//	mpcbench -quick          # reduced sizes (smoke test)
+//	mpcbench -seed=7 -trials=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcgraph/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mpcbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment id (E1..E14); empty runs all")
+		seed       = fs.Uint64("seed", 2018, "root random seed")
+		trials     = fs.Int("trials", 3, "trials per randomized cell")
+		quick      = fs.Bool("quick", false, "reduced instance sizes")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *experiment == "" {
+		bench.RunAll(cfg, os.Stdout)
+		return nil
+	}
+	for _, id := range strings.Split(*experiment, ",") {
+		tab, err := bench.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
+		}
+		tab.Render(os.Stdout)
+	}
+	return nil
+}

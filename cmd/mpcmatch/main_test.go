@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerated(t *testing.T) {
+	if err := run([]string{"-n", "400", "-p", "0.01", "-eps", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnePlusEps(t *testing.T) {
+	if err := run([]string{"-n", "300", "-p", "0.02", "-one-plus-eps", "-eps", "0.25"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-input", "/nonexistent/graph.txt"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerated(t *testing.T) {
+	if err := run([]string{"-n", "500", "-p", "0.02", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClique(t *testing.T) {
+	if err := run([]string{"-n", "300", "-p", "0.03", "-clique"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStrict(t *testing.T) {
+	if err := run([]string{"-n", "400", "-p", "0.02", "-strict"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 4\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "mis.txt")
+	if err := run([]string{"-input", path, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(data)))
+	if len(lines) == 0 {
+		t.Error("no MIS vertices written")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-input", "/nonexistent/graph.txt"}); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMalformedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", path}); err == nil {
+		t.Error("self-loop file accepted")
+	}
+}

@@ -1,0 +1,314 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+func TestGreedyMISValid(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := graph.GNP(80, 0.08, src)
+		mis := GreedyMIS(g, src.Perm(80))
+		return graph.IsMaximalIndependentSet(g, mis)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMISRespectsOrder(t *testing.T) {
+	// On a path 0-1-2, order (1,0,2) must pick {1} first, blocking 0 and
+	// 2... wait, 2 is not adjacent to 1? P3 edges: 0-1, 1-2. So picking 1
+	// blocks both.
+	g := graph.Path(3)
+	mis := GreedyMIS(g, []int32{1, 0, 2})
+	if !mis[1] || mis[0] || mis[2] {
+		t.Errorf("mis = %v, want {1}", mis)
+	}
+	mis = GreedyMIS(g, []int32{0, 1, 2})
+	if !mis[0] || mis[1] || !mis[2] {
+		t.Errorf("mis = %v, want {0,2}", mis)
+	}
+}
+
+func TestGreedyMaximalMatching(t *testing.T) {
+	g := graph.Path(4)
+	m := GreedyMaximalMatching(g, g.EdgeList())
+	if !graph.IsMaximalMatching(g, m) {
+		t.Error("greedy matching not maximal")
+	}
+	if m.Size() != 2 {
+		t.Errorf("size = %d, want 2 on P4 with lexicographic order", m.Size())
+	}
+}
+
+func TestVertexCoverFromMatching(t *testing.T) {
+	g := graph.GNP(60, 0.1, rng.New(3))
+	m := GreedyMaximalMatching(g, g.EdgeList())
+	cover := VertexCoverFromMatching(g.NumVertices(), m)
+	if !graph.IsVertexCover(g, cover) {
+		t.Error("endpoints of maximal matching do not cover")
+	}
+	if graph.CountMarked(cover) != 2*m.Size() {
+		t.Error("cover size != 2 |M|")
+	}
+}
+
+func TestGreedyDependencyDepthPath(t *testing.T) {
+	// On a path with increasing ranks the dependency chain is sequential:
+	// each vertex must wait for its left neighbor, so depth is Θ(n).
+	n := 64
+	g := graph.Path(n)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	depth := GreedyDependencyDepth(g, order)
+	if depth < n/4 {
+		t.Errorf("adversarial path depth = %d, want Θ(n)", depth)
+	}
+	// Random order has depth O(log n) [FN18]; allow generous slack.
+	rndDepth := GreedyDependencyDepth(g, rng.New(1).Perm(n))
+	if rndDepth > 30 {
+		t.Errorf("random-order depth = %d, want O(log n)", rndDepth)
+	}
+}
+
+func TestLubyMISValid(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := graph.GNP(70, 0.1, src)
+		res := LubyMIS(g, src)
+		return graph.IsMaximalIndependentSet(g, res.InMIS)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLubyMISIsolatedVertices(t *testing.T) {
+	res := LubyMIS(graph.Empty(10), rng.New(1))
+	if res.Iterations != 0 {
+		t.Errorf("edgeless graph took %d iterations", res.Iterations)
+	}
+	for v, in := range res.InMIS {
+		if !in {
+			t.Errorf("isolated vertex %d not in MIS", v)
+		}
+	}
+}
+
+func TestLubyRoundsLogarithmic(t *testing.T) {
+	g := graph.GNP(2000, 0.01, rng.New(5))
+	res := LubyMIS(g, rng.New(6))
+	// log2(2000) ≈ 11; Luby should finish within a small multiple.
+	if res.Iterations > 40 {
+		t.Errorf("Luby took %d iterations on n=2000", res.Iterations)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+		t.Error("invalid MIS")
+	}
+}
+
+func TestIsraeliItaiValid(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := graph.GNP(70, 0.1, src)
+		res := IsraeliItaiMatching(g, src)
+		return graph.IsMaximalMatching(g, res.M)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsraeliItaiEmptyAndSingleEdge(t *testing.T) {
+	res := IsraeliItaiMatching(graph.Empty(5), rng.New(1))
+	if res.M.Size() != 0 || res.Iterations != 0 {
+		t.Errorf("empty graph: size=%d iters=%d", res.M.Size(), res.Iterations)
+	}
+	res = IsraeliItaiMatching(graph.Path(2), rng.New(1))
+	if res.M.Size() != 1 {
+		t.Errorf("single edge unmatched")
+	}
+}
+
+func TestHopcroftKarpKnownValues(t *testing.T) {
+	// Perfect matching on an even cycle: C6 as bipartite.
+	b := graph.NewBuilder(6)
+	// bipartition {0,2,4} vs {1,3,5}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	g := b.MustBuild()
+	bg := &graph.Bipartite{Graph: g, Left: []bool{true, false, true, false, true, false}}
+	m := HopcroftKarp(bg)
+	if m.Size() != 3 {
+		t.Errorf("HK on C6 = %d, want 3", m.Size())
+	}
+	if !graph.IsMatching(g, m) {
+		t.Error("invalid matching")
+	}
+}
+
+func TestHopcroftKarpStarAndEmpty(t *testing.T) {
+	bg := graph.RandomBipartite(1, 5, 1.0, rng.New(1)) // star from left vertex
+	if m := HopcroftKarp(bg); m.Size() != 1 {
+		t.Errorf("star HK = %d, want 1", m.Size())
+	}
+	empty := graph.RandomBipartite(3, 3, 0, rng.New(1))
+	if m := HopcroftKarp(empty); m.Size() != 0 {
+		t.Error("empty bipartite matched something")
+	}
+}
+
+func TestHopcroftKarpAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		src := rng.New(seed)
+		bg := graph.RandomBipartite(5, 5, 0.4, src)
+		m := HopcroftKarp(bg)
+		want := BruteForceMaxMatchingSize(bg.Graph)
+		if m.Size() != want {
+			t.Errorf("seed %d: HK = %d, brute = %d", seed, m.Size(), want)
+		}
+		if !graph.IsMatching(bg.Graph, m) {
+			t.Errorf("seed %d: invalid matching", seed)
+		}
+	}
+}
+
+func TestKonigCover(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		src := rng.New(seed)
+		bg := graph.RandomBipartite(6, 6, 0.3, src)
+		m := HopcroftKarp(bg)
+		cover := KonigVertexCover(bg, m)
+		if !graph.IsVertexCover(bg.Graph, cover) {
+			t.Fatalf("seed %d: Kőnig output is not a cover", seed)
+		}
+		if graph.CountMarked(cover) != m.Size() {
+			t.Errorf("seed %d: |cover| = %d != |M| = %d (Kőnig equality)",
+				seed, graph.CountMarked(cover), m.Size())
+		}
+	}
+}
+
+func TestBlossomOnOddCycle(t *testing.T) {
+	// C5 has maximum matching 2; bipartite algorithms fail here, the
+	// blossom algorithm must not.
+	m := MaxMatchingGeneral(graph.Ring(5))
+	if m.Size() != 2 {
+		t.Errorf("blossom on C5 = %d, want 2", m.Size())
+	}
+}
+
+func TestBlossomOnPetersenLikeStructure(t *testing.T) {
+	// Two triangles joined by a bridge: max matching = 3 (one edge per
+	// triangle + the bridge).
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if m := MaxMatchingGeneral(g); m.Size() != 3 {
+		t.Errorf("two triangles + bridge = %d, want 3", m.Size())
+	}
+}
+
+func TestBlossomAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		src := rng.New(seed)
+		g := graph.GNP(10, 0.35, src)
+		m := MaxMatchingGeneral(g)
+		want := BruteForceMaxMatchingSize(g)
+		if m.Size() != want {
+			t.Errorf("seed %d: blossom = %d, brute = %d on %v", seed, m.Size(), want, g)
+		}
+		if !graph.IsMatching(g, m) {
+			t.Errorf("seed %d: invalid matching", seed)
+		}
+	}
+}
+
+func TestBlossomMatchesHopcroftKarpOnBipartite(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		src := rng.New(seed)
+		bg := graph.RandomBipartite(20, 20, 0.15, src)
+		if hk, bl := HopcroftKarp(bg).Size(), MaxMatchingGeneral(bg.Graph).Size(); hk != bl {
+			t.Errorf("seed %d: HK = %d, blossom = %d", seed, hk, bl)
+		}
+	}
+}
+
+func TestBruteForceVertexCover(t *testing.T) {
+	if got := BruteForceMinVertexCoverSize(graph.Ring(5)); got != 3 {
+		t.Errorf("VC(C5) = %d, want 3", got)
+	}
+	if got := BruteForceMinVertexCoverSize(graph.Star(6)); got != 1 {
+		t.Errorf("VC(K_{1,5}) = %d, want 1", got)
+	}
+	if got := BruteForceMinVertexCoverSize(graph.Complete(5)); got != 4 {
+		t.Errorf("VC(K5) = %d, want 4", got)
+	}
+	if got := BruteForceMinVertexCoverSize(graph.Empty(4)); got != 0 {
+		t.Errorf("VC(empty) = %d, want 0", got)
+	}
+}
+
+func TestVertexCoverMatchingDuality(t *testing.T) {
+	// |max matching| <= |min vertex cover| <= 2 |max matching|.
+	for seed := uint64(0); seed < 20; seed++ {
+		g := graph.GNP(11, 0.3, rng.New(seed))
+		mm := BruteForceMaxMatchingSize(g)
+		vc := BruteForceMinVertexCoverSize(g)
+		if vc < mm || vc > 2*mm {
+			t.Errorf("seed %d: duality violated: mm=%d vc=%d", seed, mm, vc)
+		}
+	}
+}
+
+func TestBruteForceWeighted(t *testing.T) {
+	g := graph.Path(3) // edges {0,1} w=1, {1,2} w=5
+	wg, err := graph.NewWeighted(g, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BruteForceMaxWeightMatching(wg); got != 5 {
+		t.Errorf("max weight matching = %v, want 5", got)
+	}
+}
+
+func BenchmarkLubyMIS(b *testing.B) {
+	g := graph.GNP(5000, 0.002, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LubyMIS(g, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	bg := graph.RandomBipartite(2000, 2000, 0.002, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HopcroftKarp(bg)
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	g := graph.GNP(300, 0.05, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MaxMatchingGeneral(g)
+	}
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+)
+
+// MaxMatchingGeneral computes a maximum matching of an arbitrary graph
+// with Edmonds' blossom algorithm in O(V^3) time. It supplies the exact
+// optimum for approximation-ratio measurements on non-bipartite inputs
+// (experiments E6, E9, E10) at the scales where O(V^3) is affordable.
+func MaxMatchingGeneral(g *graph.Graph) graph.Matching {
+	n := g.NumVertices()
+	match := graph.NewMatching(n)
+	// Greedy warm start: reduces the number of augmenting searches.
+	g.ForEachEdge(func(u, v int32) {
+		if match[u] == -1 && match[v] == -1 {
+			match.Match(u, v)
+		}
+	})
+
+	p := make([]int32, n)    // parent in the alternating forest
+	base := make([]int32, n) // base vertex of the blossom containing v
+	used := make([]bool, n)  // v is an outer (even) vertex
+	blossom := make([]bool, n)
+	queue := make([]int32, 0, n)
+
+	// lca finds the lowest common ancestor of the blossom bases of a and
+	// b in the alternating tree, walking matched/parent pointers.
+	lca := func(a, b int32) int32 {
+		onPath := make(map[int32]bool)
+		for {
+			a = base[a]
+			onPath[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = p[match[a]]
+		}
+		for {
+			b = base[b]
+			if onPath[b] {
+				return b
+			}
+			b = p[match[b]]
+		}
+	}
+
+	// markPath marks blossom membership along the path from v down to
+	// base b, re-rooting parent pointers through child.
+	markPath := func(v, b, child int32) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[match[v]]] = true
+			p[v] = child
+			child = match[v]
+			v = p[match[v]]
+		}
+	}
+
+	// findPath grows an alternating tree from root and returns the free
+	// vertex ending an augmenting path, or -1.
+	findPath := func(root int32) int32 {
+		for i := 0; i < n; i++ {
+			used[i] = false
+			p[i] = -1
+			base[i] = int32(i)
+		}
+		used[root] = true
+		queue = queue[:0]
+		queue = append(queue, root)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, to := range g.Neighbors(v) {
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && p[match[to]] != -1) {
+					// An odd cycle (blossom) closes at to: contract it.
+					curBase := lca(v, to)
+					for i := 0; i < n; i++ {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := int32(0); i < int32(n); i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								queue = append(queue, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if match[to] == -1 {
+						return to
+					}
+					used[match[to]] = true
+					queue = append(queue, match[to])
+				}
+			}
+		}
+		return -1
+	}
+
+	for v := int32(0); v < int32(n); v++ {
+		if match[v] != -1 {
+			continue
+		}
+		u := findPath(v)
+		for u != -1 {
+			pv := p[u]
+			ppv := match[pv]
+			match[u] = pv
+			match[pv] = u
+			u = ppv
+		}
+	}
+	return match
+}

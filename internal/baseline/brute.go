@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+)
+
+// BruteForceMaxMatchingSize returns the exact maximum matching size by
+// exhaustive branching over the edge list. Exponential in the number of
+// edges; intended for cross-checking the polynomial exact algorithms on
+// tiny graphs (m ≲ 24).
+func BruteForceMaxMatchingSize(g *graph.Graph) int {
+	edges := g.EdgeList()
+	usedVertex := make([]bool, g.NumVertices())
+	best := 0
+	var rec func(i, size int)
+	rec = func(i, size int) {
+		if size > best {
+			best = size
+		}
+		// Prune: even taking every remaining edge cannot beat best.
+		if size+(len(edges)-i) <= best {
+			return
+		}
+		for ; i < len(edges); i++ {
+			u, v := edges[i][0], edges[i][1]
+			if usedVertex[u] || usedVertex[v] {
+				continue
+			}
+			usedVertex[u], usedVertex[v] = true, true
+			rec(i+1, size+1)
+			usedVertex[u], usedVertex[v] = false, false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// BruteForceMinVertexCoverSize returns the exact minimum vertex cover
+// size by branch and bound on uncovered edges: for any uncovered edge
+// {u, v}, every cover contains u or v. Runs in O(2^opt · m).
+func BruteForceMinVertexCoverSize(g *graph.Graph) int {
+	edges := g.EdgeList()
+	inCover := make([]bool, g.NumVertices())
+	best := g.NumVertices()
+	var rec func(size int)
+	rec = func(size int) {
+		if size >= best {
+			return
+		}
+		// Find an uncovered edge.
+		var pick [2]int32
+		found := false
+		for _, e := range edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				pick = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			best = size
+			return
+		}
+		for _, w := range pick {
+			inCover[w] = true
+			rec(size + 1)
+			inCover[w] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+// BruteForceMaxWeightMatching returns the exact maximum-weight matching
+// value by exhaustive branching. Exponential; for tiny weighted graphs
+// used to validate the weighted-matching corollary (E10).
+func BruteForceMaxWeightMatching(wg *graph.Weighted) float64 {
+	edges := wg.EdgeList()
+	usedVertex := make([]bool, wg.NumVertices())
+	best := 0.0
+	var rec func(i int, value float64)
+	rec = func(i int, value float64) {
+		if value > best {
+			best = value
+		}
+		for ; i < len(edges); i++ {
+			u, v := edges[i][0], edges[i][1]
+			if usedVertex[u] || usedVertex[v] {
+				continue
+			}
+			usedVertex[u], usedVertex[v] = true, true
+			rec(i+1, value+wg.EdgeWeight(u, v))
+			usedVertex[u], usedVertex[v] = false, false
+		}
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,120 @@
+// Package baseline implements the classical algorithms the paper compares
+// against or builds on: sequential greedy MIS and matching, Luby's MIS
+// [Lub86], Israeli–Itai maximal matching [II86], Hopcroft–Karp and
+// Edmonds' blossom algorithm for exact maximum matchings, Kőnig's theorem
+// for exact bipartite vertex covers, and exact brute force for tiny
+// graphs. The exact algorithms supply the optima against which the
+// paper's approximation guarantees are measured.
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+)
+
+// GreedyMIS runs the sequential greedy algorithm over the given vertex
+// order: a vertex joins the independent set when no earlier neighbor
+// has. With a uniformly random order this is the "randomized greedy MIS"
+// the paper's Section 3 simulates.
+func GreedyMIS(g *graph.Graph, order []int32) []bool {
+	n := g.NumVertices()
+	inMIS := make([]bool, n)
+	blocked := make([]bool, n)
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		inMIS[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inMIS
+}
+
+// GreedyMaximalMatching scans edges in the given order and adds every
+// edge whose endpoints are both free. Any scan order yields a maximal
+// matching, hence a 2-approximate maximum matching and (via endpoints) a
+// 2-approximate vertex cover.
+func GreedyMaximalMatching(g *graph.Graph, edges [][2]int32) graph.Matching {
+	m := graph.NewMatching(g.NumVertices())
+	for _, e := range edges {
+		if m[e[0]] == -1 && m[e[1]] == -1 {
+			m.Match(e[0], e[1])
+		}
+	}
+	return m
+}
+
+// VertexCoverFromMatching returns the endpoint set of a matching, which
+// is a vertex cover when the matching is maximal (the classical
+// 2-approximation the paper cites from [Lub86]-style reductions).
+func VertexCoverFromMatching(n int, m graph.Matching) []bool {
+	cover := make([]bool, n)
+	for v, u := range m {
+		if u >= 0 {
+			cover[v] = true
+		}
+	}
+	return cover
+}
+
+// GreedyDependencyDepth returns the parallel dependency depth of greedy
+// MIS under the given order: the number of peeling rounds where each
+// round removes, in parallel, every vertex that is a local minimum (in
+// rank) among its still-present neighbors. Fischer and Noever [FN18]
+// proved this is Θ(log n) for a random order; experiment E14 contrasts it
+// with the O(log log Δ) phases of the paper's simulation.
+func GreedyDependencyDepth(g *graph.Graph, order []int32) int {
+	n := g.NumVertices()
+	rank := make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	depth := 0
+	for remaining > 0 {
+		depth++
+		// A vertex resolves this round when its rank is smaller than the
+		// rank of all alive neighbors: it then either joins the MIS or is
+		// adjacent to a joining smaller-rank vertex. Both it and, on
+		// joining, its neighbors leave the instance. This mirrors the
+		// [BFS12]/[FN18] round structure.
+		var joining []int32
+		for v := int32(0); v < int32(n); v++ {
+			if !alive[v] {
+				continue
+			}
+			isMin := true
+			for _, u := range g.Neighbors(v) {
+				if alive[u] && rank[u] < rank[v] {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				joining = append(joining, v)
+			}
+		}
+		if len(joining) == 0 {
+			break // disconnected leftovers; cannot happen with finite ranks
+		}
+		for _, v := range joining {
+			if !alive[v] {
+				continue
+			}
+			alive[v] = false
+			remaining--
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					alive[u] = false
+					remaining--
+				}
+			}
+		}
+	}
+	return depth
+}

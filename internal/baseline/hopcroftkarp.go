@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+)
+
+// HopcroftKarp computes a maximum matching of a bipartite graph in
+// O(E sqrt(V)) time. It supplies the exact optimum for the bipartite
+// approximation-ratio experiments (E4, E6, E9).
+func HopcroftKarp(bg *graph.Bipartite) graph.Matching {
+	n := bg.NumVertices()
+	m := graph.NewMatching(n)
+	const inf = int32(1 << 30)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+
+	// bfs layers free left vertices; returns whether an augmenting path
+	// exists.
+	bfs := func() bool {
+		queue = queue[:0]
+		for v := int32(0); v < int32(n); v++ {
+			if bg.Left[v] && m[v] == -1 {
+				dist[v] = 0
+				queue = append(queue, v)
+			} else {
+				dist[v] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range bg.Neighbors(v) {
+				w := m[u] // u is on the right; w is its current mate (or -1)
+				if w == -1 {
+					found = true
+					continue
+				}
+				if dist[w] == inf {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	// dfs searches for an augmenting path from left vertex v along the
+	// BFS layering.
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		for _, u := range bg.Neighbors(v) {
+			w := m[u]
+			if w == -1 || (dist[w] == dist[v]+1 && dfs(w)) {
+				m[v], m[u] = u, v
+				return true
+			}
+		}
+		dist[v] = inf
+		return false
+	}
+
+	for bfs() {
+		for v := int32(0); v < int32(n); v++ {
+			if bg.Left[v] && m[v] == -1 {
+				dfs(v)
+			}
+		}
+	}
+	return m
+}
+
+// KonigVertexCover derives a minimum vertex cover of a bipartite graph
+// from a maximum matching via Kőnig's theorem: let Z be the set of
+// vertices reachable from free left vertices by alternating paths; the
+// cover is (Left \ Z) ∪ (Right ∩ Z). Its size equals the matching size.
+func KonigVertexCover(bg *graph.Bipartite, m graph.Matching) []bool {
+	n := bg.NumVertices()
+	inZ := make([]bool, n)
+	queue := make([]int32, 0, n)
+	for v := int32(0); v < int32(n); v++ {
+		if bg.Left[v] && m[v] == -1 {
+			inZ[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if bg.Left[v] {
+			// Travel along non-matching edges to the right.
+			for _, u := range bg.Neighbors(v) {
+				if m[v] != u && !inZ[u] {
+					inZ[u] = true
+					queue = append(queue, u)
+				}
+			}
+		} else if w := m[v]; w != -1 && !inZ[w] {
+			// Travel along the matching edge back to the left.
+			inZ[w] = true
+			queue = append(queue, w)
+		}
+	}
+	cover := make([]bool, n)
+	for v := int32(0); v < int32(n); v++ {
+		if bg.Left[v] {
+			cover[v] = !inZ[v]
+		} else {
+			cover[v] = inZ[v]
+		}
+	}
+	return cover
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// IsraeliItaiResult carries the maximal matching and the number of
+// parallel iterations, each O(1) MPC rounds.
+type IsraeliItaiResult struct {
+	// M is the computed maximal matching.
+	M graph.Matching
+	// Iterations is the number of propose/accept rounds executed.
+	Iterations int
+}
+
+// IsraeliItaiMatching computes a maximal matching with the classical
+// randomized propose/accept scheme of Israeli and Itai [II86]: in each
+// round every free vertex proposes to a uniformly random free neighbor,
+// every vertex with incoming proposals accepts one at random, and
+// proposer/acceptor pairs are matched. Runs O(log n) rounds w.h.p. and is
+// the O(log n)-round maximal-matching baseline of experiment E13.
+func IsraeliItaiMatching(g *graph.Graph, src *rng.Source) *IsraeliItaiResult {
+	n := g.NumVertices()
+	m := graph.NewMatching(n)
+	free := make([]bool, n)
+	liveDeg := make([]int, n)
+	remaining := 0 // free vertices that still have a free neighbor
+	for v := int32(0); v < int32(n); v++ {
+		free[v] = true
+		liveDeg[v] = g.Degree(v)
+		if liveDeg[v] > 0 {
+			remaining++
+		}
+	}
+	proposal := make([]int32, n)
+	accepted := make([]int32, n)
+	iters := 0
+	for remaining > 0 {
+		iters++
+		// Propose.
+		for v := int32(0); v < int32(n); v++ {
+			proposal[v] = -1
+			if !free[v] || liveDeg[v] == 0 {
+				continue
+			}
+			// Reservoir-sample a free neighbor uniformly.
+			seen := 0
+			for _, u := range g.Neighbors(v) {
+				if !free[u] {
+					continue
+				}
+				seen++
+				if src.Intn(seen) == 0 {
+					proposal[v] = u
+				}
+			}
+		}
+		// Accept one incoming proposal uniformly at random.
+		for v := range accepted {
+			accepted[v] = -1
+		}
+		count := make(map[int32]int)
+		for v := int32(0); v < int32(n); v++ {
+			u := proposal[v]
+			if u == -1 {
+				continue
+			}
+			count[u]++
+			if src.Intn(count[u]) == 0 {
+				accepted[u] = v
+			}
+		}
+		// Match accepted pairs.
+		for u := int32(0); u < int32(n); u++ {
+			v := accepted[u]
+			if v == -1 || !free[u] || !free[v] {
+				continue
+			}
+			m.Match(u, v)
+			free[u], free[v] = false, false
+		}
+		// Update live degrees and the termination counter.
+		remaining = 0
+		for v := int32(0); v < int32(n); v++ {
+			if !free[v] {
+				continue
+			}
+			d := 0
+			for _, u := range g.Neighbors(v) {
+				if free[u] {
+					d++
+				}
+			}
+			liveDeg[v] = d
+			if d > 0 {
+				remaining++
+			}
+		}
+	}
+	return &IsraeliItaiResult{M: m, Iterations: iters}
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// LubyResult carries Luby's MIS output together with its round count,
+// which is the quantity experiment E1 compares against the paper's
+// O(log log Δ) algorithm.
+type LubyResult struct {
+	// InMIS marks the maximal independent set.
+	InMIS []bool
+	// Iterations is the number of parallel iterations executed; each is
+	// O(1) MPC rounds, so this is the MPC round complexity up to a
+	// constant.
+	Iterations int
+}
+
+// LubyMIS runs Luby's classical randomized MIS algorithm [Lub86]: each
+// round every live vertex marks itself with probability 1/(2 deg(v)); for
+// every edge with both endpoints marked, the endpoint of smaller degree
+// (ties by id) unmarks; surviving marked vertices join the MIS and are
+// removed along with their neighbors. Terminates in O(log n) rounds with
+// high probability.
+func LubyMIS(g *graph.Graph, src *rng.Source) *LubyResult {
+	n := g.NumVertices()
+	inMIS := make([]bool, n)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	remaining := 0
+	for v := int32(0); v < int32(n); v++ {
+		if g.Degree(v) == 0 {
+			inMIS[v] = true // isolated vertices join immediately, costing no rounds
+			continue
+		}
+		alive[v] = true
+		deg[v] = g.Degree(v)
+		remaining++
+	}
+	marked := make([]bool, n)
+	iters := 0
+	for remaining > 0 {
+		iters++
+		for v := int32(0); v < int32(n); v++ {
+			if !alive[v] {
+				marked[v] = false
+				continue
+			}
+			if deg[v] == 0 {
+				marked[v] = true
+				continue
+			}
+			marked[v] = src.Bool(1 / (2 * float64(deg[v])))
+		}
+		// Conflict resolution: lower degree (then lower id) yields.
+		for v := int32(0); v < int32(n); v++ {
+			if !alive[v] || !marked[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if !alive[u] || !marked[u] {
+					continue
+				}
+				if deg[v] < deg[u] || (deg[v] == deg[u] && v < u) {
+					marked[v] = false
+					break
+				}
+			}
+		}
+		// Survivors join; remove closed neighborhoods and update degrees.
+		for v := int32(0); v < int32(n); v++ {
+			if !alive[v] || !marked[v] {
+				continue
+			}
+			inMIS[v] = true
+			alive[v] = false
+			remaining--
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					alive[u] = false
+					remaining--
+				}
+			}
+		}
+		// Recompute live degrees (an O(m) pass, standard in the model).
+		for v := int32(0); v < int32(n); v++ {
+			if !alive[v] {
+				continue
+			}
+			d := 0
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					d++
+				}
+			}
+			deg[v] = d
+		}
+	}
+	return &LubyResult{InMIS: inMIS, Iterations: iters}
+}

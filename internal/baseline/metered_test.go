@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/rng"
+)
+
+func newTestCluster(t *testing.T, n int) *mpc.Cluster {
+	t.Helper()
+	c, err := mpc.NewCluster(mpc.Config{
+		Machines:      int(math.Sqrt(float64(n))) + 1,
+		CapacityWords: int64(16 * n),
+		Strict:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLubyMISOnClusterValid(t *testing.T) {
+	g := graph.GNP(600, 0.02, rng.New(1))
+	c := newTestCluster(t, 600)
+	res, err := LubyMISOnCluster(g, rng.New(2), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+		t.Error("metered Luby output invalid")
+	}
+	if res.Rounds != 2*res.Iterations {
+		t.Errorf("rounds = %d, want 2 per iteration (%d iterations)", res.Rounds, res.Iterations)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+}
+
+func TestLubyMeteredMatchesUnmetered(t *testing.T) {
+	// Same source stream must produce the same MIS — the metering wraps
+	// the identical algorithm.
+	g := graph.GNP(300, 0.04, rng.New(3))
+	plain := LubyMIS(g, rng.New(7))
+	c := newTestCluster(t, 300)
+	metered, err := LubyMISOnCluster(g, rng.New(7), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Iterations != metered.Iterations {
+		t.Errorf("iterations differ: %d vs %d", plain.Iterations, metered.Iterations)
+	}
+	for v := range plain.InMIS {
+		if plain.InMIS[v] != metered.InMIS[v] {
+			t.Fatalf("MIS differs at vertex %d", v)
+		}
+	}
+}
+
+func TestIsraeliItaiOnClusterValid(t *testing.T) {
+	g := graph.GNP(500, 0.02, rng.New(4))
+	c := newTestCluster(t, 500)
+	res, err := IsraeliItaiOnCluster(g, rng.New(5), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalMatching(g, res.M) {
+		t.Error("metered Israeli–Itai output not maximal")
+	}
+	if res.Rounds != 2*res.Iterations {
+		t.Errorf("rounds = %d, want 2 per iteration", res.Rounds)
+	}
+	if res.TotalWords == 0 {
+		t.Error("no communication recorded")
+	}
+}
+
+func TestIsraeliItaiMeteredMatchesUnmetered(t *testing.T) {
+	g := graph.GNP(300, 0.04, rng.New(6))
+	plain := IsraeliItaiMatching(g, rng.New(9))
+	c := newTestCluster(t, 300)
+	metered, err := IsraeliItaiOnCluster(g, rng.New(9), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.M.Size() != metered.M.Size() {
+		t.Errorf("sizes differ: %d vs %d", plain.M.Size(), metered.M.Size())
+	}
+	for v := range plain.M {
+		if plain.M[v] != metered.M[v] {
+			t.Fatalf("matchings differ at vertex %d", v)
+		}
+	}
+}
+
+func TestMeteredEmptyGraphs(t *testing.T) {
+	g := graph.Empty(20)
+	c := newTestCluster(t, 20)
+	luby, err := LubyMISOnCluster(g, rng.New(1), c)
+	if err != nil || luby.Rounds != 0 {
+		t.Errorf("empty graph Luby: rounds=%d err=%v", luby.Rounds, err)
+	}
+	c2 := newTestCluster(t, 20)
+	ii, err := IsraeliItaiOnCluster(g, rng.New(1), c2)
+	if err != nil || ii.Rounds != 0 {
+		t.Errorf("empty graph II: rounds=%d err=%v", ii.Rounds, err)
+	}
+}
+
+func TestMeteredCapacityFailure(t *testing.T) {
+	// Failure injection: machines too small for the per-iteration traffic.
+	g := graph.Complete(64)
+	c, err := mpc.NewCluster(mpc.Config{Machines: 2, CapacityWords: 8, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LubyMISOnCluster(g, rng.New(1), c); err == nil {
+		t.Error("expected capacity error on K64 with 8-word machines")
+	}
+}

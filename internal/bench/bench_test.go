@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs()[%d] = %s, want %s (numeric ordering)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes seconds")
+	}
+	cfg := Config{Seed: 1, Trials: 1, Quick: true}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			if tab.Claim == "" || tab.Title == "" {
+				t.Error("missing claim or title")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(row), len(tab.Columns), row)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), id+":") {
+				t.Error("render missing experiment id")
+			}
+		})
+	}
+}
+
+func TestNoExperimentViolatesAudits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	// Meta-assertion: every experiment that reports a "violations" column
+	// must report zero — the paper's memory/bandwidth claims hold across
+	// the whole suite.
+	cfg := Config{Seed: 3, Trials: 1, Quick: true}
+	for _, id := range IDs() {
+		tab, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		col := -1
+		for i, c := range tab.Columns {
+			if c == "violations" {
+				col = i
+			}
+		}
+		if col == -1 {
+			continue
+		}
+		for _, row := range tab.Rows {
+			if row[col] != "0" {
+				t.Errorf("%s: violations = %s in row %v", id, row[col], row)
+			}
+		}
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full experiments")
+	}
+	cfg := Config{Seed: 7, Trials: 1, Quick: true}
+	a, err := Run("E5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	a.Render(&ba)
+	b.Render(&bb)
+	if ba.String() != bb.String() {
+		t.Error("same config produced different tables")
+	}
+}
+
+func TestRenderFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "none",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "hello",
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== EX: demo", "claim: none", "a    bbbb", "333  4", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelperStats(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil) != 0")
+	}
+	if mean([]float64{1, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if maxf([]float64{1, 5, 2}) != 5 {
+		t.Error("maxf wrong")
+	}
+	if ll := loglog(1 << 16); ll != 4 {
+		t.Errorf("loglog(2^16) = %v, want 4", ll)
+	}
+}

@@ -1,0 +1,86 @@
+package congest
+
+import "testing"
+
+func TestChargeRoundAccounting(t *testing.T) {
+	q, _ := New(Config{Players: 8, PairBudgetWords: 1, Strict: true})
+	if err := q.ChargeRound(1, 7, 3, 20); err != nil {
+		t.Fatal(err)
+	}
+	m := q.Metrics()
+	if m.Rounds != 1 || m.TotalWords != 20 || m.MaxPlayerOut != 7 || m.MaxPlayerIn != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestChargeRoundBudgetViolation(t *testing.T) {
+	q, _ := New(Config{Players: 4, PairBudgetWords: 1, Strict: true})
+	if err := q.ChargeRound(2, 1, 1, 2); err == nil {
+		t.Error("pair budget violation accepted")
+	}
+	q2, _ := New(Config{Players: 4, PairBudgetWords: 1})
+	if err := q2.ChargeRound(2, 1, 1, 2); err != nil {
+		t.Errorf("non-strict charge errored: %v", err)
+	}
+	if q2.Metrics().Violations != 1 {
+		t.Error("violation not recorded")
+	}
+}
+
+func TestChargeLenzenAccounting(t *testing.T) {
+	q, _ := New(Config{Players: 10, PairBudgetWords: 1, Strict: true})
+	if err := q.ChargeLenzen(10, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if q.Metrics().Rounds != 2 {
+		t.Errorf("Lenzen charge = %d rounds, want 2", q.Metrics().Rounds)
+	}
+	if err := q.ChargeLenzen(11, 5, 11); err == nil {
+		t.Error("send volume beyond n accepted")
+	}
+	if err := q.ChargeLenzen(5, 11, 11); err == nil {
+		t.Error("receive volume beyond n accepted")
+	}
+}
+
+func TestChargeMatchesExplicitRound(t *testing.T) {
+	// Conformance: charging a volume profile must produce the same
+	// metrics as a materialized round with those volumes.
+	explicit, _ := New(Config{Players: 3, PairBudgetWords: 2})
+	out := make([][]Message, 3)
+	out[0] = []Message{{To: 1, Words: 2}, {To: 2, Words: 1}}
+	out[2] = []Message{{To: 1, Words: 2}}
+	if _, err := explicit.Round(out); err != nil {
+		t.Fatal(err)
+	}
+
+	charged, _ := New(Config{Players: 3, PairBudgetWords: 2})
+	// Profile of the round above: max pair volume 2, max out 3 (player
+	// 0), max in 4 (player 1), total 5.
+	if err := charged.ChargeRound(2, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	if explicit.Metrics() != charged.Metrics() {
+		t.Errorf("metrics diverge:\nexplicit %+v\ncharged  %+v", explicit.Metrics(), charged.Metrics())
+	}
+}
+
+func TestChargeLenzenMatchesExplicitLenzen(t *testing.T) {
+	explicit, _ := New(Config{Players: 4, PairBudgetWords: 1})
+	out := make([][]Message, 4)
+	out[1] = []Message{{To: 0, Words: 3}}
+	out[2] = []Message{{To: 0, Words: 1}}
+	if _, err := explicit.LenzenRoute(out); err != nil {
+		t.Fatal(err)
+	}
+
+	charged, _ := New(Config{Players: 4, PairBudgetWords: 1})
+	if err := charged.ChargeLenzen(3, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	if explicit.Metrics() != charged.Metrics() {
+		t.Errorf("metrics diverge:\nexplicit %+v\ncharged  %+v", explicit.Metrics(), charged.Metrics())
+	}
+}

@@ -1,0 +1,295 @@
+// Package congest simulates the CONGESTED-CLIQUE model of distributed
+// computing [LPPSP03] as used by the paper: n players communicate in
+// synchronous rounds, and in each round every player may send O(log n)
+// bits — one machine word in this simulator — to every other player.
+//
+// The simulator meters rounds and per-pair bandwidth, and implements
+// Lenzen's routing scheme [Len13] as a constant-round primitive with its
+// precondition (no player sends or receives more than n words) validated,
+// exactly as the paper invokes it in Section 2.
+package congest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes a clique deployment.
+type Config struct {
+	// Players is n, the number of players (one per vertex).
+	Players int
+	// PairBudgetWords is how many words each ordered pair may carry per
+	// round; 1 corresponds to the standard O(log n)-bit model.
+	PairBudgetWords int
+	// Strict makes budget violations fail the round.
+	Strict bool
+}
+
+// Metrics aggregates the model costs incurred so far.
+type Metrics struct {
+	// Rounds counts communication rounds, including the constant-round
+	// charges of the routing primitives.
+	Rounds int
+	// MaxPlayerIn is the largest per-round receive volume of any player.
+	MaxPlayerIn int64
+	// MaxPlayerOut is the largest per-round send volume of any player.
+	MaxPlayerOut int64
+	// TotalWords is the total communication volume.
+	TotalWords int64
+	// Violations counts budget/precondition violations (non-strict mode).
+	Violations int
+}
+
+// Message is one unit of communication between players.
+type Message struct {
+	From    int
+	To      int
+	Words   int
+	Payload any
+}
+
+// BudgetError reports a violated bandwidth constraint.
+type BudgetError struct {
+	Round  int
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("congest: round %d: %s", e.Round, e.Detail)
+}
+
+// Clique is a simulated CONGESTED-CLIQUE network.
+type Clique struct {
+	cfg Config
+	met Metrics
+}
+
+// New validates cfg and returns a fresh clique.
+func New(cfg Config) (*Clique, error) {
+	if cfg.Players <= 0 {
+		return nil, errors.New("congest: need at least one player")
+	}
+	if cfg.PairBudgetWords <= 0 {
+		return nil, errors.New("congest: pair budget must be positive")
+	}
+	return &Clique{cfg: cfg}, nil
+}
+
+// Players returns n.
+func (q *Clique) Players() int { return q.cfg.Players }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (q *Clique) Metrics() Metrics { return q.met }
+
+// Round executes one synchronous round. out[i] holds player i's messages;
+// the per-ordered-pair budget is enforced. Delivery order is by sender.
+func (q *Clique) Round(out [][]Message) ([][]Message, error) {
+	if len(out) != q.cfg.Players {
+		return nil, fmt.Errorf("congest: Round got %d outboxes for %d players", len(out), q.cfg.Players)
+	}
+	q.met.Rounds++
+	n := q.cfg.Players
+	in := make([][]Message, n)
+	inWords := make([]int64, n)
+	pairWords := make(map[[2]int]int)
+	var firstErr error
+	for i, box := range out {
+		var outWords int64
+		for k := range box {
+			msg := box[k]
+			if msg.To < 0 || msg.To >= n {
+				return nil, fmt.Errorf("congest: player %d sent to invalid player %d", i, msg.To)
+			}
+			if msg.To == i {
+				return nil, fmt.Errorf("congest: player %d sent to itself", i)
+			}
+			if msg.Words < 0 {
+				return nil, fmt.Errorf("congest: player %d sent negative-size message", i)
+			}
+			msg.From = i
+			key := [2]int{i, msg.To}
+			pairWords[key] += msg.Words
+			if pairWords[key] > q.cfg.PairBudgetWords {
+				q.met.Violations++
+				if firstErr == nil {
+					firstErr = &BudgetError{
+						Round:  q.met.Rounds,
+						Detail: fmt.Sprintf("pair (%d,%d) carries %d words, budget %d", i, msg.To, pairWords[key], q.cfg.PairBudgetWords),
+					}
+				}
+			}
+			outWords += int64(msg.Words)
+			inWords[msg.To] += int64(msg.Words)
+			q.met.TotalWords += int64(msg.Words)
+			in[msg.To] = append(in[msg.To], msg)
+		}
+		if outWords > q.met.MaxPlayerOut {
+			q.met.MaxPlayerOut = outWords
+		}
+	}
+	for _, w := range inWords {
+		if w > q.met.MaxPlayerIn {
+			q.met.MaxPlayerIn = w
+		}
+	}
+	if firstErr != nil && q.cfg.Strict {
+		return nil, firstErr
+	}
+	return in, nil
+}
+
+// LenzenRoute routes an arbitrary multiset of messages in O(1) rounds
+// (charged as lenzenRounds) provided no player sends more than n words and
+// no player is the destination of more than n words — the guarantee of
+// Lenzen's deterministic routing scheme [Len13]. The precondition is
+// validated; violations are findings about the calling algorithm.
+func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
+	const lenzenRounds = 2
+	if len(out) != q.cfg.Players {
+		return nil, fmt.Errorf("congest: LenzenRoute got %d outboxes for %d players", len(out), q.cfg.Players)
+	}
+	n := q.cfg.Players
+	limit := int64(n) * int64(q.cfg.PairBudgetWords)
+	q.met.Rounds += lenzenRounds
+	in := make([][]Message, n)
+	inWords := make([]int64, n)
+	var firstErr error
+	for i, box := range out {
+		var outWords int64
+		for k := range box {
+			msg := box[k]
+			if msg.To < 0 || msg.To >= n {
+				return nil, fmt.Errorf("congest: player %d routes to invalid player %d", i, msg.To)
+			}
+			if msg.Words < 0 {
+				return nil, fmt.Errorf("congest: player %d routes negative-size message", i)
+			}
+			msg.From = i
+			outWords += int64(msg.Words)
+			inWords[msg.To] += int64(msg.Words)
+			q.met.TotalWords += int64(msg.Words)
+			in[msg.To] = append(in[msg.To], msg)
+		}
+		if outWords > limit {
+			q.met.Violations++
+			if firstErr == nil {
+				firstErr = &BudgetError{
+					Round:  q.met.Rounds,
+					Detail: fmt.Sprintf("player %d sends %d words, Lenzen limit %d", i, outWords, limit),
+				}
+			}
+		}
+		if outWords > q.met.MaxPlayerOut {
+			q.met.MaxPlayerOut = outWords
+		}
+	}
+	for j, w := range inWords {
+		if w > limit {
+			q.met.Violations++
+			if firstErr == nil {
+				firstErr = &BudgetError{
+					Round:  q.met.Rounds,
+					Detail: fmt.Sprintf("player %d receives %d words, Lenzen limit %d", j, w, limit),
+				}
+			}
+		}
+		if w > q.met.MaxPlayerIn {
+			q.met.MaxPlayerIn = w
+		}
+	}
+	if firstErr != nil && q.cfg.Strict {
+		return nil, firstErr
+	}
+	return in, nil
+}
+
+// ChargeRound records one synchronous round with the given volume profile
+// without materializing per-message payloads. Algorithms that only need
+// cost accounting (round counts, loads) at large n use this instead of
+// Round, which is O(#messages). maxPairWords is the largest volume any
+// ordered pair carries; maxOut/maxIn are the largest per-player send and
+// receive volumes; total is the overall volume.
+func (q *Clique) ChargeRound(maxPairWords int, maxOut, maxIn, total int64) error {
+	q.met.Rounds++
+	q.met.TotalWords += total
+	if maxOut > q.met.MaxPlayerOut {
+		q.met.MaxPlayerOut = maxOut
+	}
+	if maxIn > q.met.MaxPlayerIn {
+		q.met.MaxPlayerIn = maxIn
+	}
+	if maxPairWords > q.cfg.PairBudgetWords {
+		q.met.Violations++
+		if q.cfg.Strict {
+			return &BudgetError{
+				Round:  q.met.Rounds,
+				Detail: fmt.Sprintf("some pair carries %d words, budget %d", maxPairWords, q.cfg.PairBudgetWords),
+			}
+		}
+	}
+	return nil
+}
+
+// ChargeLenzen records one invocation of Lenzen's routing scheme (two
+// rounds) with the given volume profile, validating the scheme's
+// precondition that no player sends or receives more than n·budget words.
+func (q *Clique) ChargeLenzen(maxOut, maxIn, total int64) error {
+	const lenzenRounds = 2
+	q.met.Rounds += lenzenRounds
+	q.met.TotalWords += total
+	if maxOut > q.met.MaxPlayerOut {
+		q.met.MaxPlayerOut = maxOut
+	}
+	if maxIn > q.met.MaxPlayerIn {
+		q.met.MaxPlayerIn = maxIn
+	}
+	limit := int64(q.cfg.Players) * int64(q.cfg.PairBudgetWords)
+	if maxOut > limit || maxIn > limit {
+		q.met.Violations++
+		if q.cfg.Strict {
+			return &BudgetError{
+				Round:  q.met.Rounds,
+				Detail: fmt.Sprintf("Lenzen volume out=%d in=%d exceeds limit %d", maxOut, maxIn, limit),
+			}
+		}
+	}
+	return nil
+}
+
+// AllBroadcast has every player send the same wordsEach-sized payload to
+// all other players in one round (legal whenever wordsEach fits the pair
+// budget). payloads[i] is player i's value; the result received[j][i] is
+// payloads[i] for every j != i, nil at i == j.
+func (q *Clique) AllBroadcast(wordsEach int, payloads []any) ([][]any, error) {
+	n := q.cfg.Players
+	if len(payloads) != n {
+		return nil, fmt.Errorf("congest: AllBroadcast got %d payloads for %d players", len(payloads), n)
+	}
+	if wordsEach > q.cfg.PairBudgetWords {
+		q.met.Violations++
+		if q.cfg.Strict {
+			return nil, &BudgetError{Round: q.met.Rounds + 1, Detail: fmt.Sprintf("broadcast of %d words exceeds pair budget %d", wordsEach, q.cfg.PairBudgetWords)}
+		}
+	}
+	q.met.Rounds++
+	per := int64(wordsEach) * int64(n-1)
+	q.met.TotalWords += per * int64(n)
+	if per > q.met.MaxPlayerOut {
+		q.met.MaxPlayerOut = per
+	}
+	if per > q.met.MaxPlayerIn {
+		q.met.MaxPlayerIn = per
+	}
+	received := make([][]any, n)
+	for j := 0; j < n; j++ {
+		row := make([]any, n)
+		for i := 0; i < n; i++ {
+			if i != j {
+				row[i] = payloads[i]
+			}
+		}
+		received[j] = row
+	}
+	return received, nil
+}

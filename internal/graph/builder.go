@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are deduplicated at Build time; self-loops are rejected eagerly
+// because no algorithm in the paper is defined on them.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// NumVertices returns the number of vertices the built graph will have.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. It panics on out-of-range
+// endpoints or self-loops; both indicate caller bugs rather than runtime
+// conditions.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// Build constructs the graph, deduplicating parallel edges.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n == 0 && len(b.edges) > 0 {
+		return nil, errors.New("graph: edges on zero vertices")
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+	b.edges = dedup
+
+	offsets := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		offsets[e[0]+1]++
+		offsets[e[1]+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	adj := make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		adj[offsets[u]+cursor[u]] = v
+		cursor[u]++
+		adj[offsets[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{n: b.n, m: len(b.edges), offsets: offsets, adj: adj}
+	// Each per-vertex list must be sorted; inputs were sorted by (u,v) so
+	// the lists of smaller endpoints are sorted, but entries pointing back
+	// from larger endpoints interleave. Sort each list.
+	for v := int32(0); int(v) < b.n; v++ {
+		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g, nil
+}
+
+// MustBuild is Build for programmatic construction where failure is a bug.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges constructs a graph directly from an edge list.
+func FromEdges(n int, edges [][2]int32) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || int(e[0]) >= n || int(e[1]) >= n || e[0] == e[1] {
+			return nil, fmt.Errorf("graph: invalid edge {%d,%d} for n=%d", e[0], e[1], n)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+
+	"mpcgraph/internal/rng"
+)
+
+// GNP samples an Erdős–Rényi G(n, p) graph: every unordered pair is an
+// edge independently with probability p. Skip-sampling makes the cost
+// O(n + m) rather than O(n^2).
+func GNP(n int, p float64, src *rng.Source) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.MustBuild()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Enumerate pairs (u,v), u<v, in row-major order and jump by
+	// geometric gaps. v == u is the sentinel "just before (u, u+1)".
+	u, v := int32(0), int32(0)
+	for {
+		steps := src.Geometric(p) + 1
+		for {
+			remaining := int(int32(n) - 1 - v) // positions strictly after v in row u
+			if steps <= remaining {
+				v += int32(steps)
+				break
+			}
+			steps -= remaining
+			u++
+			if int(u) >= n-1 {
+				return b.MustBuild()
+			}
+			v = u
+		}
+		b.AddEdge(u, v)
+	}
+}
+
+// GNM samples a uniformly random graph with exactly m distinct edges.
+func GNM(n, m int, src *rng.Source) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: GNM(%d, %d) exceeds %d possible edges", n, m, maxEdges))
+	}
+	b := NewBuilder(n)
+	seen := make(map[[2]int32]bool, m)
+	for len(seen) < m {
+		u := int32(src.Intn(n))
+		v := int32(src.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// Bipartite holds a bipartite graph together with its side labels, as
+// required by the bipartite-only baselines (Hopcroft–Karp, Kőnig).
+type Bipartite struct {
+	*Graph
+
+	// Left[v] reports whether v is on the left side.
+	Left []bool
+}
+
+// RandomBipartite samples a bipartite graph with nLeft + nRight vertices
+// where each left-right pair is an edge independently with probability p.
+// Left vertices occupy ids [0, nLeft).
+func RandomBipartite(nLeft, nRight int, p float64, src *rng.Source) *Bipartite {
+	n := nLeft + nRight
+	b := NewBuilder(n)
+	if p > 0 && nLeft > 0 && nRight > 0 {
+		if p > 1 {
+			p = 1
+		}
+		// Skip-sample the nLeft x nRight grid.
+		total := nLeft * nRight
+		pos := -1
+		for {
+			pos += src.Geometric(p) + 1
+			if pos >= total {
+				break
+			}
+			b.AddEdge(int32(pos/nRight), int32(nLeft+pos%nRight))
+		}
+	}
+	side := make([]bool, n)
+	for i := 0; i < nLeft; i++ {
+		side[i] = true
+	}
+	return &Bipartite{Graph: b.MustBuild(), Left: side}
+}
+
+// RandomRegular samples an (approximately) d-regular simple graph via the
+// configuration model with rejection of self-loops and duplicates; the
+// result has maximum degree at most d and is d-regular up to the few
+// stubs discarded by rejection. n*d must be even.
+func RandomRegular(n, d int, src *rng.Source) *Graph {
+	if n*d%2 != 0 {
+		panic("graph: RandomRegular requires n*d even")
+	}
+	if d >= n {
+		panic("graph: RandomRegular requires d < n")
+	}
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	b := NewBuilder(n)
+	seen := make(map[[2]int32]bool, n*d/2)
+	// A few re-shuffles resolve most collisions; leftover stubs are
+	// dropped, which only shaves the degree of O(1) vertices.
+	for attempt := 0; attempt < 16 && len(stubs) > 1; attempt++ {
+		src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		var leftover []int32
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				leftover = append(leftover, u, v)
+				continue
+			}
+			a, c := u, v
+			if a > c {
+				a, c = c, a
+			}
+			if seen[[2]int32{a, c}] {
+				leftover = append(leftover, u, v)
+				continue
+			}
+			seen[[2]int32{a, c}] = true
+			b.AddEdge(u, v)
+		}
+		if len(stubs)%2 == 1 {
+			leftover = append(leftover, stubs[len(stubs)-1])
+		}
+		stubs = leftover
+	}
+	return b.MustBuild()
+}
+
+// PreferentialAttachment samples a Barabási–Albert-style power-law graph:
+// vertices arrive one at a time and attach k edges to existing vertices
+// chosen proportionally to degree (plus one, so isolated vertices remain
+// reachable). Produces the heavy-tailed degree distributions that stress
+// the per-machine memory accounting.
+func PreferentialAttachment(n, k int, src *rng.Source) *Graph {
+	if k < 1 {
+		panic("graph: PreferentialAttachment requires k >= 1")
+	}
+	b := NewBuilder(n)
+	// targets holds one entry per half-edge endpoint plus one per vertex,
+	// realizing degree-proportional (plus smoothing) sampling by uniform
+	// choice.
+	targets := make([]int32, 0, 2*n*k+n)
+	for v := 0; v < n; v++ {
+		added := make(map[int32]bool, k)
+		limit := k
+		if v < k {
+			limit = v
+		}
+		for len(added) < limit {
+			t := targets[src.Intn(len(targets))]
+			if t == int32(v) || added[t] {
+				// Fall back to a uniform pick to guarantee progress on
+				// tiny prefixes.
+				t = int32(src.Intn(v))
+				if t == int32(v) || added[t] {
+					continue
+				}
+			}
+			added[t] = true
+			b.AddEdge(int32(v), t)
+			targets = append(targets, t)
+		}
+		for range added {
+			targets = append(targets, int32(v))
+		}
+		targets = append(targets, int32(v)) // smoothing entry
+	}
+	return b.MustBuild()
+}
+
+// PlantedMatching returns a graph on n vertices (n even) containing a
+// planted perfect matching {2i, 2i+1} plus G(n, p) noise edges, and the
+// planted matching itself as pairs. Used to measure matching quality
+// against a known optimum at scales where exact algorithms are too slow.
+func PlantedMatching(n int, p float64, src *rng.Source) (*Graph, [][2]int32) {
+	if n%2 != 0 {
+		panic("graph: PlantedMatching requires even n")
+	}
+	noise := GNP(n, p, src)
+	b := NewBuilder(n)
+	planted := make([][2]int32, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		b.AddEdge(int32(i), int32(i+1))
+		planted = append(planted, [2]int32{int32(i), int32(i + 1)})
+	}
+	noise.ForEachEdge(func(u, v int32) { b.AddEdge(u, v) })
+	return b.MustBuild(), planted
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Empty returns the edgeless graph on n vertices.
+func Empty(n int) *Graph {
+	return NewBuilder(n).MustBuild()
+}
+
+// Ring returns the n-cycle (n >= 3), or a path/edge/empty graph for
+// smaller n.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	if n == 2 {
+		b.AddEdge(0, 1)
+	}
+	if n >= 3 {
+		for v := 0; v < n; v++ {
+			b.AddEdge(int32(v), int32((v+1)%n))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, int32(v))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,251 @@
+// Package graph provides the static graph representation, random graph
+// generators, and structural validators shared by every algorithm in the
+// reproduction.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected,
+// matching the model of the paper. Vertices are identified by dense int32
+// indices in [0, n). The core representation is CSR (compressed sparse
+// row): an offsets array plus a flattened, per-vertex-sorted adjacency
+// array, which gives cache-friendly iteration and O(log deg) edge lookup
+// while keeping memory at 2m+n+O(1) words.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form.
+// The zero value is the empty graph on zero vertices.
+type Graph struct {
+	n       int
+	m       int
+	offsets []int32 // length n+1; neighbors of v are adj[offsets[v]:offsets[v+1]]
+	adj     []int32 // length 2m; each undirected edge appears twice, lists sorted
+}
+
+// NumVertices returns n, the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns m, the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge. Runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 on the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.n); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree 2m/n, or 0 when n = 0.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int32)) {
+	for u := int32(0); u < int32(g.n); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// EdgeList materializes all undirected edges with u < v, in lexicographic
+// order. The result has length NumEdges.
+func (g *Graph) EdgeList() [][2]int32 {
+	edges := make([][2]int32, 0, g.m)
+	g.ForEachEdge(func(u, v int32) { edges = append(edges, [2]int32{u, v}) })
+	return edges
+}
+
+// EdgeIndex assigns each undirected edge {u,v}, u < v, a dense id in
+// [0, m) in lexicographic order, and provides O(log deg) lookup. It is the
+// indexing used for per-edge fractional weights x_e.
+type EdgeIndex struct {
+	g     *Graph
+	start []int32 // start[u] = id of the first edge whose smaller endpoint is u
+}
+
+// NewEdgeIndex builds the edge index for g in O(n + m).
+func NewEdgeIndex(g *Graph) *EdgeIndex {
+	start := make([]int32, g.n+1)
+	var id int32
+	for u := int32(0); u < int32(g.n); u++ {
+		start[u] = id
+		nb := g.Neighbors(u)
+		// Neighbors are sorted, so the ones greater than u form a suffix.
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+		id += int32(len(nb) - i)
+	}
+	start[g.n] = id
+	return &EdgeIndex{g: g, start: start}
+}
+
+// ID returns the dense id of edge {u, v}. It panics if the edge does not
+// exist, which indicates a logic error in the caller.
+func (ix *EdgeIndex) ID(u, v int32) int32 {
+	if u > v {
+		u, v = v, u
+	}
+	nb := ix.g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+	suffix := nb[i:]
+	j := sort.Search(len(suffix), func(j int) bool { return suffix[j] >= v })
+	if j == len(suffix) || suffix[j] != v {
+		panic(fmt.Sprintf("graph: edge {%d,%d} not present", u, v))
+	}
+	return ix.start[u] + int32(j)
+}
+
+// Endpoints returns the endpoints (u < v) of the edge with the given id.
+func (ix *EdgeIndex) Endpoints(id int32) (u, v int32) {
+	// Binary search over start for the owning vertex.
+	lo, hi := 0, ix.g.n
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ix.start[mid] <= id {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	u = int32(lo)
+	nb := ix.g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+	return u, nb[i+int(id-ix.start[u])]
+}
+
+// NumEdges returns the number of indexed edges.
+func (ix *EdgeIndex) NumEdges() int { return int(ix.start[ix.g.n]) }
+
+// Subgraph returns the subgraph on the same vertex set containing exactly
+// the edges with both endpoints marked in keep. Vertices outside keep
+// become isolated; vertex ids are preserved. This is the "remove vertices,
+// keep the id space" operation the greedy MIS simulation relies on.
+func (g *Graph) Subgraph(keep []bool) *Graph {
+	if len(keep) != g.n {
+		panic("graph: Subgraph mask has wrong length")
+	}
+	offsets := make([]int32, g.n+1)
+	for u := int32(0); u < int32(g.n); u++ {
+		cnt := int32(0)
+		if keep[u] {
+			for _, v := range g.Neighbors(u) {
+				if keep[v] {
+					cnt++
+				}
+			}
+		}
+		offsets[u+1] = offsets[u] + cnt
+	}
+	adj := make([]int32, offsets[g.n])
+	for u := int32(0); u < int32(g.n); u++ {
+		if !keep[u] {
+			continue
+		}
+		w := offsets[u]
+		for _, v := range g.Neighbors(u) {
+			if keep[v] {
+				adj[w] = v
+				w++
+			}
+		}
+	}
+	return &Graph{n: g.n, m: int(offsets[g.n]) / 2, offsets: offsets, adj: adj}
+}
+
+// CompactInduced returns the induced subgraph on the given vertices with a
+// fresh dense id space, plus the mapping from new ids back to original
+// ids. Vertices must be distinct and in range.
+func (g *Graph) CompactInduced(vertices []int32) (*Graph, []int32) {
+	inv := make([]int32, g.n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	orig := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.n {
+			panic(fmt.Sprintf("graph: vertex %d out of range", v))
+		}
+		if inv[v] != -1 {
+			panic(fmt.Sprintf("graph: duplicate vertex %d", v))
+		}
+		inv[v] = int32(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.Neighbors(v) {
+			if j := inv[w]; j >= 0 && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.MustBuild(), orig
+}
+
+// LineGraph returns the line graph L(G): one vertex per edge of g, with
+// two line-graph vertices adjacent when the underlying edges share an
+// endpoint. The edge ids follow NewEdgeIndex(g). This is the classical
+// reduction (Luby on L(G) yields a maximal matching of G) discussed in the
+// paper's introduction.
+func (g *Graph) LineGraph() (*Graph, *EdgeIndex) {
+	ix := NewEdgeIndex(g)
+	b := NewBuilder(g.m)
+	// Edges of L(G): for every vertex, all pairs of incident edges.
+	ids := make([]int32, 0, g.MaxDegree())
+	for v := int32(0); v < int32(g.n); v++ {
+		ids = ids[:0]
+		for _, u := range g.Neighbors(v) {
+			ids = append(ids, ix.ID(v, u))
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				b.AddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	return b.MustBuild(), ix
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	offsets := make([]int32, len(g.offsets))
+	copy(offsets, g.offsets)
+	adj := make([]int32, len(g.adj))
+	copy(adj, g.adj)
+	return &Graph{n: g.n, m: g.m, offsets: offsets, adj: adj}
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, maxdeg=%d)", g.n, g.m, g.MaxDegree())
+}

@@ -1,0 +1,214 @@
+package graph
+
+// This file contains the structural predicates used to check algorithm
+// outputs. Every algorithm test and every experiment validates its output
+// through these, so they are written for clarity over speed.
+
+// IsIndependentSet reports whether no two marked vertices are adjacent.
+func IsIndependentSet(g *Graph, in []bool) bool {
+	if len(in) != g.NumVertices() {
+		return false
+	}
+	ok := true
+	g.ForEachEdge(func(u, v int32) {
+		if in[u] && in[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// IsMaximalIndependentSet reports whether the marked set is independent
+// and every unmarked vertex has a marked neighbor.
+func IsMaximalIndependentSet(g *Graph, in []bool) bool {
+	if !IsIndependentSet(g, in) {
+		return false
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// Matching is the standard mate-array encoding: mate[v] is the matched
+// partner of v, or -1 when v is free.
+type Matching []int32
+
+// NewMatching returns an empty matching on n vertices.
+func NewMatching(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = -1
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (m Matching) Size() int {
+	cnt := 0
+	for v, u := range m {
+		if u >= 0 && int32(v) < u {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// Edges returns the matched edges with u < v.
+func (m Matching) Edges() [][2]int32 {
+	out := make([][2]int32, 0, m.Size())
+	for v, u := range m {
+		if u >= 0 && int32(v) < u {
+			out = append(out, [2]int32{int32(v), u})
+		}
+	}
+	return out
+}
+
+// Match records the edge {u, v} in the matching. It panics if either
+// endpoint is already matched, which indicates a caller bug.
+func (m Matching) Match(u, v int32) {
+	if m[u] != -1 || m[v] != -1 {
+		panic("graph: Match on already-matched vertex")
+	}
+	m[u], m[v] = v, u
+}
+
+// Unmatch removes the edge covering u (and its mate).
+func (m Matching) Unmatch(u int32) {
+	if v := m[u]; v != -1 {
+		m[u], m[v] = -1, -1
+	}
+}
+
+// Clone returns a deep copy.
+func (m Matching) Clone() Matching {
+	c := make(Matching, len(m))
+	copy(c, m)
+	return c
+}
+
+// IsMatching reports whether m is a consistent matching whose edges all
+// exist in g.
+func IsMatching(g *Graph, m Matching) bool {
+	if len(m) != g.NumVertices() {
+		return false
+	}
+	for v := int32(0); v < int32(len(m)); v++ {
+		u := m[v]
+		if u == -1 {
+			continue
+		}
+		if u < 0 || int(u) >= len(m) || m[u] != v || u == v {
+			return false
+		}
+		if v < u && !g.HasEdge(v, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether m is a matching of g and no edge of g
+// has both endpoints free.
+func IsMaximalMatching(g *Graph, m Matching) bool {
+	if !IsMatching(g, m) {
+		return false
+	}
+	maximal := true
+	g.ForEachEdge(func(u, v int32) {
+		if m[u] == -1 && m[v] == -1 {
+			maximal = false
+		}
+	})
+	return maximal
+}
+
+// IsVertexCover reports whether every edge has a marked endpoint.
+func IsVertexCover(g *Graph, cover []bool) bool {
+	if len(cover) != g.NumVertices() {
+		return false
+	}
+	ok := true
+	g.ForEachEdge(func(u, v int32) {
+		if !cover[u] && !cover[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// CountMarked returns the number of true entries; shared helper for set
+// sizes.
+func CountMarked(set []bool) int {
+	cnt := 0
+	for _, b := range set {
+		if b {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// FractionalMatching is a per-edge weight vector indexed by an EdgeIndex.
+type FractionalMatching struct {
+	Index *EdgeIndex
+	X     []float64
+}
+
+// NewFractionalMatching returns the all-zero fractional matching on g's
+// edge index.
+func NewFractionalMatching(ix *EdgeIndex) *FractionalMatching {
+	return &FractionalMatching{Index: ix, X: make([]float64, ix.NumEdges())}
+}
+
+// VertexWeights returns y_v = sum of x_e over edges incident to v.
+func (f *FractionalMatching) VertexWeights() []float64 {
+	y := make([]float64, f.Index.g.NumVertices())
+	for id, x := range f.X {
+		if x == 0 {
+			continue
+		}
+		u, v := f.Index.Endpoints(int32(id))
+		y[u] += x
+		y[v] += x
+	}
+	return y
+}
+
+// Weight returns the total weight sum_e x_e.
+func (f *FractionalMatching) Weight() float64 {
+	w := 0.0
+	for _, x := range f.X {
+		w += x
+	}
+	return w
+}
+
+// IsFeasible reports whether all x_e are in [0, 1] and every vertex weight
+// satisfies y_v <= 1 + tol.
+func (f *FractionalMatching) IsFeasible(tol float64) bool {
+	for _, x := range f.X {
+		if x < 0 || x > 1+tol {
+			return false
+		}
+	}
+	for _, y := range f.VertexWeights() {
+		if y > 1+tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+
+	"mpcgraph/internal/rng"
+)
+
+// Weighted is a simple undirected graph with positive edge weights,
+// represented as an explicit edge list next to its CSR skeleton. It is
+// the input type for the weighted-matching corollary (Corollary 1.4).
+type Weighted struct {
+	*Graph
+
+	// W[id] is the weight of the edge with the given EdgeIndex id.
+	W []float64
+	// Ix indexes the edges of Graph.
+	Ix *EdgeIndex
+}
+
+// NewWeighted wraps g with the given per-edge weights (indexed by
+// NewEdgeIndex order). All weights must be positive.
+func NewWeighted(g *Graph, w []float64) (*Weighted, error) {
+	ix := NewEdgeIndex(g)
+	if len(w) != ix.NumEdges() {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(w), ix.NumEdges())
+	}
+	for i, x := range w {
+		if x <= 0 {
+			u, v := ix.Endpoints(int32(i))
+			return nil, fmt.Errorf("graph: non-positive weight %v on edge {%d,%d}", x, u, v)
+		}
+	}
+	return &Weighted{Graph: g, W: w, Ix: ix}, nil
+}
+
+// RandomWeights attaches independent uniform weights in [lo, hi) to g.
+func RandomWeights(g *Graph, lo, hi float64, src *rng.Source) *Weighted {
+	ix := NewEdgeIndex(g)
+	w := make([]float64, ix.NumEdges())
+	for i := range w {
+		w[i] = src.UniformIn(lo, hi)
+	}
+	return &Weighted{Graph: g, W: w, Ix: ix}
+}
+
+// EdgeWeight returns the weight of edge {u, v}.
+func (wg *Weighted) EdgeWeight(u, v int32) float64 {
+	return wg.W[wg.Ix.ID(u, v)]
+}
+
+// MatchingWeight returns the total weight of the matched edges.
+func (wg *Weighted) MatchingWeight(m Matching) float64 {
+	total := 0.0
+	for v, u := range m {
+		if u >= 0 && int32(v) < u {
+			total += wg.EdgeWeight(int32(v), u)
+		}
+	}
+	return total
+}
+
+// MaxWeight returns the largest edge weight, or 0 on the empty graph.
+func (wg *Weighted) MaxWeight() float64 {
+	max := 0.0
+	for _, w := range wg.W {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}

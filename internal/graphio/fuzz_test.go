@@ -1,0 +1,52 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the parser with arbitrary inputs: it must
+// never panic, and on success the resulting graph must survive a
+// write/read round trip unchanged. Run with `go test -fuzz=FuzzRead` for
+// active fuzzing; the seed corpus doubles as a regression suite.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"",
+		"n 4\n0 1\n2 3\n",
+		"# comment only\n",
+		"0 1\n1 0\n0 1\n",
+		"n 0\n",
+		"n 10\n\n\n9 8\n",
+		"0 999999\n",
+		"n x\n",
+		"1 1\n",
+		"a b\n",
+		"0 1 2\n",
+		"n 2\n0 5\n",
+		"-3 4\n",
+		"n 3\n0 1\nn 5\n2 4\n",
+		strings.Repeat("0 1\n", 1000),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-read: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)",
+				g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+		}
+	})
+}

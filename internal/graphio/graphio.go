@@ -1,0 +1,95 @@
+// Package graphio reads and writes the plain-text edge-list format used
+// by the command-line tools: an optional header line "n <count>", then
+// one "u v" pair per line (0-based vertex ids); '#' starts a comment.
+// Without a header, n is one plus the largest vertex id seen.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpcgraph/internal/graph"
+)
+
+// ReadEdgeList parses the edge-list format from r.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var (
+		edges   [][2]int32
+		n       = -1
+		maxSeen = int32(-1)
+		lineNo  int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: header must be 'n <count>'", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[1])
+		}
+		if u == v {
+			return nil, fmt.Errorf("graphio: line %d: self-loop at %d", lineNo, u)
+		}
+		if int32(u) > maxSeen {
+			maxSeen = int32(u)
+		}
+		if int32(v) > maxSeen {
+			maxSeen = int32(v)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if n < 0 {
+		n = int(maxSeen) + 1
+	}
+	if int(maxSeen) >= n {
+		return nil, fmt.Errorf("graphio: vertex %d out of range for declared n=%d", maxSeen, n)
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// WriteEdgeList writes g in the edge-list format with a header line.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int32) {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

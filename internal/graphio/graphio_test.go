@@ -1,0 +1,84 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "# comment\nn 4\n0 1\n2 3\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Errorf("n=%d m=%d, want 4, 3", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListInfersN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 {
+		t.Errorf("inferred n = %d, want 6", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"self-loop":    "1 1\n",
+		"bad-token":    "a b\n",
+		"negative":     "-1 2\n",
+		"wide-line":    "1 2 3\n",
+		"bad-header":   "n x\n",
+		"n-too-small":  "n 2\n0 5\n",
+		"short-header": "n\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+				t.Errorf("input %q accepted", in)
+			}
+		})
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("empty input should give empty graph")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := graph.GNP(100, 0.05, rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %v vs %v", g2, g)
+	}
+	ok := true
+	g.ForEachEdge(func(u, v int32) {
+		if !g2.HasEdge(u, v) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("round trip lost edges")
+	}
+}

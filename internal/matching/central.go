@@ -1,0 +1,135 @@
+// Package matching implements Sections 4 and 5 of the paper: the
+// weight-raising fractional matching / vertex cover algorithms (Central
+// and Central-Rand), their O(log log n)-round MPC simulation, the
+// randomized rounding of Lemma 5.1, the integral (2+ε) matching and
+// vertex cover pipeline of Theorem 1.2, and the corollaries — (1+ε)
+// matching via augmenting-path boosting and (2+ε) weighted matching —
+// plus the [LMSV11] filtering baseline used for small matchings.
+package matching
+
+import (
+	"math"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// FracResult is the output of the fractional matching algorithms: a
+// per-edge weight vector, the final per-vertex weights, and the frozen
+// vertex set, which is the vertex cover.
+type FracResult struct {
+	// Ix indexes edges of the input graph; X is indexed by it.
+	Ix *graph.EdgeIndex
+	// X is the fractional matching.
+	X []float64
+	// Y is the per-vertex weight sum of X.
+	Y []float64
+	// Cover marks the vertex cover (frozen vertices, plus any vertices
+	// removed for exceeding weight 1 in the MPC simulation).
+	Cover []bool
+	// Iterations is the number of weight-raising iterations executed.
+	Iterations int
+}
+
+// Weight returns the total fractional matching weight Σ_e x_e.
+func (r *FracResult) Weight() float64 {
+	w := 0.0
+	for _, x := range r.X {
+		w += x
+	}
+	return w
+}
+
+// CoverSize returns the number of cover vertices.
+func (r *FracResult) CoverSize() int { return graph.CountMarked(r.Cover) }
+
+// maxCentralIterations bounds the weight-raising process: an edge weight
+// starts at ~1/n and never exceeds 1, growing by 1/(1-eps) per iteration.
+func maxCentralIterations(n int, eps float64) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Log(float64(n))/(-math.Log1p(-eps))) + 8
+}
+
+// Central runs the deterministic algorithm of Section 4.1: edge weights
+// start at 1/n; each iteration freezes every vertex whose weight reached
+// 1-2eps (with its edges) and multiplies every active edge weight by
+// 1/(1-eps). The frozen set is a (2+5eps)-approximate vertex cover and X
+// a (2+5eps)-approximate fractional matching (Lemma 4.1).
+func Central(g *graph.Graph, eps float64) *FracResult {
+	threshold := 1 - 2*eps
+	return centralCore(g, eps, func(int32, int) float64 { return threshold })
+}
+
+// CentralRand runs the random-threshold variant of Section 4.3: vertex v
+// freezes in iteration t when its weight reaches T_{v,t}, drawn uniformly
+// from [1-4eps, 1-2eps) by the oracle. It is the process the MPC
+// simulation tracks.
+func CentralRand(g *graph.Graph, eps float64, oracle rng.ThresholdOracle) *FracResult {
+	return centralCore(g, eps, oracle.At)
+}
+
+// centralCore is the shared weight-raising loop.
+func centralCore(g *graph.Graph, eps float64, threshold func(v int32, t int) float64) *FracResult {
+	n := g.NumVertices()
+	ix := graph.NewEdgeIndex(g)
+	mEdges := ix.NumEdges()
+	res := &FracResult{
+		Ix:    ix,
+		X:     make([]float64, mEdges),
+		Y:     make([]float64, n),
+		Cover: make([]bool, n),
+	}
+	if mEdges == 0 {
+		return res
+	}
+	x0 := 1 / float64(n)
+	endpoints := make([][2]int32, mEdges)
+	active := make([]int32, 0, mEdges)
+	for e := int32(0); e < int32(mEdges); e++ {
+		u, v := ix.Endpoints(e)
+		endpoints[e] = [2]int32{u, v}
+		res.X[e] = x0
+		res.Y[u] += x0
+		res.Y[v] += x0
+		active = append(active, e)
+	}
+	frozen := res.Cover // frozen vertices are exactly the cover
+	growth := eps / (1 - eps)
+	maxIter := maxCentralIterations(n, eps)
+	t := 0
+	for ; len(active) > 0 && t < maxIter; t++ {
+		// (A) freeze vertices whose weight reached their threshold.
+		for v := int32(0); v < int32(n); v++ {
+			if !frozen[v] && res.Y[v] >= threshold(v, t) {
+				frozen[v] = true
+			}
+		}
+		// Freeze edges incident to frozen vertices; compact the rest.
+		kept := active[:0]
+		for _, e := range active {
+			if frozen[endpoints[e][0]] || frozen[endpoints[e][1]] {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		active = kept
+		// (B) raise surviving active edges by 1/(1-eps).
+		for _, e := range active {
+			delta := res.X[e] * growth
+			res.X[e] += delta
+			res.Y[endpoints[e][0]] += delta
+			res.Y[endpoints[e][1]] += delta
+		}
+	}
+	// Defensive: the iteration bound guarantees the loop drains; if it
+	// ever did not, freezing remaining endpoints preserves the cover
+	// property.
+	for _, e := range active {
+		frozen[endpoints[e][0]] = true
+		frozen[endpoints[e][1]] = true
+	}
+	res.Iterations = t
+	return res
+}

@@ -1,0 +1,76 @@
+package matching
+
+import (
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// FilterResult is the output of the [LMSV11] filtering algorithm.
+type FilterResult struct {
+	// M is the computed maximal matching.
+	M graph.Matching
+	// Rounds counts MPC rounds (one per filtering iteration plus the
+	// final gather).
+	Rounds int
+	// MaxSampleWords is the largest sample shipped to the coordinator.
+	MaxSampleWords int64
+}
+
+// FilteringMaximalMatching implements the filtering technique of
+// Lattanzi, Moseley, Suri and Vassilvitskii [LMSV11], the subroutine the
+// paper invokes in Section 4.4.5 for instances with small maximum
+// matching and the O(log n)-round baseline of experiment E13 at memory
+// Θ(n): each round samples edges that fit one machine, computes a maximal
+// matching of the sample centrally, keeps it, discards edges covered by
+// matched vertices, and recurses on the remainder; w.h.p. the edge count
+// halves per round.
+func FilteringMaximalMatching(g *graph.Graph, memoryWords int64, src *rng.Source) *FilterResult {
+	res := &FilterResult{M: graph.NewMatching(g.NumVertices())}
+	if memoryWords < 4 {
+		memoryWords = 4
+	}
+	active := g.EdgeList()
+	capEdges := int(memoryWords / 2)
+	for len(active) > capEdges {
+		res.Rounds++
+		// Sample each active edge independently so the expected sample
+		// fits half the machine.
+		p := float64(capEdges) / (2 * float64(len(active)))
+		sample := make([][2]int32, 0, capEdges)
+		for _, e := range active {
+			if src.Bool(p) && len(sample) < capEdges {
+				sample = append(sample, e)
+			}
+		}
+		if w := int64(2 * len(sample)); w > res.MaxSampleWords {
+			res.MaxSampleWords = w
+		}
+		// Central maximal matching of the sample over free vertices.
+		for _, e := range sample {
+			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
+				res.M.Match(e[0], e[1])
+			}
+		}
+		// Filter: drop edges covered by matched vertices.
+		kept := active[:0]
+		for _, e := range active {
+			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
+				kept = append(kept, e)
+			}
+		}
+		active = kept
+	}
+	// Final gather: the remainder fits one machine.
+	if len(active) > 0 {
+		res.Rounds++
+		if w := int64(2 * len(active)); w > res.MaxSampleWords {
+			res.MaxSampleWords = w
+		}
+		for _, e := range active {
+			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
+				res.M.Match(e[0], e[1])
+			}
+		}
+	}
+	return res
+}

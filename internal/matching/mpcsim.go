@@ -1,0 +1,720 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/rng"
+)
+
+// SimOptions configures the MPC simulation of Central-Rand (the
+// MPC-Simulation box in Section 4.3 of the paper).
+type SimOptions struct {
+	// Seed drives the thresholds and the vertex partitioning.
+	Seed uint64
+	// Eps is the paper's ε; values are clamped into [0.001, 0.25]. The
+	// analysis assumes ε < 1/50; measured guarantees remain within the
+	// claimed envelopes for the larger values the experiments sweep.
+	Eps float64
+	// MemoryFactor sets per-machine memory S = MemoryFactor·n words;
+	// default 16.
+	MemoryFactor float64
+	// DCut is the degree bound at which the simulation switches to
+	// direct iteration — the paper's log^20 n, which exceeds n at any
+	// feasible scale; default max(16, log2(n)^2). See DESIGN.md.
+	DCut func(n int) float64
+	// PhaseIterBeta controls iterations per phase:
+	// I = max(1, β·log m / log(1/(1-ε))), so d drops to d^(1-β/2) per
+	// phase; the default β = 0.2 realizes the d → d^0.9 schedule of the
+	// paper's Section 4.2 sketch.
+	PhaseIterBeta float64
+	// PaperConstants uses the literal I = log m/(10 log 5) from the
+	// pseudocode (floored at 1), which at feasible scale degenerates to
+	// one iteration per phase; exposed for the ablation test.
+	PaperConstants bool
+	// FixedThreshold disables random thresholds (every T_{v,t} = 1-2ε),
+	// the ablation of Section 4.2's "issue with the direct simulation".
+	FixedThreshold bool
+	// Strict makes memory violations fail the run.
+	Strict bool
+	// Probe, when non-nil, records the |y - ỹ| deviation and bad-vertex
+	// statistics of Section 4.4.3 (experiment E12).
+	Probe *DeviationProbe
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	if o.Eps < 0.001 {
+		o.Eps = 0.001
+	}
+	if o.Eps > 0.25 {
+		o.Eps = 0.25
+	}
+	if o.MemoryFactor == 0 {
+		o.MemoryFactor = 16
+	}
+	if o.DCut == nil {
+		o.DCut = DefaultDCut
+	}
+	if o.PhaseIterBeta == 0 {
+		o.PhaseIterBeta = 0.2
+	}
+	return o
+}
+
+// DefaultDCut is the default switch-to-direct threshold max(16, log2²n),
+// the simulation-scale stand-in for the paper's log^20 n.
+func DefaultDCut(n int) float64 {
+	if n < 2 {
+		return 16
+	}
+	l := math.Log2(float64(n))
+	return math.Max(16, l*l)
+}
+
+// PhaseStat records per-phase instrumentation.
+type PhaseStat struct {
+	// D is the degree bound d at the phase start.
+	D float64
+	// Machines is m = ⌊√d⌋ for the phase.
+	Machines int
+	// Iterations is I, the iterations simulated locally in this phase.
+	Iterations int
+	// MaxInducedWords is the largest per-machine induced subgraph (in
+	// words: |V_i| + 2|E(G'[V_i])|) — the Lemma 4.7 quantity (E7).
+	MaxInducedWords int64
+	// MaxActiveDegree is the largest active degree in G' at the phase
+	// start; Lemma 4.6 asserts it never exceeds D.
+	MaxActiveDegree int
+	// Frozen counts vertices frozen during the phase (including the
+	// end-of-phase Line (j) freezes).
+	Frozen int
+	// RemovedHeavy counts vertices removed at Line (i) for y > 1.
+	RemovedHeavy int
+}
+
+// SimResult is the output of Simulate.
+type SimResult struct {
+	// Frac carries the fractional matching, vertex weights and cover.
+	Frac *FracResult
+	// Phases is the number of while-loop phases executed.
+	Phases int
+	// TotalIterations counts Central-Rand iterations simulated in phases.
+	TotalIterations int
+	// DirectIterations counts the Line (4) direct iterations.
+	DirectIterations int
+	// Rounds is the number of MPC rounds charged.
+	Rounds int
+	// MaxMachineWords is the largest per-round per-machine load.
+	MaxMachineWords int64
+	// TotalWords is the total communication volume.
+	TotalWords int64
+	// Violations counts capacity violations (non-strict mode).
+	Violations int
+	// PhaseStats carries per-phase instrumentation.
+	PhaseStats []PhaseStat
+}
+
+// DeviationProbe accumulates the Section 4.4.3 coupling statistics: per
+// phase, the maximum |y_v - ỹ_v| over compared vertices and iterations,
+// and the number of "bad" vertices (frozen in exactly one of the two
+// coupled processes). The hypothetical Central-Rand is restarted from the
+// simulation state at each phase begin, exactly as the analysis assumes.
+type DeviationProbe struct {
+	// PhaseMaxDev[i] is the max |y - ỹ| observed in phase i.
+	PhaseMaxDev []float64
+	// PhaseBad[i] counts bad vertices in phase i.
+	PhaseBad []int
+	// PhaseMaxDiff[i] is the max over vertices of diff(v, t) at the end
+	// of phase i — the Definition 4.12 weight-difference
+	// Σ_{e∋v} |x_{e} - x^MPC_{e}| between the coupled processes.
+	PhaseMaxDiff []float64
+	// Compared is the total number of (vertex, iteration) comparisons.
+	Compared int
+}
+
+// Simulate runs the paper's MPC-Simulation on g and returns the
+// fractional matching, vertex cover, and audited model costs.
+func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	eps := opts.Eps
+
+	lo, hi := 1-4*eps, 1-2*eps
+	if opts.FixedThreshold {
+		lo = hi
+	}
+	oracle := rng.NewThresholdOracle(rng.Hash(opts.Seed, 0x7472), lo, hi)
+	partSrc := rng.New(opts.Seed).SplitString("partition")
+
+	st := newSimState(g, eps)
+	res := &SimResult{}
+
+	capacity := int64(opts.MemoryFactor * float64(n))
+	machines := int(math.Ceil(math.Sqrt(float64(n)))) + 1
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Machines:      machines,
+		CapacityWords: capacity,
+		Strict:        opts.Strict,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dCut := opts.DCut(n)
+	d := float64(n)
+	for d > dCut && res.Phases < 64 {
+		m := int(math.Sqrt(d))
+		if m < 2 {
+			break
+		}
+		if m > machines {
+			m = machines
+		}
+		iters := phaseIterations(m, eps, opts)
+		stat, err := st.runPhase(cluster, oracle, partSrc, m, iters, opts.Probe)
+		if err != nil {
+			return nil, fmt.Errorf("phase %d: %w", res.Phases, err)
+		}
+		stat.D = d
+		res.Phases++
+		res.TotalIterations += iters
+		res.PhaseStats = append(res.PhaseStats, stat)
+		d *= math.Pow(1-eps, float64(iters))
+	}
+
+	// Line (4): direct simulation of Central-Rand until every edge is
+	// frozen, one MPC round per iteration.
+	direct, err := st.runDirect(cluster, oracle)
+	if err != nil {
+		return nil, err
+	}
+	res.DirectIterations = direct
+	res.TotalIterations += direct
+
+	res.Frac = st.finalize()
+	met := cluster.Metrics()
+	res.Rounds = met.Rounds
+	res.MaxMachineWords = met.MaxInWords
+	if met.MaxOutWords > res.MaxMachineWords {
+		res.MaxMachineWords = met.MaxOutWords
+	}
+	res.TotalWords = met.TotalWords
+	res.Violations = met.Violations
+	return res, nil
+}
+
+// phaseIterations returns I for a phase with m machines.
+func phaseIterations(m int, eps float64, opts SimOptions) int {
+	var iters int
+	if opts.PaperConstants {
+		iters = int(math.Log(float64(m)) / (10 * math.Log(5)))
+	} else {
+		iters = int(opts.PhaseIterBeta * math.Log(float64(m)) / (-math.Log1p(-eps)))
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
+}
+
+// simState is the global algorithm state shared by phases.
+type simState struct {
+	g   *graph.Graph
+	eps float64
+	w0  float64
+	t   int // global iteration counter
+
+	inV        []bool  // v ∈ V'
+	freezeIter []int32 // iteration at which v froze; -1 while active
+	cover      []bool  // frozen ∪ removed
+
+	pow []float64 // pow[t] = (1-eps)^(-t), grown on demand
+}
+
+func newSimState(g *graph.Graph, eps float64) *simState {
+	n := g.NumVertices()
+	st := &simState{
+		g:          g,
+		eps:        eps,
+		w0:         (1 - 2*eps) / math.Max(float64(n), 1),
+		inV:        make([]bool, n),
+		freezeIter: make([]int32, n),
+		cover:      make([]bool, n),
+		pow:        []float64{1},
+	}
+	for i := range st.inV {
+		st.inV[i] = true
+		st.freezeIter[i] = -1
+	}
+	return st
+}
+
+// wAt returns the weight of an edge frozen at iteration t (or active at
+// current iteration t): w0/(1-eps)^t.
+func (st *simState) wAt(t int) float64 {
+	for len(st.pow) <= t {
+		st.pow = append(st.pow, st.pow[len(st.pow)-1]/(1-st.eps))
+	}
+	return st.w0 * st.pow[t]
+}
+
+// edgeWeightAt returns the current weight of edge {u,v} (both in V'),
+// using the last iteration both endpoints were active, capped at now.
+func (st *simState) edgeWeightAt(u, v int32, now int) float64 {
+	tu, tv := st.freezeIter[u], st.freezeIter[v]
+	te := now
+	if tu >= 0 && int(tu) < te {
+		te = int(tu)
+	}
+	if tv >= 0 && int(tv) < te {
+		te = int(tv)
+	}
+	return st.wAt(te)
+}
+
+// frozen reports whether v froze already.
+func (st *simState) frozen(v int32) bool { return st.freezeIter[v] >= 0 }
+
+// runPhase executes one while-loop phase: partition, local simulation of
+// I iterations, end-of-phase weight reconciliation, heavy removal and
+// late freezing (Lines (a)-(j) of the pseudocode).
+func (st *simState) runPhase(
+	cluster *mpc.Cluster,
+	oracle rng.ThresholdOracle,
+	partSrc *rng.Source,
+	m, iters int,
+	probe *DeviationProbe,
+) (PhaseStat, error) {
+	g := st.g
+	n := int32(g.NumVertices())
+	stat := PhaseStat{Machines: m, Iterations: iters}
+
+	// Line (b): y_old — weight of already-frozen edges at each active
+	// vertex. Line (d): partition active vertices onto m machines.
+	yold := make([]float64, n)
+	part := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		part[v] = -1
+		if st.inV[v] && !st.frozen(v) {
+			part[v] = int32(partSrc.Intn(m))
+		}
+	}
+	localDeg := make([]int32, n)
+	inducedWords := make([]int64, m)
+	globalDeg := make([]int32, n) // for the probe's exact process
+	for v := int32(0); v < n; v++ {
+		if !st.inV[v] {
+			continue
+		}
+		if st.frozen(v) {
+			continue
+		}
+		inducedWords[part[v]]++
+		for _, u := range g.Neighbors(v) {
+			if !st.inV[u] {
+				continue
+			}
+			if st.frozen(u) {
+				yold[v] += st.wAt(int(st.freezeIter[u]))
+				continue
+			}
+			globalDeg[v]++
+			if part[u] == part[v] {
+				localDeg[v]++
+				if v < u {
+					inducedWords[part[v]] += 2
+				}
+			}
+		}
+	}
+	for _, w := range inducedWords {
+		if w > stat.MaxInducedWords {
+			stat.MaxInducedWords = w
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		if int(globalDeg[v]) > stat.MaxActiveDegree {
+			stat.MaxActiveDegree = int(globalDeg[v])
+		}
+	}
+
+	// Charge the shuffle round: edges travel from their hash-home to the
+	// owner machine of their partition class; the inbox of machine i is
+	// exactly its induced subgraph (the Lemma 4.7 audit).
+	if err := chargeShuffle(cluster, m, inducedWords); err != nil {
+		return stat, err
+	}
+
+	// Probe state: hypothetical Central-Rand restarted from the current
+	// global state, per Section 4.4's coupling. hypoFreeze records the
+	// iteration at which the hypothetical process froze each vertex
+	// (-1 while active), so the Definition 4.12 weight difference is
+	// computable at phase end.
+	var hypoFreeze []int32
+	if probe != nil {
+		hypoFreeze = make([]int32, n)
+		for i := range hypoFreeze {
+			hypoFreeze[i] = -1
+		}
+		probe.PhaseMaxDev = append(probe.PhaseMaxDev, 0)
+		probe.PhaseBad = append(probe.PhaseBad, 0)
+		probe.PhaseMaxDiff = append(probe.PhaseMaxDiff, 0)
+	}
+
+	// Line (e): simulate I iterations on every machine in parallel. All
+	// active edges carry weight w_t, so the local estimate reduces to
+	// ỹ_{v,t} = m·w_t·localDeg(v) + y_old(v).
+	frozenBefore := countFrozen(st)
+	toFreeze := make([]int32, 0, 64)
+	hypoToFreeze := make([]int32, 0, 64)
+	for k := 0; k < iters; k++ {
+		wt := st.wAt(st.t)
+		toFreeze = toFreeze[:0]
+		hypoToFreeze = hypoToFreeze[:0]
+		for v := int32(0); v < n; v++ {
+			if !st.inV[v] || st.frozen(v) {
+				continue
+			}
+			yTilde := float64(m)*wt*float64(localDeg[v]) + yold[v]
+			th := oracle.At(v, st.t)
+			if yTilde >= th {
+				toFreeze = append(toFreeze, v)
+			}
+			if probe != nil && hypoFreeze[v] < 0 {
+				yExact := wt*float64(globalDeg[v]) + yold[v]
+				probe.Compared++
+				dev := math.Abs(yExact - yTilde)
+				if dev > probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] {
+					probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] = dev
+				}
+				if yExact >= th {
+					hypoToFreeze = append(hypoToFreeze, v)
+				}
+				if (yExact >= th) != (yTilde >= th) {
+					probe.PhaseBad[len(probe.PhaseBad)-1]++
+				}
+			}
+		}
+		for _, v := range toFreeze {
+			st.freezeIter[v] = int32(st.t)
+			st.cover[v] = true
+		}
+		for _, v := range toFreeze {
+			for _, u := range g.Neighbors(v) {
+				if st.inV[u] && part[u] == part[v] && localDeg[u] > 0 {
+					localDeg[u]--
+				}
+			}
+		}
+		if probe != nil {
+			for _, v := range hypoToFreeze {
+				hypoFreeze[v] = int32(st.t)
+			}
+			for _, v := range hypoToFreeze {
+				for _, u := range g.Neighbors(v) {
+					if st.inV[u] && hypoFreeze[u] < 0 && globalDeg[u] > 0 {
+						globalDeg[u]--
+					}
+				}
+			}
+		}
+		st.t++
+	}
+
+	// Definition 4.12: diff(v) = Σ_{e∋v} |x_e - x^MPC_e| over the edges
+	// that were active at phase start, comparing the freeze schedules of
+	// the two coupled processes.
+	if probe != nil {
+		diff := make([]float64, n)
+		capIter := func(f int32) int {
+			if f >= 0 && int(f) < st.t {
+				return int(f)
+			}
+			return st.t
+		}
+		for v := int32(0); v < n; v++ {
+			if part[v] < 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if u <= v || part[u] < 0 {
+					continue
+				}
+				simTe := capIter(st.freezeIter[v])
+				if s2 := capIter(st.freezeIter[u]); s2 < simTe {
+					simTe = s2
+				}
+				hypTe := capIter(hypoFreeze[v])
+				if h2 := capIter(hypoFreeze[u]); h2 < hypTe {
+					hypTe = h2
+				}
+				d := math.Abs(st.wAt(simTe) - st.wAt(hypTe))
+				diff[v] += d
+				diff[u] += d
+			}
+		}
+		idx := len(probe.PhaseMaxDiff) - 1
+		for v := int32(0); v < n; v++ {
+			if diff[v] > probe.PhaseMaxDiff[idx] {
+				probe.PhaseMaxDiff[idx] = diff[v]
+			}
+		}
+	}
+
+	// Charge the result exchange: frozen (v, iteration) pairs are
+	// gathered and redistributed (1 gather + broadcast).
+	frozenNow := countFrozen(st)
+	frozenWords := int64(2 * (frozenNow - frozenBefore))
+	if err := chargeResultSync(cluster, m, frozenWords); err != nil {
+		return stat, err
+	}
+
+	// Lines (g)-(h): reconcile edge weights from freeze iterations and
+	// compute y^MPC over G[V'].
+	y := st.computeY()
+	// Line (i): remove heavy vertices (y > 1) from V'; they join the
+	// reported cover.
+	const heavyTol = 1e-12
+	for v := int32(0); v < n; v++ {
+		if st.inV[v] && y[v] > 1+heavyTol {
+			st.inV[v] = false
+			st.cover[v] = true
+			stat.RemovedHeavy++
+		}
+	}
+	// Line (j): freeze vertices with y > 1-2ε.
+	for v := int32(0); v < n; v++ {
+		if st.inV[v] && !st.frozen(v) && y[v] > 1-2*st.eps {
+			st.freezeIter[v] = int32(st.t)
+			st.cover[v] = true
+		}
+	}
+	stat.Frozen = countFrozen(st) - frozenBefore
+	return stat, nil
+}
+
+// runDirect executes Central-Rand directly from the current state until
+// no active edge remains, one MPC round per iteration. Returns the number
+// of iterations.
+func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) (int, error) {
+	g := st.g
+	n := int32(g.NumVertices())
+	// Initialize exact incremental state.
+	yFrozen := make([]float64, n)
+	activeDeg := make([]int32, n)
+	activeEdges := 0
+	for v := int32(0); v < n; v++ {
+		if !st.inV[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !st.inV[u] || u <= v {
+				continue
+			}
+			if st.frozen(v) || st.frozen(u) {
+				w := st.edgeWeightAt(v, u, st.t)
+				yFrozen[v] += w
+				yFrozen[u] += w
+			} else {
+				activeDeg[v]++
+				activeDeg[u]++
+				activeEdges++
+			}
+		}
+	}
+	maxIter := maxCentralIterations(int(n), st.eps) + st.t
+	iters := 0
+	toFreeze := make([]int32, 0, 64)
+	for activeEdges > 0 && st.t < maxIter {
+		if err := chargeDirectRound(cluster, int64(activeEdges)); err != nil {
+			return iters, fmt.Errorf("direct iteration %d: %w", iters, err)
+		}
+		wt := st.wAt(st.t)
+		toFreeze = toFreeze[:0]
+		for v := int32(0); v < n; v++ {
+			if !st.inV[v] || st.frozen(v) {
+				continue
+			}
+			y := wt*float64(activeDeg[v]) + yFrozen[v]
+			if y >= oracle.At(v, st.t) {
+				toFreeze = append(toFreeze, v)
+			}
+		}
+		for _, v := range toFreeze {
+			st.freezeIter[v] = int32(st.t)
+			st.cover[v] = true
+		}
+		// Deactivate edges whose first endpoint froze this iteration.
+		for _, v := range toFreeze {
+			for _, u := range g.Neighbors(v) {
+				if !st.inV[u] {
+					continue
+				}
+				// The edge {v,u} was active before this iteration iff u
+				// was unfrozen or froze this very iteration after v —
+				// guard with activeDeg bookkeeping: it was active iff
+				// u's freezeIter is -1 or == t, and the edge not yet
+				// deactivated. Using freezeIter == t for both endpoints
+				// would double-deactivate; let the smaller id act.
+				uf := st.freezeIter[u]
+				if uf >= 0 && int(uf) < st.t {
+					continue // already frozen earlier; edge was frozen
+				}
+				if uf == int32(st.t) && u < v {
+					continue // peer freeze, edge handled by u's loop
+				}
+				w := wt
+				yFrozen[v] += w
+				yFrozen[u] += w
+				activeDeg[v]--
+				activeDeg[u]--
+				activeEdges--
+			}
+		}
+		st.t++
+		iters++
+	}
+	// Defensive: if the cap fired, freeze remaining active endpoints so
+	// the cover property holds (cannot happen for sane ε; tested).
+	if activeEdges > 0 {
+		for v := int32(0); v < n; v++ {
+			if st.inV[v] && !st.frozen(v) && activeDeg[v] > 0 {
+				st.freezeIter[v] = int32(st.t)
+				st.cover[v] = true
+			}
+		}
+	}
+	return iters, nil
+}
+
+// computeY returns y^MPC over G[V'] at the current iteration.
+func (st *simState) computeY() []float64 {
+	g := st.g
+	n := int32(g.NumVertices())
+	y := make([]float64, n)
+	for v := int32(0); v < n; v++ {
+		if !st.inV[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if u > v && st.inV[u] {
+				w := st.edgeWeightAt(v, u, st.t)
+				y[v] += w
+				y[u] += w
+			}
+		}
+	}
+	return y
+}
+
+// finalize assembles the fractional matching output: edges inside the
+// final V' carry their reconciled weights; edges touching removed
+// vertices carry zero (they are covered by the removed endpoints).
+func (st *simState) finalize() *FracResult {
+	g := st.g
+	ix := graph.NewEdgeIndex(g)
+	res := &FracResult{
+		Ix:         ix,
+		X:          make([]float64, ix.NumEdges()),
+		Y:          make([]float64, g.NumVertices()),
+		Cover:      st.cover,
+		Iterations: st.t,
+	}
+	g.ForEachEdge(func(u, v int32) {
+		if !st.inV[u] || !st.inV[v] {
+			return
+		}
+		w := st.edgeWeightAt(u, v, st.t)
+		res.X[ix.ID(u, v)] = w
+		res.Y[u] += w
+		res.Y[v] += w
+	})
+	return res
+}
+
+func countFrozen(st *simState) int {
+	c := 0
+	for v := range st.freezeIter {
+		if st.freezeIter[v] >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// chargeShuffle meters the phase-start repartitioning: machine i's inbox
+// is its induced subgraph, delivered from the edges' previous homes.
+func chargeShuffle(cluster *mpc.Cluster, m int, inducedWords []int64) error {
+	total := cluster.Machines()
+	out := make([][]mpc.Message, total)
+	// Model the senders as the m previous holders contributing equal
+	// shares; the audited quantity is the receiving machine's load.
+	for j := 0; j < m; j++ {
+		w := inducedWords[j]
+		if w == 0 {
+			continue
+		}
+		share := w / int64(m)
+		rem := w % int64(m)
+		for i := 0; i < m; i++ {
+			words := share
+			if int64(i) < rem {
+				words++
+			}
+			if words > 0 {
+				out[i] = append(out[i], mpc.Message{To: j, Words: words})
+			}
+		}
+	}
+	_, err := cluster.Exchange(out)
+	return err
+}
+
+// chargeResultSync meters the end-of-phase freeze synchronization: a
+// gather of the frozen list followed by a broadcast.
+func chargeResultSync(cluster *mpc.Cluster, m int, frozenWords int64) error {
+	parts := make([]mpc.Message, cluster.Machines())
+	share := frozenWords / int64(m)
+	rem := frozenWords % int64(m)
+	for i := 0; i < m; i++ {
+		w := share
+		if int64(i) < rem {
+			w++
+		}
+		parts[i] = mpc.Message{Words: w}
+	}
+	if _, err := cluster.GatherTo(0, parts); err != nil {
+		return err
+	}
+	_, err := cluster.BroadcastFrom(0, frozenWords, nil)
+	return err
+}
+
+// chargeDirectRound meters one direct Central-Rand iteration: every
+// active edge carries one word each way between the machines hosting its
+// endpoints (vertices distributed round-robin).
+func chargeDirectRound(cluster *mpc.Cluster, activeEdges int64) error {
+	m := cluster.Machines()
+	out := make([][]mpc.Message, m)
+	// Aggregate volume model: 2·activeEdges words spread evenly across
+	// machine pairs.
+	words := 2 * activeEdges
+	per := words / int64(m)
+	rem := words % int64(m)
+	for i := 0; i < m; i++ {
+		w := per
+		if int64(i) < rem {
+			w++
+		}
+		if w > 0 {
+			out[i] = append(out[i], mpc.Message{To: (i + 1) % m, Words: w})
+		}
+	}
+	_, err := cluster.Exchange(out)
+	return err
+}

@@ -1,0 +1,162 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// PipelineOptions configures the Theorem 1.2 integral pipeline.
+type PipelineOptions struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Eps is the target approximation slack: the matching is (2+eps)-
+	// approximate. Clamped as in SimOptions.
+	Eps float64
+	// MemoryFactor is passed through to the fractional simulation.
+	MemoryFactor float64
+	// Strict passes through to the fractional simulation.
+	Strict bool
+	// MaxInvocations caps the executions of algorithm A (fractional +
+	// rounding). Zero means the default min(log_{150/149}(1/ε), 24)
+	// combined with the early exit on two consecutive empty rounds;
+	// at feasible scale progress stops long before the paper's
+	// worst-case count.
+	MaxInvocations int
+	// SkipFinish disables the final maximal completion (Section 4.4.5
+	// small-matching path). Used by experiments that want to observe the
+	// core pipeline in isolation.
+	SkipFinish bool
+}
+
+// PipelineResult is the output of ApproxMaxMatching.
+type PipelineResult struct {
+	// M is the final matching.
+	M graph.Matching
+	// CoreSize is |M| before the maximal completion (the pure
+	// Lemma 4.2 + Lemma 5.1 loop output).
+	CoreSize int
+	// Invocations counts executions of algorithm A.
+	Invocations int
+	// SimRounds sums the MPC rounds of all fractional simulations.
+	SimRounds int
+	// FinishRounds is the rounds charged to the completion step.
+	FinishRounds int
+}
+
+// Rounds returns the total MPC round count of the pipeline.
+func (r *PipelineResult) Rounds() int { return r.SimRounds + r.FinishRounds }
+
+// ApproxMaxMatching computes a (2+eps)-approximate integral maximum
+// matching per Theorem 1.2: repeatedly run MPC-Simulation with a reduced
+// slack, round the fractional matching (Lemma 5.1) over the heavy cover
+// vertices, remove matched vertices, and finally complete the residue
+// exactly as in Section 4.4.5 (the residual instance is handled by the
+// small-matching path, making the output maximal and the 2+ε bound
+// unconditional).
+//
+// Calibration: the paper's proof invokes the simulation at ε/50, a
+// worst-case constant that multiplies the direct-stage round count by 50
+// (each Central-Rand iteration costs O(1) rounds and there are
+// Θ(log log n / ε) of them). The pipeline runs at ε/5, and experiment E6
+// verifies the delivered approximation still meets 2+ε; the literal
+// calibration remains available through SimOptions.
+func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, error) {
+	if opts.Eps == 0 {
+		opts.Eps = 0.1
+	}
+	epsPrime := opts.Eps / 5
+	maxInv := opts.MaxInvocations
+	if maxInv == 0 {
+		// The paper's worst case is log_{150/149}(1/ε) invocations; in
+		// practice the rounding yield decays geometrically and the
+		// Section 4.4.5 completion covers the tail, so eight invocations
+		// plus the early exit deliver the measured 2+ε (E6). Callers can
+		// restore the literal count via MaxInvocations.
+		maxInv = int(math.Log(1/opts.Eps)/math.Log(150.0/149.0)) + 1
+		if maxInv > 8 {
+			maxInv = 8
+		}
+	}
+	roundSrc := rng.New(opts.Seed).SplitString("rounding")
+
+	n := g.NumVertices()
+	res := &PipelineResult{M: graph.NewMatching(n)}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	emptyStreak := 0
+	for inv := 0; inv < maxInv; inv++ {
+		sub := g.Subgraph(active)
+		if sub.NumEdges() == 0 {
+			break
+		}
+		sim, err := Simulate(sub, SimOptions{
+			Seed:         rng.Hash(opts.Seed, uint64(inv)),
+			Eps:          epsPrime,
+			MemoryFactor: opts.MemoryFactor,
+			Strict:       opts.Strict,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("invocation %d: %w", inv, err)
+		}
+		res.Invocations++
+		res.SimRounds += sim.Rounds
+		candidate := CandidateSet(sim.Frac, 5*epsPrime)
+		mNew := RoundFractional(sub, sim.Frac, candidate, roundSrc)
+		added := 0
+		for _, e := range mNew.Edges() {
+			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
+				res.M.Match(e[0], e[1])
+				active[e[0]], active[e[1]] = false, false
+				added++
+			}
+		}
+		if added == 0 {
+			emptyStreak++
+			if emptyStreak >= 2 {
+				break
+			}
+		} else {
+			emptyStreak = 0
+		}
+	}
+	res.CoreSize = res.M.Size()
+
+	if !opts.SkipFinish {
+		// Section 4.4.5: the residual instance has a small maximum
+		// matching, handled by the filtering small-matching path; we
+		// complete greedily, charging the filtering round count.
+		sub := g.Subgraph(active)
+		if sub.NumEdges() > 0 {
+			fr := FilteringMaximalMatching(sub, int64(16*n), rng.New(opts.Seed).SplitString("finish"))
+			for _, e := range fr.M.Edges() {
+				if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
+					res.M.Match(e[0], e[1])
+				}
+			}
+			res.FinishRounds += fr.Rounds
+		}
+	}
+	return res, nil
+}
+
+// ApproxMinVertexCover computes a (2+eps)-approximate minimum vertex
+// cover: one run of the fractional simulation returns the frozen/removed
+// set, which Lemma 4.2 certifies. The same ε/5 calibration as
+// ApproxMaxMatching applies (the paper's worst-case bound uses ε/50);
+// experiment E6 validates the delivered ratio.
+func ApproxMinVertexCover(g *graph.Graph, opts PipelineOptions) (*SimResult, error) {
+	if opts.Eps == 0 {
+		opts.Eps = 0.1
+	}
+	return Simulate(g, SimOptions{
+		Seed:         opts.Seed,
+		Eps:          opts.Eps / 5,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+}

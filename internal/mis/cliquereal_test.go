@@ -1,0 +1,122 @@
+package mis
+
+import (
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+func TestRealMessageCliqueMISValid(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"gnp":      graph.GNP(300, 0.05, rng.New(1)),
+		"ring":     graph.Ring(200),
+		"star":     graph.Star(150),
+		"complete": graph.Complete(40),
+		"empty":    graph.Empty(30),
+		"powerlaw": graph.PreferentialAttachment(250, 3, rng.New(2)),
+	}
+	for name, g := range families {
+		t.Run(name, func(t *testing.T) {
+			res, err := RealMessageCliqueMIS(g, Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+				t.Error("real-message clique MIS invalid")
+			}
+		})
+	}
+}
+
+// TestRealMessageMatchesChargedSimulation is the conformance theorem of
+// the whole accounting design: the scalable charge-based clique
+// simulation and the fully materialized message-passing execution are
+// the same algorithm, so with equal seeds they must produce identical
+// independent sets and identical prefix phase structures.
+func TestRealMessageMatchesChargedSimulation(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := graph.GNP(400, 0.04, rng.New(seed+30))
+		real, err := RealMessageCliqueMIS(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		charged, err := RandGreedyCongestedClique(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if real.Phases != charged.Phases {
+			t.Fatalf("seed %d: phases differ: real %d vs charged %d", seed, real.Phases, charged.Phases)
+		}
+		if real.SparsifiedIterations != charged.SparsifiedIterations {
+			t.Fatalf("seed %d: sparsified iterations differ: %d vs %d",
+				seed, real.SparsifiedIterations, charged.SparsifiedIterations)
+		}
+		for i := range real.PhaseInfos {
+			rp, cp := real.PhaseInfos[i], charged.PhaseInfos[i]
+			if rp.Rank != cp.Rank || rp.NewMISVertices != cp.NewMISVertices ||
+				rp.GatheredVertices != cp.GatheredVertices ||
+				rp.GatheredEdgeWords != cp.GatheredEdgeWords {
+				t.Fatalf("seed %d phase %d differs: real %+v vs charged %+v", seed, i, rp, cp)
+			}
+		}
+		for v := range real.InMIS {
+			if real.InMIS[v] != charged.InMIS[v] {
+				t.Fatalf("seed %d: MIS membership differs at vertex %d", seed, v)
+			}
+		}
+	}
+}
+
+func TestRealMessageBudgetCompliance(t *testing.T) {
+	g := graph.GNP(500, 0.03, rng.New(9))
+	res, err := RealMessageCliqueMIS(g, Options{Seed: 11, Strict: true})
+	if err != nil {
+		t.Fatalf("strict real-message run failed: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+}
+
+func TestRealMessageDeterministic(t *testing.T) {
+	g := graph.GNP(250, 0.05, rng.New(13))
+	a, err := RealMessageCliqueMIS(g, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RealMessageCliqueMIS(g, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Error("round counts differ across identical runs")
+	}
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatal("MIS differs across identical runs")
+		}
+	}
+}
+
+func TestRealMessageDenseRegime(t *testing.T) {
+	// Dense graph: prefix phases carry real weight; all constraints and
+	// equivalences must still hold.
+	g := graph.GNP(200, 0.3, rng.New(15))
+	real, err := RealMessageCliqueMIS(g, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charged, err := RandGreedyCongestedClique(g, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalIndependentSet(g, real.InMIS) {
+		t.Fatal("invalid MIS")
+	}
+	for v := range real.InMIS {
+		if real.InMIS[v] != charged.InMIS[v] {
+			t.Fatalf("dense regime: MIS differs at %d", v)
+		}
+	}
+}

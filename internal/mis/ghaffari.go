@@ -1,0 +1,173 @@
+package mis
+
+import (
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// dynamics is Ghaffari's local MIS process [Gha16], the engine inside the
+// "Sparsified MIS Algorithm of [Gha17]" that the paper invokes as a black
+// box (Theorem 2.1). Every undecided vertex v keeps a desire level p_v,
+// initially 1/2. Per iteration:
+//
+//   - v marks itself with probability p_v (coins come from a stateless
+//     oracle so all simulation layers observe identical randomness);
+//   - a marked vertex with no marked undecided neighbor joins the MIS and
+//     its neighborhood becomes decided;
+//   - with effective degree d_v = Σ_{undecided u ~ v} p_u, the desire
+//     level updates to p_v/2 when d_v ≥ 2 and min(2 p_v, 1/2) otherwise.
+//
+// On poly-logarithmic-degree graphs the process shatters the instance
+// within O(log Δ) iterations w.h.p.; [Gha17] compresses those iterations
+// into O(log log Δ) CONGESTED-CLIQUE rounds via neighborhood doubling.
+// The simulations here execute the iterations directly (each one model
+// round) and gather the shattered residue to a leader; see DESIGN.md for
+// why the direct count upper-bounds the paper's at simulation scale.
+type dynamics struct {
+	g      *graph.Graph
+	seed   uint64
+	alive  []bool // undecided vertices
+	p      []float64
+	inMIS  []bool
+	marked []bool
+	undec  int // number of undecided vertices
+}
+
+// newDynamics starts the process on the alive-induced subgraph of g.
+// inMIS is shared with the caller and accumulates MIS additions; alive is
+// owned by the dynamics afterwards.
+func newDynamics(g *graph.Graph, alive []bool, inMIS []bool, seed uint64) *dynamics {
+	n := g.NumVertices()
+	d := &dynamics{
+		g:      g,
+		seed:   seed,
+		alive:  alive,
+		p:      make([]float64, n),
+		inMIS:  inMIS,
+		marked: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			d.p[v] = 0.5
+			d.undec++
+		}
+	}
+	return d
+}
+
+// coin returns the marking coin for vertex v at iteration t, a pure
+// function of (seed, v, t).
+func (d *dynamics) coin(v int32, t int) float64 {
+	return float64(rng.Hash(d.seed, 0xd1a0, uint64(uint32(v)), uint64(t))>>11) / (1 << 53)
+}
+
+// step executes one iteration and returns the number of vertices decided.
+func (d *dynamics) step(t int) int {
+	g := d.g
+	n := int32(g.NumVertices())
+	// Mark.
+	for v := int32(0); v < n; v++ {
+		d.marked[v] = d.alive[v] && d.coin(v, t) < d.p[v]
+	}
+	// Effective degrees from the pre-step state (used for the p update).
+	effDeg := make([]float64, n)
+	for v := int32(0); v < n; v++ {
+		if !d.alive[v] {
+			continue
+		}
+		s := 0.0
+		for _, u := range g.Neighbors(v) {
+			if d.alive[u] {
+				s += d.p[u]
+			}
+		}
+		effDeg[v] = s
+	}
+	// Lonely marked vertices join the MIS.
+	decided := 0
+	join := make([]int32, 0, 16)
+	for v := int32(0); v < n; v++ {
+		if !d.marked[v] || !d.alive[v] {
+			continue
+		}
+		lonely := true
+		for _, u := range g.Neighbors(v) {
+			if d.alive[u] && d.marked[u] {
+				lonely = false
+				break
+			}
+		}
+		if lonely {
+			join = append(join, v)
+		}
+	}
+	for _, v := range join {
+		if !d.alive[v] {
+			continue // dominated by an earlier joiner this iteration
+		}
+		// Two joiners are never adjacent (both marked), so v is safe.
+		d.inMIS[v] = true
+		d.alive[v] = false
+		decided++
+		for _, u := range g.Neighbors(v) {
+			if d.alive[u] {
+				d.alive[u] = false
+				decided++
+			}
+		}
+	}
+	// Desire-level update for survivors.
+	for v := int32(0); v < n; v++ {
+		if !d.alive[v] {
+			continue
+		}
+		if effDeg[v] >= 2 {
+			d.p[v] /= 2
+		} else if d.p[v] < 0.5 {
+			d.p[v] *= 2
+			if d.p[v] > 0.5 {
+				d.p[v] = 0.5
+			}
+		}
+	}
+	d.undec -= decided
+	return decided
+}
+
+// undecided returns the number of still-undecided vertices.
+func (d *dynamics) undecided() int { return d.undec }
+
+// residualEdgeWords returns 2·|E(residual)| — the gather cost of shipping
+// the undecided graph to one machine — plus the undecided vertex count.
+func (d *dynamics) residualEdgeWords() int64 {
+	var words int64
+	for v := int32(0); v < int32(d.g.NumVertices()); v++ {
+		if !d.alive[v] {
+			continue
+		}
+		words++
+		for _, u := range d.g.Neighbors(v) {
+			if d.alive[u] && u > v {
+				words += 2
+			}
+		}
+	}
+	return words
+}
+
+// finishGreedy completes the MIS on the undecided residue sequentially in
+// permutation order — the "deliver the remaining graph on a single
+// machine and find its MIS" final step of the paper's algorithm.
+func (d *dynamics) finishGreedy(perm []int32) {
+	for _, v := range perm {
+		if !d.alive[v] {
+			continue
+		}
+		d.inMIS[v] = true
+		d.alive[v] = false
+		for _, u := range d.g.Neighbors(v) {
+			d.alive[u] = false
+		}
+	}
+	d.undec = 0
+}

@@ -1,0 +1,169 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// TestDynamicsDesireLevelBounds: Ghaffari's process keeps every desire
+// level in (0, 1/2] — halved under pressure, doubled back up to the cap.
+func TestDynamicsDesireLevelBounds(t *testing.T) {
+	g := graph.GNP(200, 0.05, rng.New(1))
+	alive := make([]bool, 200)
+	for i := range alive {
+		alive[i] = true
+	}
+	d := newDynamics(g, alive, make([]bool, 200), 2)
+	for iter := 0; iter < 60 && d.undecided() > 0; iter++ {
+		d.step(iter)
+		for v := 0; v < 200; v++ {
+			if !d.alive[v] {
+				continue
+			}
+			if d.p[v] <= 0 || d.p[v] > 0.5 {
+				t.Fatalf("iteration %d: p[%d] = %v out of (0, 1/2]", iter, v, d.p[v])
+			}
+		}
+	}
+}
+
+// TestDynamicsUndecidedMonotone: the undecided count never increases and
+// step's return value accounts for it exactly.
+func TestDynamicsUndecidedMonotone(t *testing.T) {
+	g := graph.GNP(300, 0.04, rng.New(3))
+	alive := make([]bool, 300)
+	for i := range alive {
+		alive[i] = true
+	}
+	d := newDynamics(g, alive, make([]bool, 300), 4)
+	prev := d.undecided()
+	for iter := 0; iter < 100 && d.undecided() > 0; iter++ {
+		decided := d.step(iter)
+		now := d.undecided()
+		if now > prev {
+			t.Fatalf("undecided grew: %d -> %d", prev, now)
+		}
+		if prev-now != decided {
+			t.Fatalf("step reported %d decided but count moved %d -> %d", decided, prev, now)
+		}
+		prev = now
+	}
+}
+
+// TestDynamicsIndependenceInvariant: at every step the accumulated MIS
+// is independent and no undecided vertex neighbors an MIS vertex.
+func TestDynamicsIndependenceInvariant(t *testing.T) {
+	g := graph.GNP(250, 0.05, rng.New(5))
+	alive := make([]bool, 250)
+	for i := range alive {
+		alive[i] = true
+	}
+	inMIS := make([]bool, 250)
+	d := newDynamics(g, alive, inMIS, 6)
+	for iter := 0; iter < 80 && d.undecided() > 0; iter++ {
+		d.step(iter)
+		if !graph.IsIndependentSet(g, inMIS) {
+			t.Fatalf("iteration %d: MIS not independent", iter)
+		}
+		for v := int32(0); v < 250; v++ {
+			if !d.alive[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if inMIS[u] {
+					t.Fatalf("iteration %d: undecided vertex %d neighbors MIS vertex %d", iter, v, u)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicsDeterministicAcrossRestarts: the oracle-driven coins make
+// the whole process a pure function of (graph, seed).
+func TestDynamicsDeterministicAcrossRestarts(t *testing.T) {
+	g := graph.GNP(150, 0.06, rng.New(7))
+	run := func() []bool {
+		alive := make([]bool, 150)
+		for i := range alive {
+			alive[i] = true
+		}
+		inMIS := make([]bool, 150)
+		d := newDynamics(g, alive, inMIS, 99)
+		for iter := 0; iter < 100 && d.undecided() > 0; iter++ {
+			d.step(iter)
+		}
+		return inMIS
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("dynamics diverged at vertex %d", v)
+		}
+	}
+}
+
+// TestResidualEdgeWordsConsistent: the gather-cost estimate must equal
+// the hand-counted residual size.
+func TestResidualEdgeWordsConsistent(t *testing.T) {
+	g := graph.GNP(100, 0.1, rng.New(8))
+	alive := make([]bool, 100)
+	for i := 0; i < 100; i += 2 {
+		alive[i] = true
+	}
+	d := newDynamics(g, alive, make([]bool, 100), 9)
+	var want int64
+	for v := int32(0); v < 100; v++ {
+		if !d.alive[v] {
+			continue
+		}
+		want++
+		for _, u := range g.Neighbors(v) {
+			if d.alive[u] && u > v {
+				want += 2
+			}
+		}
+	}
+	if got := d.residualEdgeWords(); got != want {
+		t.Errorf("residualEdgeWords = %d, want %d", got, want)
+	}
+}
+
+// TestMISMatchesSequentialOnPrefixOnlyInstances: when the polylog cutoff
+// is forced to 1, prefix phases cover every rank, so the MPC result must
+// equal plain sequential randomized greedy with the same permutation.
+func TestMISMatchesSequentialOnPrefixOnlyInstances(t *testing.T) {
+	g := graph.GNP(600, 0.05, rng.New(10))
+	opts := Options{
+		Seed:          42,
+		PolylogDegree: func(int) int { return 1 },
+	}
+	res, err := RandGreedyMPC(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.New(42).SplitString("mis-perm").Perm(600)
+	want := SequentialRandGreedy(g, perm)
+	for v := range want {
+		if want[v] != res.InMIS[v] {
+			t.Fatalf("prefix-only simulation differs from sequential greedy at %d", v)
+		}
+	}
+}
+
+// TestCliqueMISPropertyRandom: property-based validity across seeds.
+func TestCliqueMISPropertyRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := graph.GNP(150, 0.06, rng.New(seed))
+		res, err := RandGreedyCongestedClique(g, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return graph.IsMaximalIndependentSet(g, res.InMIS)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,367 @@
+package mis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+func TestSequentialRandGreedyValid(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		g := graph.GNP(90, 0.07, src)
+		mis := SequentialRandGreedy(g, src.Perm(90))
+		return graph.IsMaximalIndependentSet(g, mis)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixRanksShape(t *testing.T) {
+	ranks := prefixRanks(1<<16, 1024, 16, 0.75)
+	if len(ranks) == 0 {
+		t.Fatal("no ranks for a large instance")
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] <= ranks[i-1] {
+			t.Fatalf("ranks not increasing: %v", ranks)
+		}
+	}
+	if last := ranks[len(ranks)-1]; last != (1<<16)/16 {
+		t.Errorf("last rank = %d, want n/D = %d", last, (1<<16)/16)
+	}
+	// Growth is doubly exponential, so the count is O(log log Δ).
+	if len(ranks) > 12 {
+		t.Errorf("too many phases: %d (%v)", len(ranks), ranks)
+	}
+}
+
+func TestPrefixRanksDegenerate(t *testing.T) {
+	if r := prefixRanks(100, 4, 8, 0.75); r != nil {
+		t.Errorf("low-degree graph got ranks %v", r)
+	}
+	if r := prefixRanks(0, 10, 8, 0.75); r != nil {
+		t.Errorf("empty graph got ranks %v", r)
+	}
+	if r := prefixRanks(10, 100, 20, 0.75); r != nil {
+		t.Errorf("n/D < 1 got ranks %v", r)
+	}
+}
+
+func TestRandGreedyMPCValidAcrossFamilies(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"gnp-sparse":  graph.GNP(800, 0.005, rng.New(1)),
+		"gnp-dense":   graph.GNP(300, 0.2, rng.New(2)),
+		"ring":        graph.Ring(500),
+		"star":        graph.Star(400),
+		"complete":    graph.Complete(60),
+		"empty":       graph.Empty(100),
+		"grid":        graph.Grid(20, 25),
+		"powerlaw":    graph.PreferentialAttachment(600, 3, rng.New(3)),
+		"single-edge": graph.Path(2),
+	}
+	for name, g := range families {
+		t.Run(name, func(t *testing.T) {
+			res, err := RandGreedyMPC(g, Options{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+				t.Error("output is not a maximal independent set")
+			}
+		})
+	}
+}
+
+func TestRandGreedyMPCDeterministic(t *testing.T) {
+	g := graph.GNP(400, 0.05, rng.New(9))
+	a, err := RandGreedyMPC(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandGreedyMPC(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatalf("same seed diverged at vertex %d", v)
+		}
+	}
+	if a.Rounds != b.Rounds || a.Phases != b.Phases {
+		t.Error("same seed produced different metrics")
+	}
+}
+
+func TestRandGreedyMPCSeedsDiffer(t *testing.T) {
+	g := graph.GNP(400, 0.05, rng.New(9))
+	a, _ := RandGreedyMPC(g, Options{Seed: 1})
+	b, _ := RandGreedyMPC(g, Options{Seed: 2})
+	same := true
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical MIS (suspicious)")
+	}
+}
+
+func TestRandGreedyMPCStrictMemory(t *testing.T) {
+	// With the default memory factor, a random graph must fit the audit.
+	g := graph.GNP(2000, 0.02, rng.New(11))
+	res, err := RandGreedyMPC(g, Options{Seed: 3, Strict: true})
+	if err != nil {
+		t.Fatalf("strict mode failed: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+		t.Error("invalid MIS")
+	}
+}
+
+func TestRandGreedyMPCTightMemoryFails(t *testing.T) {
+	// Failure injection: with machine memory set far below what any phase
+	// gather needs, the strict audit must fire.
+	g := graph.GNP(500, 0.1, rng.New(99))
+	_, err := RandGreedyMPC(g, Options{Seed: 3, Strict: true, MemoryFactor: 0.05, Machines: 4})
+	if err == nil {
+		t.Error("expected a capacity error with S = 0.05 n")
+	}
+}
+
+func TestRandGreedyMPCPhaseGrowth(t *testing.T) {
+	// Phases should grow like log log Δ: single digits for any feasible n.
+	for _, n := range []int{1 << 10, 1 << 13} {
+		g := graph.GNP(n, 20.0/float64(n)*math.Sqrt(float64(n)), rng.New(5))
+		res, err := RandGreedyMPC(g, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Phases > 10 {
+			t.Errorf("n=%d: %d phases, want O(log log Δ)", n, res.Phases)
+		}
+		if res.Rounds > 80 {
+			t.Errorf("n=%d: %d rounds", n, res.Rounds)
+		}
+	}
+}
+
+func TestRandGreedyMPCGatherBounded(t *testing.T) {
+	// Lemma 4.7-analogue for MIS (Eq. (1)): each phase gathers O(n) words.
+	n := 1 << 12
+	g := graph.GNP(n, 0.01, rng.New(6))
+	res, err := RandGreedyMPC(g, Options{Seed: 6, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range res.PhaseInfos {
+		if ph.GatheredEdgeWords > int64(16*n) {
+			t.Errorf("phase at rank %d gathered %d words (> 16n)", ph.Rank, ph.GatheredEdgeWords)
+		}
+	}
+}
+
+func TestResidualAfterRankLemma31(t *testing.T) {
+	// Lemma 3.1: after rank r, max residual degree <= 20 n ln n / r w.h.p.
+	n := 4000
+	src := rng.New(13)
+	g := graph.GNP(n, 0.02, src)
+	perm := src.Perm(n)
+	for _, r := range []int{100, 400, 1600} {
+		_, maxDeg := ResidualAfterRank(g, perm, r)
+		bound := 20 * float64(n) * math.Log(float64(n)) / float64(r)
+		if float64(maxDeg) > bound {
+			t.Errorf("r=%d: residual degree %d exceeds Lemma 3.1 bound %.0f", r, maxDeg, bound)
+		}
+	}
+}
+
+func TestResidualAfterRankMonotone(t *testing.T) {
+	n := 1000
+	src := rng.New(14)
+	g := graph.GNP(n, 0.05, src)
+	perm := src.Perm(n)
+	_, d1 := ResidualAfterRank(g, perm, 50)
+	_, d2 := ResidualAfterRank(g, perm, 500)
+	if d2 > d1 {
+		t.Errorf("residual degree grew with rank: %d -> %d", d1, d2)
+	}
+	alive, _ := ResidualAfterRank(g, perm, n)
+	for v, a := range alive {
+		if a {
+			t.Fatalf("vertex %d alive after full processing", v)
+		}
+	}
+}
+
+func TestDynamicsDecidesEverything(t *testing.T) {
+	g := graph.GNP(300, 0.03, rng.New(15))
+	alive := make([]bool, 300)
+	for i := range alive {
+		alive[i] = true
+	}
+	inMIS := make([]bool, 300)
+	d := newDynamics(g, alive, inMIS, 99)
+	for t := 0; t < 200 && d.undecided() > 0; t++ {
+		d.step(t)
+	}
+	if d.undecided() != 0 {
+		t.Fatalf("%d vertices undecided after 200 iterations", d.undecided())
+	}
+	if !graph.IsIndependentSet(g, inMIS) {
+		t.Error("dynamics output not independent")
+	}
+	// Dynamics alone decides (vertex in MIS or dominated); check domination.
+	for v := int32(0); v < 300; v++ {
+		if inMIS[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if inMIS[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("vertex %d neither in MIS nor dominated", v)
+		}
+	}
+}
+
+func TestDynamicsFinishGreedy(t *testing.T) {
+	g := graph.Ring(50)
+	alive := make([]bool, 50)
+	for i := range alive {
+		alive[i] = true
+	}
+	inMIS := make([]bool, 50)
+	d := newDynamics(g, alive, inMIS, 1)
+	perm := rng.New(2).Perm(50)
+	d.finishGreedy(perm)
+	if d.undecided() != 0 {
+		t.Error("finishGreedy left undecided vertices")
+	}
+	if !graph.IsMaximalIndependentSet(g, inMIS) {
+		t.Error("finishGreedy output invalid")
+	}
+}
+
+func TestCliqueMISValid(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"gnp":      graph.GNP(600, 0.02, rng.New(21)),
+		"ring":     graph.Ring(300),
+		"complete": graph.Complete(50),
+		"empty":    graph.Empty(40),
+		"powerlaw": graph.PreferentialAttachment(400, 2, rng.New(22)),
+	}
+	for name, g := range families {
+		t.Run(name, func(t *testing.T) {
+			res, err := RandGreedyCongestedClique(g, Options{Seed: 31})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsMaximalIndependentSet(g, res.InMIS) {
+				t.Error("clique output is not a maximal independent set")
+			}
+		})
+	}
+}
+
+func TestCliqueMISNoViolations(t *testing.T) {
+	g := graph.GNP(1500, 0.01, rng.New(23))
+	res, err := RandGreedyCongestedClique(g, Options{Seed: 33, Strict: true})
+	if err != nil {
+		t.Fatalf("strict clique run failed: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+	if res.Rounds > 120 {
+		t.Errorf("clique rounds = %d, unexpectedly many", res.Rounds)
+	}
+}
+
+func TestCliqueMISDeterministic(t *testing.T) {
+	g := graph.GNP(300, 0.05, rng.New(24))
+	a, _ := RandGreedyCongestedClique(g, Options{Seed: 8})
+	b, _ := RandGreedyCongestedClique(g, Options{Seed: 8})
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Rounds != b.Rounds {
+		t.Error("same seed produced different round counts")
+	}
+}
+
+func TestMPCAndCliqueAgreeOnPrefixStructure(t *testing.T) {
+	// Both simulations share the permutation seed, so the prefix phases —
+	// which are deterministic given the permutation — must agree exactly.
+	// (The residual stages may diverge: the two models switch from
+	// dynamics to the final gather at different residue sizes.)
+	g := graph.GNP(500, 0.04, rng.New(25))
+	a, err := RandGreedyMPC(g, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandGreedyCongestedClique(g, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phases != b.Phases {
+		t.Fatalf("phase counts differ: MPC %d vs clique %d", a.Phases, b.Phases)
+	}
+	for i := range a.PhaseInfos {
+		am, bm := a.PhaseInfos[i], b.PhaseInfos[i]
+		if am.Rank != bm.Rank || am.NewMISVertices != bm.NewMISVertices ||
+			am.GatheredVertices != bm.GatheredVertices {
+			t.Errorf("phase %d differs: MPC %+v vs clique %+v", i, am, bm)
+		}
+	}
+	if !graph.IsMaximalIndependentSet(g, a.InMIS) || !graph.IsMaximalIndependentSet(g, b.InMIS) {
+		t.Error("one of the outputs is invalid")
+	}
+}
+
+func TestDefaultPolylogDegree(t *testing.T) {
+	if d := DefaultPolylogDegree(2); d != 8 {
+		t.Errorf("D(2) = %d, want floor 8", d)
+	}
+	if d := DefaultPolylogDegree(1 << 16); d != 16 {
+		t.Errorf("D(2^16) = %d, want 16", d)
+	}
+	if d := DefaultPolylogDegree(0); d != 8 {
+		t.Errorf("D(0) = %d, want 8", d)
+	}
+}
+
+func BenchmarkRandGreedyMPC(b *testing.B) {
+	g := graph.GNP(1<<13, 0.004, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandGreedyMPC(g, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCliqueMIS(b *testing.B) {
+	g := graph.GNP(1<<12, 0.008, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandGreedyCongestedClique(g, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

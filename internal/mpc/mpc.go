@@ -1,0 +1,263 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// Karloff, Suri and Vassilvitskii [KSV10] as used by the paper: m machines
+// with S words of memory each proceed in synchronous rounds; within a
+// round each machine computes locally, then machines exchange messages,
+// and every machine's sent and received data must fit in its memory.
+//
+// The simulator does not execute machine code; algorithms drive it by
+// submitting, once per round, the messages each machine emits. In return
+// the simulator delivers inboxes, counts rounds, audits per-machine loads
+// against the capacity S, and accumulates communication totals. Round and
+// space claims from the paper therefore become checkable outputs instead
+// of assumptions: an algorithm that overflows a machine fails loudly in
+// strict mode.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+
+	"mpcgraph/internal/rng"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Machines is the number of machines m. Must be positive.
+	Machines int
+	// CapacityWords is the per-machine memory S in machine words.
+	// Zero means unlimited (useful for tests of the algorithms alone).
+	CapacityWords int64
+	// Strict makes capacity violations fail the offending operation.
+	// When false, violations are only recorded in Metrics.
+	Strict bool
+}
+
+// Metrics aggregates everything the model cares about over the lifetime of
+// a cluster.
+type Metrics struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// MaxInWords is the largest per-round inbox of any machine.
+	MaxInWords int64
+	// MaxOutWords is the largest per-round outbox of any machine.
+	MaxOutWords int64
+	// TotalWords is the total communication volume across all rounds.
+	TotalWords int64
+	// Violations counts capacity violations observed (non-strict mode).
+	Violations int
+}
+
+// Message is one unit of communication. Words is the size of Payload in
+// machine words as accounted by the model; the simulator trusts but
+// records it. Payload is opaque to the simulator.
+type Message struct {
+	From    int
+	To      int
+	Words   int64
+	Payload any
+}
+
+// CapacityError reports a machine exceeding its memory in some round.
+type CapacityError struct {
+	Machine  int
+	Round    int
+	Words    int64
+	Capacity int64
+	Dir      string // "in" or "out"
+}
+
+// Error implements the error interface.
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("mpc: machine %d %sbox %d words exceeds capacity %d in round %d",
+		e.Machine, e.Dir, e.Words, e.Capacity, e.Round)
+}
+
+// Cluster is a simulated MPC deployment. It is not safe for concurrent
+// use; drive it from a single goroutine as the model is synchronous.
+type Cluster struct {
+	cfg Config
+	met Metrics
+}
+
+// NewCluster validates cfg and returns a fresh cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Machines <= 0 {
+		return nil, errors.New("mpc: need at least one machine")
+	}
+	if cfg.CapacityWords < 0 {
+		return nil, errors.New("mpc: negative capacity")
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Cluster) Metrics() Metrics { return c.met }
+
+// Machines returns the machine count m.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// Exchange executes one synchronous round. out[i] holds the messages
+// machine i emits; From fields are overwritten with i. The returned
+// slice in[j] holds the messages delivered to machine j, ordered by
+// sender then submission order, so delivery is deterministic.
+//
+// Per-machine outbox and inbox word totals are audited against S. In
+// strict mode the first violation aborts the round with a *CapacityError;
+// the round still counts (the machines did communicate — that the model
+// was violated is the finding).
+func (c *Cluster) Exchange(out [][]Message) ([][]Message, error) {
+	if len(out) != c.cfg.Machines {
+		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), c.cfg.Machines)
+	}
+	c.met.Rounds++
+	inWords := make([]int64, c.cfg.Machines)
+	in := make([][]Message, c.cfg.Machines)
+	var firstErr error
+	for i, box := range out {
+		var outWords int64
+		for k := range box {
+			msg := box[k]
+			if msg.To < 0 || msg.To >= c.cfg.Machines {
+				return nil, fmt.Errorf("mpc: machine %d sent to invalid machine %d", i, msg.To)
+			}
+			if msg.Words < 0 {
+				return nil, fmt.Errorf("mpc: machine %d sent negative-size message", i)
+			}
+			msg.From = i
+			outWords += msg.Words
+			inWords[msg.To] += msg.Words
+			c.met.TotalWords += msg.Words
+			in[msg.To] = append(in[msg.To], msg)
+		}
+		if outWords > c.met.MaxOutWords {
+			c.met.MaxOutWords = outWords
+		}
+		if err := c.audit(i, outWords, "out"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for j, w := range inWords {
+		if w > c.met.MaxInWords {
+			c.met.MaxInWords = w
+		}
+		if err := c.audit(j, w, "in"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil && c.cfg.Strict {
+		return nil, firstErr
+	}
+	return in, nil
+}
+
+// audit records or raises a capacity violation.
+func (c *Cluster) audit(machine int, words int64, dir string) error {
+	if c.cfg.CapacityWords == 0 || words <= c.cfg.CapacityWords {
+		return nil
+	}
+	c.met.Violations++
+	return &CapacityError{
+		Machine:  machine,
+		Round:    c.met.Rounds,
+		Words:    words,
+		Capacity: c.cfg.CapacityWords,
+		Dir:      dir,
+	}
+}
+
+// GatherTo performs a one-round convergecast: every machine i contributes
+// parts[i] (possibly nil) addressed implicitly to dst. Returns the
+// messages received by dst in machine order. The destination inbox is
+// audited against S — this is exactly the "deliver the subgraph to one
+// machine" step of the paper's MIS simulation, and the audit is the
+// memory claim of Theorem 1.1.
+func (c *Cluster) GatherTo(dst int, parts []Message) ([]Message, error) {
+	if dst < 0 || dst >= c.cfg.Machines {
+		return nil, fmt.Errorf("mpc: gather to invalid machine %d", dst)
+	}
+	if len(parts) != c.cfg.Machines {
+		return nil, fmt.Errorf("mpc: GatherTo got %d parts for %d machines", len(parts), c.cfg.Machines)
+	}
+	out := make([][]Message, c.cfg.Machines)
+	for i := range parts {
+		if parts[i].Words == 0 && parts[i].Payload == nil {
+			continue
+		}
+		parts[i].To = dst
+		out[i] = []Message{parts[i]}
+	}
+	in, err := c.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	return in[dst], nil
+}
+
+// BroadcastFrom delivers one payload from src to every machine. In a real
+// deployment this is an O(1)-round broadcast tree ("standard techniques"
+// in the paper); the simulator charges the configured broadcast cost of
+// two rounds (up and down the tree) and audits the payload size against
+// every receiver's memory.
+func (c *Cluster) BroadcastFrom(src int, words int64, payload any) ([]Message, error) {
+	if src < 0 || src >= c.cfg.Machines {
+		return nil, fmt.Errorf("mpc: broadcast from invalid machine %d", src)
+	}
+	// Model cost: one round to populate the tree, one to fan out. The
+	// source's fan-out is exempt from the outbox audit (the tree splits
+	// it); every receiver's copy is audited against S.
+	c.met.Rounds += 2
+	var firstErr error
+	for j := 0; j < c.cfg.Machines; j++ {
+		c.met.TotalWords += words
+		if words > c.met.MaxInWords {
+			c.met.MaxInWords = words
+		}
+		if err := c.audit(j, words, "in"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil && c.cfg.Strict {
+		return nil, firstErr
+	}
+	in := make([]Message, c.cfg.Machines)
+	for j := 0; j < c.cfg.Machines; j++ {
+		in[j] = Message{From: src, To: j, Words: words, Payload: payload}
+	}
+	return in, nil
+}
+
+// ChargeVolumeMatrix executes one round whose communication is described
+// by an m×m row-major volume matrix: vol[i*m+j] words travel from machine
+// i to machine j. It is the bulk-accounting form of Exchange used by
+// algorithms whose per-message payloads are immaterial to the model audit
+// (the loads and budgets are identical to sending real messages).
+func (c *Cluster) ChargeVolumeMatrix(vol []int64) ([][]Message, error) {
+	m := c.cfg.Machines
+	if len(vol) != m*m {
+		return nil, fmt.Errorf("mpc: volume matrix has %d entries for %d machines", len(vol), m)
+	}
+	out := make([][]Message, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if w := vol[i*m+j]; w > 0 {
+				out[i] = append(out[i], Message{To: j, Words: w})
+			}
+		}
+	}
+	return c.Exchange(out)
+}
+
+// PartitionVertices assigns each of n vertices to one of m machines
+// independently and uniformly at random — the vertex partitioning step of
+// the paper's matching simulation (Line (d) of MPC-Simulation) and of
+// [CŁM+18].
+func PartitionVertices(n, m int, src *rng.Source) []int32 {
+	part := make([]int32, n)
+	for v := range part {
+		part[v] = int32(src.Intn(m))
+	}
+	return part
+}

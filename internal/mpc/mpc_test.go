@@ -1,0 +1,247 @@
+package mpc
+
+import (
+	"errors"
+	"testing"
+
+	"mpcgraph/internal/rng"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Machines: 0}); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := NewCluster(Config{Machines: 2, CapacityWords: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	c, err := NewCluster(Config{Machines: 3, CapacityWords: 100})
+	if err != nil || c.Machines() != 3 {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestExchangeDelivery(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 3})
+	out := make([][]Message, 3)
+	out[0] = []Message{{To: 1, Words: 2, Payload: "a"}, {To: 2, Words: 3, Payload: "b"}}
+	out[2] = []Message{{To: 1, Words: 5, Payload: "c"}}
+	in, err := c.Exchange(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[0]) != 0 || len(in[1]) != 2 || len(in[2]) != 1 {
+		t.Fatalf("delivery counts wrong: %d %d %d", len(in[0]), len(in[1]), len(in[2]))
+	}
+	if in[1][0].Payload != "a" || in[1][0].From != 0 {
+		t.Errorf("first message to 1 = %+v", in[1][0])
+	}
+	if in[1][1].Payload != "c" || in[1][1].From != 2 {
+		t.Errorf("second message to 1 = %+v", in[1][1])
+	}
+	m := c.Metrics()
+	if m.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", m.Rounds)
+	}
+	if m.TotalWords != 10 {
+		t.Errorf("total words = %d, want 10", m.TotalWords)
+	}
+	if m.MaxOutWords != 5 || m.MaxInWords != 7 {
+		t.Errorf("max out/in = %d/%d, want 5/7", m.MaxOutWords, m.MaxInWords)
+	}
+}
+
+func TestExchangeRejectsBadDestination(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2})
+	if _, err := c.Exchange([][]Message{{{To: 5, Words: 1}}, nil}); err == nil {
+		t.Error("invalid destination accepted")
+	}
+	if _, err := c.Exchange([][]Message{{{To: 0, Words: -1}}, nil}); err == nil {
+		t.Error("negative words accepted")
+	}
+	if _, err := c.Exchange([][]Message{nil}); err == nil {
+		t.Error("wrong outbox count accepted")
+	}
+}
+
+func TestStrictCapacityInbox(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, CapacityWords: 10, Strict: true})
+	out := make([][]Message, 2)
+	out[0] = []Message{{To: 1, Words: 7}}
+	out[1] = []Message{{To: 1, Words: 7}}
+	_, err := c.Exchange(out)
+	var capErr *CapacityError
+	if !errors.As(err, &capErr) {
+		t.Fatalf("expected CapacityError, got %v", err)
+	}
+	if capErr.Machine != 1 || capErr.Dir != "in" || capErr.Words != 14 {
+		t.Errorf("capacity error = %+v", capErr)
+	}
+}
+
+func TestStrictCapacityOutbox(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, CapacityWords: 10, Strict: true})
+	out := make([][]Message, 2)
+	out[0] = []Message{{To: 1, Words: 6}, {To: 0, Words: 6}}
+	_, err := c.Exchange(out)
+	var capErr *CapacityError
+	if !errors.As(err, &capErr) {
+		t.Fatalf("expected CapacityError, got %v", err)
+	}
+	if capErr.Dir != "out" || capErr.Machine != 0 {
+		t.Errorf("capacity error = %+v", capErr)
+	}
+	if capErr.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestNonStrictRecordsViolations(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, CapacityWords: 5})
+	out := make([][]Message, 2)
+	out[0] = []Message{{To: 1, Words: 9}}
+	if _, err := c.Exchange(out); err != nil {
+		t.Fatalf("non-strict mode errored: %v", err)
+	}
+	if v := c.Metrics().Violations; v != 2 { // outbox of 0 and inbox of 1
+		t.Errorf("violations = %d, want 2", v)
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, CapacityWords: 0, Strict: true})
+	out := make([][]Message, 2)
+	out[0] = []Message{{To: 1, Words: 1 << 40}}
+	if _, err := c.Exchange(out); err != nil {
+		t.Errorf("unlimited capacity errored: %v", err)
+	}
+}
+
+func TestGatherTo(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 4, CapacityWords: 100, Strict: true})
+	parts := make([]Message, 4)
+	for i := range parts {
+		parts[i] = Message{Words: int64(i + 1), Payload: i * 10}
+	}
+	got, err := c.GatherTo(2, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("gathered %d messages, want 4", len(got))
+	}
+	for i, msg := range got {
+		if msg.From != i || msg.Payload != i*10 {
+			t.Errorf("message %d = %+v", i, msg)
+		}
+	}
+	if c.Metrics().Rounds != 1 {
+		t.Errorf("gather cost %d rounds, want 1", c.Metrics().Rounds)
+	}
+}
+
+func TestGatherToSkipsEmptyParts(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 3})
+	parts := make([]Message, 3)
+	parts[1] = Message{Words: 4, Payload: "x"}
+	got, err := c.GatherTo(0, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].From != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestGatherToOverflow(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 3, CapacityWords: 10, Strict: true})
+	parts := []Message{{Words: 5, Payload: 1}, {Words: 5, Payload: 2}, {Words: 5, Payload: 3}}
+	if _, err := c.GatherTo(0, parts); err == nil {
+		t.Error("gather overflow accepted")
+	}
+}
+
+func TestGatherToValidation(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2})
+	if _, err := c.GatherTo(5, make([]Message, 2)); err == nil {
+		t.Error("invalid destination accepted")
+	}
+	if _, err := c.GatherTo(0, make([]Message, 3)); err == nil {
+		t.Error("wrong parts count accepted")
+	}
+}
+
+func TestBroadcastFrom(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 5, CapacityWords: 100, Strict: true})
+	in, err := c.BroadcastFrom(3, 7, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 5 {
+		t.Fatalf("broadcast delivered %d copies", len(in))
+	}
+	for j, msg := range in {
+		if msg.From != 3 || msg.To != j || msg.Payload != "hello" {
+			t.Errorf("copy %d = %+v", j, msg)
+		}
+	}
+	m := c.Metrics()
+	if m.Rounds != 2 {
+		t.Errorf("broadcast cost %d rounds, want 2", m.Rounds)
+	}
+	if m.TotalWords != 35 {
+		t.Errorf("total words = %d, want 35", m.TotalWords)
+	}
+}
+
+func TestBroadcastOverflow(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2, CapacityWords: 5, Strict: true})
+	if _, err := c.BroadcastFrom(0, 9, nil); err == nil {
+		t.Error("oversized broadcast accepted")
+	}
+	if _, err := c.BroadcastFrom(7, 1, nil); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestPartitionVertices(t *testing.T) {
+	part := PartitionVertices(10000, 16, rng.New(42))
+	counts := make([]int, 16)
+	for _, p := range part {
+		if p < 0 || p >= 16 {
+			t.Fatalf("assignment %d out of range", p)
+		}
+		counts[p]++
+	}
+	for i, cnt := range counts {
+		if cnt < 400 || cnt > 900 { // 625 expected
+			t.Errorf("machine %d received %d vertices, want about 625", i, cnt)
+		}
+	}
+}
+
+func TestPartitionDeterminism(t *testing.T) {
+	a := PartitionVertices(100, 4, rng.New(7))
+	b := PartitionVertices(100, 4, rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}
+
+func TestMultiRoundAccounting(t *testing.T) {
+	c, _ := NewCluster(Config{Machines: 2})
+	for r := 0; r < 5; r++ {
+		out := make([][]Message, 2)
+		out[0] = []Message{{To: 1, Words: 1}}
+		if _, err := c.Exchange(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Metrics().Rounds; got != 5 {
+		t.Errorf("rounds = %d, want 5", got)
+	}
+	if got := c.Metrics().TotalWords; got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+}

@@ -1,0 +1,183 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mpcgraph/internal/rng"
+)
+
+// This file implements the constant-round distributed sample sort of
+// Goodrich, Sitchinava and Zhang [GSZ11] — the "standard techniques"
+// citation behind the paper's O(1)-round MPC implementation steps
+// (shuffling induced subgraphs to machines, aggregating weights, and so
+// on). The paper's algorithms charge those steps as O(1) rounds; this
+// primitive is the constructive justification, executed and audited on
+// the same simulator: 4 rounds end to end with per-machine loads within
+// a constant factor of N/m w.h.p.
+//
+// Keys are uint64; ties are broken by origin position, so adversarially
+// duplicate keys still spread evenly across machines (the classical
+// composite-key trick).
+
+// item is a key with its tie-breaking origin tag.
+type item struct {
+	key uint64
+	tag uint64
+}
+
+func itemLess(a, b item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.tag < b.tag
+}
+
+// SampleSort globally sorts distributed keys: data[i] holds machine i's
+// input (at most S words each). The result places a sorted run on every
+// machine such that every key on machine i precedes every key on machine
+// i+1; concatenating the outputs yields the sorted input.
+//
+// Model cost: exactly four rounds — sample gather, splitter broadcast
+// (2 rounds in the tree model), and the bucket shuffle. All loads are
+// audited against the cluster's capacity; heavily skewed inputs cannot
+// overload a machine because splitters are drawn over composite keys.
+func SampleSort(c *Cluster, data [][]uint64, src *rng.Source) ([][]uint64, error) {
+	m := c.cfg.Machines
+	if len(data) != m {
+		return nil, fmt.Errorf("mpc: SampleSort got %d shards for %d machines", len(data), m)
+	}
+	if m == 1 {
+		out := append([]uint64(nil), data[0]...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return [][]uint64{out}, nil
+	}
+	var total int
+	for _, shard := range data {
+		total += len(shard)
+	}
+	if total == 0 {
+		return make([][]uint64, m), nil
+	}
+
+	// Local phase: tag and sort each shard; draw an oversampled local
+	// sample (the [GSZ11] oversampling keeps bucket skew O(1) w.h.p.).
+	const oversample = 8
+	perMachine := make([][]item, m)
+	var offset uint64
+	for i, shard := range data {
+		items := make([]item, len(shard))
+		for k, key := range shard {
+			items[k] = item{key: key, tag: offset + uint64(k)}
+		}
+		offset += uint64(len(shard))
+		sort.Slice(items, func(a, b int) bool { return itemLess(items[a], items[b]) })
+		perMachine[i] = items
+	}
+	sampleTarget := oversample * m
+
+	// Round 1: every machine sends its sample to the leader.
+	samples := make([][]item, m)
+	parts := make([]Message, m)
+	for i, items := range perMachine {
+		k := sampleTarget
+		if k > len(items) {
+			k = len(items)
+		}
+		smp := make([]item, 0, k)
+		for j := 0; j < k; j++ {
+			smp = append(smp, items[src.Intn(len(items))])
+		}
+		samples[i] = smp
+		parts[i] = Message{Words: int64(2 * len(smp)), Payload: i}
+	}
+	if _, err := c.GatherTo(0, parts); err != nil {
+		return nil, fmt.Errorf("sample gather: %w", err)
+	}
+
+	// Leader: sort samples, pick m-1 splitters.
+	var all []item
+	for _, smp := range samples {
+		all = append(all, smp...)
+	}
+	sort.Slice(all, func(a, b int) bool { return itemLess(all[a], all[b]) })
+	splitters := make([]item, 0, m-1)
+	for j := 1; j < m; j++ {
+		idx := j * len(all) / m
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		splitters = append(splitters, all[idx])
+	}
+
+	// Rounds 2-3: broadcast splitters.
+	if _, err := c.BroadcastFrom(0, int64(2*len(splitters)), splitters); err != nil {
+		return nil, fmt.Errorf("splitter broadcast: %w", err)
+	}
+
+	// Round 4: bucket shuffle. Every machine routes each item to the
+	// bucket of the first splitter not below it.
+	buckets := make([][]item, m)
+	out := make([][]Message, m)
+	for i, items := range perMachine {
+		counts := make([]int64, m)
+		for _, it := range items {
+			b := sort.Search(len(splitters), func(s int) bool { return itemLess(it, splitters[s]) })
+			buckets[b] = append(buckets[b], it)
+			counts[b]++
+		}
+		for b, cnt := range counts {
+			if cnt > 0 {
+				out[i] = append(out[i], Message{To: b, Words: cnt, Payload: b})
+			}
+		}
+	}
+	if _, err := c.Exchange(out); err != nil {
+		return nil, fmt.Errorf("bucket shuffle: %w", err)
+	}
+
+	// Local phase: each machine sorts its bucket (already near-sorted
+	// runs; a full sort keeps the code simple).
+	result := make([][]uint64, m)
+	for b, items := range buckets {
+		sort.Slice(items, func(a, c int) bool { return itemLess(items[a], items[c]) })
+		keys := make([]uint64, len(items))
+		for k, it := range items {
+			keys[k] = it.key
+		}
+		result[b] = keys
+	}
+	return result, nil
+}
+
+// DistributeEvenly splits keys across the cluster's machines in
+// round-robin order — a helper for building SampleSort inputs and tests.
+func DistributeEvenly(c *Cluster, keys []uint64) [][]uint64 {
+	m := c.cfg.Machines
+	shards := make([][]uint64, m)
+	for i, k := range keys {
+		shards[i%m] = append(shards[i%m], k)
+	}
+	return shards
+}
+
+// ErrUnsorted is returned by VerifySorted on misordered output.
+var ErrUnsorted = errors.New("mpc: output not globally sorted")
+
+// VerifySorted checks that shards are internally sorted and globally
+// ordered across machines.
+func VerifySorted(shards [][]uint64) error {
+	last := uint64(0)
+	started := false
+	for i, shard := range shards {
+		for j, k := range shard {
+			if started && k < last {
+				return fmt.Errorf("%w: machine %d position %d", ErrUnsorted, i, j)
+			}
+			last = k
+			started = true
+		}
+	}
+	return nil
+}

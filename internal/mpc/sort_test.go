@@ -1,0 +1,209 @@
+package mpc
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mpcgraph/internal/rng"
+)
+
+func sortCluster(t *testing.T, machines int, capacity int64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Machines: machines, CapacityWords: capacity, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSampleSortCorrectness(t *testing.T) {
+	src := rng.New(1)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = src.Uint64() % 1000
+	}
+	c := sortCluster(t, 8, 1<<20)
+	shards := DistributeEvenly(c, keys)
+	out, err := SampleSort(c, shards, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySorted(out); err != nil {
+		t.Fatal(err)
+	}
+	// Multiset preservation.
+	var got []uint64
+	for _, shard := range out {
+		got = append(got, shard...)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("lost items: %d vs %d", len(got), len(keys))
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSampleSortRoundCount(t *testing.T) {
+	// [GSZ11]: O(1) rounds. The implementation uses exactly 4 (gather,
+	// 2-round broadcast, shuffle).
+	src := rng.New(2)
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	c := sortCluster(t, 10, 1<<20)
+	if _, err := SampleSort(c, DistributeEvenly(c, keys), src); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Rounds; got != 4 {
+		t.Errorf("SampleSort used %d rounds, want 4", got)
+	}
+}
+
+func TestSampleSortBalancedLoads(t *testing.T) {
+	// Oversampled splitters keep every machine's bucket within a small
+	// factor of N/m w.h.p.
+	src := rng.New(3)
+	const n, machines = 40000, 16
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	c := sortCluster(t, machines, 1<<20)
+	out, err := SampleSort(c, DistributeEvenly(c, keys), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := n / machines
+	for i, shard := range out {
+		if len(shard) > 3*ideal {
+			t.Errorf("machine %d holds %d items, ideal %d", i, len(shard), ideal)
+		}
+	}
+}
+
+func TestSampleSortAllDuplicateKeys(t *testing.T) {
+	// The composite-key tie-break must spread identical keys evenly
+	// rather than routing them all to one machine.
+	src := rng.New(4)
+	const n, machines = 20000, 8
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = 42
+	}
+	c := sortCluster(t, machines, 1<<20)
+	out, err := SampleSort(c, DistributeEvenly(c, keys), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := n / machines
+	for i, shard := range out {
+		if len(shard) > 3*ideal {
+			t.Errorf("duplicate-key skew: machine %d holds %d items (ideal %d)", i, len(shard), ideal)
+		}
+	}
+	if err := VerifySorted(out); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSortCapacityAudit(t *testing.T) {
+	// Failure injection: machines too small for their N/m share.
+	src := rng.New(5)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	c := sortCluster(t, 4, 100) // 100 words per machine << 2500 share
+	if _, err := SampleSort(c, DistributeEvenly(c, keys), src); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestSampleSortDegenerate(t *testing.T) {
+	src := rng.New(6)
+	c := sortCluster(t, 3, 1000)
+	out, err := SampleSort(c, make([][]uint64, 3), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range out {
+		if len(shard) != 0 {
+			t.Error("empty input produced items")
+		}
+	}
+	single, _ := NewCluster(Config{Machines: 1})
+	out, err = SampleSort(single, [][]uint64{{3, 1, 2}}, src)
+	if err != nil || len(out[0]) != 3 || out[0][0] != 1 {
+		t.Errorf("single machine sort wrong: %v %v", out, err)
+	}
+	if _, err := SampleSort(c, make([][]uint64, 5), src); err == nil {
+		t.Error("shard/machine mismatch accepted")
+	}
+}
+
+func TestSampleSortProperty(t *testing.T) {
+	check := func(seed uint64, sz uint16) bool {
+		n := int(sz)%2000 + 1
+		src := rng.New(seed)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = src.Uint64() % 64 // heavy duplication on purpose
+		}
+		c, err := NewCluster(Config{Machines: 5, CapacityWords: 1 << 20, Strict: true})
+		if err != nil {
+			return false
+		}
+		out, err := SampleSort(c, DistributeEvenly(c, keys), src)
+		if err != nil {
+			return false
+		}
+		if VerifySorted(out) != nil {
+			return false
+		}
+		cnt := 0
+		for _, shard := range out {
+			cnt += len(shard)
+		}
+		return cnt == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifySorted(t *testing.T) {
+	if err := VerifySorted([][]uint64{{1, 2}, {3}, {}, {4}}); err != nil {
+		t.Errorf("sorted shards rejected: %v", err)
+	}
+	err := VerifySorted([][]uint64{{1, 5}, {3}})
+	if !errors.Is(err, ErrUnsorted) {
+		t.Errorf("unsorted shards accepted: %v", err)
+	}
+	if err := VerifySorted([][]uint64{{2, 1}}); err == nil {
+		t.Error("locally unsorted shard accepted")
+	}
+}
+
+func BenchmarkSampleSort(b *testing.B) {
+	src := rng.New(1)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCluster(Config{Machines: 16, CapacityWords: 1 << 24})
+		if _, err := SampleSort(c, DistributeEvenly(c, keys), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

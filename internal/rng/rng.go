@@ -1,0 +1,157 @@
+// Package rng provides the deterministic, splittable randomness used by
+// every algorithm in this repository.
+//
+// All randomness in the reproduction flows from a single 64-bit seed.
+// Derived streams are keyed by a purpose label and an index, so two
+// components never consume from the same stream and every experiment is
+// reproducible bit-for-bit. The package also provides the stateless
+// threshold oracle T_{v,t} required by the Central-Rand / MPC-Simulation
+// coupling of Section 4.4 of the paper: both algorithms must observe the
+// exact same random thresholds, which a stateful generator cannot
+// guarantee once the two processes interleave differently.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// golden is the SplitMix64 increment (2^64 / phi, rounded to odd).
+const golden = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output function: a strong 64-bit mixer used both
+// to advance streams and as a stateless hash for oracle lookups.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash mixes an arbitrary sequence of words into a single well-distributed
+// 64-bit value. It is the basis of all stateless oracles in this package.
+func Hash(parts ...uint64) uint64 {
+	h := uint64(0x8ce4c72dd4ff1ea1)
+	for _, p := range parts {
+		h = mix64(h + golden + p)
+	}
+	return mix64(h)
+}
+
+// Source is a deterministic pseudo-random stream based on SplitMix64.
+// It is intentionally not safe for concurrent use; derive independent
+// streams with Split instead of sharing one.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *Source {
+	return &Source{state: mix64(seed + golden)}
+}
+
+// Split derives an independent child stream keyed by label. The parent
+// stream is not advanced, so splitting is itself deterministic.
+func (s *Source) Split(label uint64) *Source {
+	return &Source{state: Hash(s.state, label)}
+}
+
+// SplitString derives an independent child stream keyed by a string label.
+func (s *Source) SplitString(label string) *Source {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return s.Split(h)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix64(s.state)
+}
+
+// Int63 returns a uniformly random non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0,
+// matching the contract of math/rand.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling with rejection.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// UniformIn returns a uniformly random float64 in [lo, hi).
+func (s *Source) UniformIn(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice of
+// int32, which is the vertex-index width used throughout the repository.
+func (s *Source) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of failures before the first success. It is
+// used for skip-sampling in the G(n,p) generator. Returns math.MaxInt32
+// for degenerate p <= 0.
+func (s *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxInt32
+	}
+	u := s.Float64()
+	// Avoid log(0); Float64 is in [0,1) so 1-u is in (0,1].
+	g := math.Floor(math.Log1p(-u) / math.Log1p(-p))
+	if g < 0 {
+		return 0
+	}
+	if g > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(g)
+}
+
+// Exp returns an exponentially distributed sample with rate 1.
+func (s *Source) Exp() float64 {
+	u := s.Float64()
+	return -math.Log1p(-u)
+}

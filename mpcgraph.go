@@ -1,0 +1,255 @@
+// Package mpcgraph is a reproduction of "Improved Massively Parallel
+// Computation Algorithms for MIS, Matching, and Vertex Cover" (Ghaffari,
+// Gouleakis, Konrad, Mitrović, Rubinfeld; PODC 2018).
+//
+// It provides O(log log n)-round algorithms — executed on a metered MPC
+// simulator with Õ(n) words of memory per machine, and on a metered
+// CONGESTED-CLIQUE simulator — for:
+//
+//   - maximal independent set (Theorem 1.1),
+//   - (2+ε)-approximate maximum matching and minimum vertex cover
+//     (Theorem 1.2),
+//   - (1+ε)-approximate maximum matching (Corollary 1.3), and
+//   - (2+ε)-approximate maximum weighted matching (Corollary 1.4).
+//
+// Every result reports the simulated round count and per-machine load, so
+// the paper's round/space claims are observable outputs. Build graphs
+// with NewGraphBuilder or the generator helpers, then call the top-level
+// functions. All algorithms are deterministic given Options.Seed.
+package mpcgraph
+
+import (
+	"fmt"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/matching"
+	"mpcgraph/internal/mis"
+	"mpcgraph/internal/rng"
+)
+
+// Graph is an immutable simple undirected graph. Construct one with
+// NewGraphBuilder, FromEdgeList, or the generators in this package.
+type Graph = graph.Graph
+
+// Matching is a mate array: Matching[v] is v's partner or -1.
+type Matching = graph.Matching
+
+// Builder incrementally assembles a Graph.
+type Builder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdgeList builds a graph from explicit undirected edges.
+func FromEdgeList(n int, edges [][2]int32) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// RandomGraph samples an Erdős–Rényi G(n, p) graph from the given seed.
+func RandomGraph(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+// Options configures the top-level algorithms.
+type Options struct {
+	// Seed makes every random choice reproducible. Two runs with equal
+	// seeds return identical results.
+	Seed uint64
+	// Eps is the approximation slack ε where applicable (default 0.1).
+	Eps float64
+	// MemoryFactor sets the per-machine memory to MemoryFactor·n words
+	// (default 16), the constant behind the paper's Õ(n).
+	MemoryFactor float64
+	// Strict makes simulated memory/bandwidth violations return errors
+	// instead of being recorded silently.
+	Strict bool
+}
+
+// Stats reports the simulated model costs of a run.
+type Stats struct {
+	// Rounds is the number of MPC (or CONGESTED-CLIQUE) rounds used.
+	Rounds int
+	// MaxMachineWords is the largest per-round load on any machine.
+	MaxMachineWords int64
+	// TotalWords is the total communication volume.
+	TotalWords int64
+}
+
+// MISResult is the result of MIS and MISCongestedClique.
+type MISResult struct {
+	// InMIS marks the maximal independent set.
+	InMIS []bool
+	// Stats carries the audited model costs.
+	Stats Stats
+	// Phases is the number of rank-prefix phases (O(log log Δ)).
+	Phases int
+}
+
+// MIS computes a maximal independent set in the simulated MPC model using
+// the paper's O(log log Δ)-round randomized greedy simulation.
+func MIS(g *Graph, opts Options) (*MISResult, error) {
+	res, err := mis.RandGreedyMPC(g, mis.Options{
+		Seed:         opts.Seed,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcgraph: MIS: %w", err)
+	}
+	return &MISResult{
+		InMIS:  res.InMIS,
+		Stats:  Stats{Rounds: res.Rounds, MaxMachineWords: res.MaxMachineWords, TotalWords: res.TotalWords},
+		Phases: res.Phases,
+	}, nil
+}
+
+// MISCongestedClique computes a maximal independent set in the simulated
+// CONGESTED-CLIQUE model (Theorem 1.1, second part).
+func MISCongestedClique(g *Graph, opts Options) (*MISResult, error) {
+	res, err := mis.RandGreedyCongestedClique(g, mis.Options{
+		Seed:         opts.Seed,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcgraph: MISCongestedClique: %w", err)
+	}
+	return &MISResult{
+		InMIS:  res.InMIS,
+		Stats:  Stats{Rounds: res.Rounds, MaxMachineWords: res.MaxMachineWords, TotalWords: res.TotalWords},
+		Phases: res.Phases,
+	}, nil
+}
+
+// MatchingResult is the result of the matching algorithms.
+type MatchingResult struct {
+	// M is the computed matching.
+	M Matching
+	// Stats carries the audited model costs (MPC rounds include all
+	// fractional-simulation invocations).
+	Stats Stats
+}
+
+// ApproxMaxMatching computes a (2+ε)-approximate maximum matching
+// (Theorem 1.2): fractional weight-raising simulation, randomized
+// rounding, and the small-matching completion.
+func ApproxMaxMatching(g *Graph, opts Options) (*MatchingResult, error) {
+	res, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{
+		Seed:         opts.Seed,
+		Eps:          opts.Eps,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcgraph: ApproxMaxMatching: %w", err)
+	}
+	return &MatchingResult{
+		M:     res.M,
+		Stats: Stats{Rounds: res.Rounds()},
+	}, nil
+}
+
+// OnePlusEpsMatching computes a (1+ε)-approximate maximum matching
+// (Corollary 1.3): the (2+ε) pipeline followed by short augmenting-path
+// boosting. Exact on bipartite inputs; a measured heuristic on general
+// graphs (see EXPERIMENTS.md, E9).
+func OnePlusEpsMatching(g *Graph, opts Options) (*MatchingResult, error) {
+	base, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{
+		Seed:         opts.Seed,
+		Eps:          opts.Eps,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcgraph: OnePlusEpsMatching: %w", err)
+	}
+	eps := opts.Eps
+	if eps == 0 {
+		eps = 0.1
+	}
+	boost := matching.BoostToOnePlusEps(g, base.M, eps)
+	return &MatchingResult{
+		M:     boost.M,
+		Stats: Stats{Rounds: base.Rounds() + boost.Passes},
+	}, nil
+}
+
+// VertexCoverResult is the result of ApproxMinVertexCover.
+type VertexCoverResult struct {
+	// InCover marks the vertex cover.
+	InCover []bool
+	// FractionalWeight is the weight of the dual fractional matching, a
+	// lower bound on the optimum cover size. It can be loose on dense
+	// inputs with small Eps (see EXPERIMENTS.md, caveat 6); for a robust
+	// per-run certificate compare the cover against any maximal matching
+	// instead.
+	FractionalWeight float64
+	// Stats carries the audited model costs.
+	Stats Stats
+}
+
+// ApproxMinVertexCover computes a (2+ε)-approximate minimum vertex cover
+// (Theorem 1.2) in O(log log n) simulated MPC rounds.
+func ApproxMinVertexCover(g *Graph, opts Options) (*VertexCoverResult, error) {
+	res, err := matching.ApproxMinVertexCover(g, matching.PipelineOptions{
+		Seed:         opts.Seed,
+		Eps:          opts.Eps,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mpcgraph: ApproxMinVertexCover: %w", err)
+	}
+	return &VertexCoverResult{
+		InCover:          res.Frac.Cover,
+		FractionalWeight: res.Frac.Weight(),
+		Stats: Stats{
+			Rounds:          res.Rounds,
+			MaxMachineWords: res.MaxMachineWords,
+			TotalWords:      res.TotalWords,
+		},
+	}, nil
+}
+
+// WeightedGraph is a graph with positive edge weights.
+type WeightedGraph = graph.Weighted
+
+// NewWeightedGraph attaches weights (in edge-index order) to g.
+func NewWeightedGraph(g *Graph, weights []float64) (*WeightedGraph, error) {
+	return graph.NewWeighted(g, weights)
+}
+
+// RandomWeightedGraph samples G(n, p) with uniform weights in [lo, hi).
+func RandomWeightedGraph(n int, p, lo, hi float64, seed uint64) *WeightedGraph {
+	src := rng.New(seed)
+	return graph.RandomWeights(graph.GNP(n, p, src), lo, hi, src)
+}
+
+// WeightedMatchingResult is the result of ApproxMaxWeightedMatching.
+type WeightedMatchingResult struct {
+	// M is the computed matching and Value its total weight.
+	M     Matching
+	Value float64
+}
+
+// ApproxMaxWeightedMatching computes a (2+ε)-approximate maximum weight
+// matching (Corollary 1.4).
+func ApproxMaxWeightedMatching(wg *WeightedGraph, opts Options) *WeightedMatchingResult {
+	eps := opts.Eps
+	if eps == 0 {
+		eps = 0.1
+	}
+	res := matching.ApproxMaxWeightedMatching(wg, eps, opts.Seed)
+	return &WeightedMatchingResult{M: res.M, Value: res.Value}
+}
+
+// IsMaximalIndependentSet validates an MIS result against g.
+func IsMaximalIndependentSet(g *Graph, set []bool) bool {
+	return graph.IsMaximalIndependentSet(g, set)
+}
+
+// IsMatching validates a matching against g.
+func IsMatching(g *Graph, m Matching) bool { return graph.IsMatching(g, m) }
+
+// IsVertexCover validates a vertex cover against g.
+func IsVertexCover(g *Graph, cover []bool) bool { return graph.IsVertexCover(g, cover) }

@@ -1,0 +1,183 @@
+package mpcgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFacadeMIS(t *testing.T) {
+	g := RandomGraph(500, 0.02, 1)
+	res, err := MIS(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMaximalIndependentSet(g, res.InMIS) {
+		t.Error("facade MIS invalid")
+	}
+	if res.Stats.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestFacadeMISCongestedClique(t *testing.T) {
+	g := RandomGraph(400, 0.03, 3)
+	res, err := MISCongestedClique(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMaximalIndependentSet(g, res.InMIS) {
+		t.Error("facade clique MIS invalid")
+	}
+}
+
+func TestFacadeMatching(t *testing.T) {
+	g := RandomGraph(400, 0.02, 5)
+	res, err := ApproxMaxMatching(g, Options{Seed: 6, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMatching(g, res.M) {
+		t.Error("facade matching invalid")
+	}
+}
+
+func TestFacadeOnePlusEps(t *testing.T) {
+	g := RandomGraph(300, 0.03, 7)
+	res, err := OnePlusEpsMatching(g, Options{Seed: 8, Eps: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMatching(g, res.M) {
+		t.Error("facade 1+eps matching invalid")
+	}
+}
+
+func TestFacadeVertexCover(t *testing.T) {
+	g := RandomGraph(400, 0.02, 9)
+	res, err := ApproxMinVertexCover(g, Options{Seed: 10, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsVertexCover(g, res.InCover) {
+		t.Error("facade cover invalid")
+	}
+	covered := 0
+	for _, c := range res.InCover {
+		if c {
+			covered++
+		}
+	}
+	if res.FractionalWeight > float64(covered)+1e-9 {
+		t.Error("dual weight exceeds cover size")
+	}
+}
+
+func TestFacadeWeightedMatching(t *testing.T) {
+	wg := RandomWeightedGraph(200, 0.05, 1, 10, 11)
+	res := ApproxMaxWeightedMatching(wg, Options{Seed: 12, Eps: 0.1})
+	if !IsMatching(wg.Graph, res.M) {
+		t.Error("facade weighted matching invalid")
+	}
+	if res.Value <= 0 && wg.NumEdges() > 0 {
+		t.Error("weighted matching has zero value on a non-empty graph")
+	}
+}
+
+func TestFacadeBuilderAndEdgeList(t *testing.T) {
+	b := NewGraphBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatal("builder lost edges")
+	}
+	g2, err := FromEdgeList(3, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil || g2.NumEdges() != 2 {
+		t.Fatalf("FromEdgeList failed: %v", err)
+	}
+	if _, err := FromEdgeList(2, [][2]int32{{0, 5}}); err == nil {
+		t.Error("invalid edge accepted")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	g := RandomGraph(300, 0.03, 13)
+	a, _ := ApproxMaxMatching(g, Options{Seed: 14})
+	b, _ := ApproxMaxMatching(g, Options{Seed: 14})
+	if a.M.Size() != b.M.Size() {
+		t.Error("same seed produced different matchings")
+	}
+	for v := range a.M {
+		if a.M[v] != b.M[v] {
+			t.Fatal("matchings differ elementwise")
+		}
+	}
+}
+
+func TestFacadeStrictErrorsPropagate(t *testing.T) {
+	// A dense graph with starved machines must surface the capacity
+	// error through every facade entry point that meters memory.
+	g := RandomGraph(500, 0.2, 15)
+	opts := Options{Seed: 16, Strict: true, MemoryFactor: 0.02}
+	if _, err := MIS(g, opts); err == nil {
+		t.Error("MIS did not propagate the capacity error")
+	}
+	if _, err := ApproxMinVertexCover(g, opts); err == nil {
+		t.Error("ApproxMinVertexCover did not propagate the capacity error")
+	}
+	if _, err := ApproxMaxMatching(g, opts); err == nil {
+		t.Error("ApproxMaxMatching did not propagate the capacity error")
+	}
+	if _, err := OnePlusEpsMatching(g, opts); err == nil {
+		t.Error("OnePlusEpsMatching did not propagate the capacity error")
+	}
+}
+
+func TestFacadeCliqueStats(t *testing.T) {
+	g := RandomGraph(600, 0.02, 17)
+	res, err := MISCongestedClique(g, Options{Seed: 18, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds == 0 || res.Stats.TotalWords == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.MaxMachineWords > int64(g.NumVertices()) {
+		t.Errorf("per-player load %d exceeds the clique's n-word Lenzen limit", res.Stats.MaxMachineWords)
+	}
+}
+
+func TestFacadeWeightedGraphErrors(t *testing.T) {
+	g := RandomGraph(10, 0.5, 19)
+	if _, err := NewWeightedGraph(g, []float64{1}); err == nil {
+		t.Error("mismatched weight count accepted")
+	}
+	wg := RandomWeightedGraph(50, 0.2, 2, 9, 20)
+	for _, w := range wg.W {
+		if w < 2 || w >= 9 {
+			t.Fatalf("weight %v outside [2,9)", w)
+		}
+	}
+}
+
+func TestFacadePropertyAllOutputsValid(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := RandomGraph(120, 0.05, seed)
+		misRes, err := MIS(g, Options{Seed: seed})
+		if err != nil || !IsMaximalIndependentSet(g, misRes.InMIS) {
+			return false
+		}
+		mRes, err := ApproxMaxMatching(g, Options{Seed: seed})
+		if err != nil || !IsMatching(g, mRes.M) {
+			return false
+		}
+		cRes, err := ApproxMinVertexCover(g, Options{Seed: seed})
+		if err != nil || !IsVertexCover(g, cRes.InCover) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
