@@ -1,0 +1,40 @@
+# Pre-merge check for this repository. `make ci` is the documented gate:
+# it vets every package, runs the full test suite under the race
+# detector (the determinism tests in parallel_test.go double as the
+# parallel-engine oracle), and smoke-runs the benchmarks so the
+# parallelized hot paths keep compiling and terminating.
+#
+# Targets:
+#   make ci     - go vet + race tests + benchmark smoke (run before merging)
+#   make test   - fast test suite
+#   make race   - full test suite under -race
+#   make bench  - full benchmark pass with allocation counts
+#   make tables - regenerate the experiment tables (text) at quick scale
+#   make json   - machine-readable experiment rows (BENCH_*.json input)
+
+GO ?= go
+
+.PHONY: ci vet test race bench bench-smoke tables json
+
+ci: vet race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/graph/ ./internal/mpc/ ./internal/mis/
+
+tables:
+	$(GO) run ./cmd/mpcbench -quick -trials 1
+
+json:
+	$(GO) run ./cmd/mpcbench -quick -trials 1 -json

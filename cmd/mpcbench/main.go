@@ -7,6 +7,9 @@
 //	mpcbench -experiment=E5  # run one experiment
 //	mpcbench -quick          # reduced sizes (smoke test)
 //	mpcbench -seed=7 -trials=5
+//	mpcbench -workers=1      # force the sequential path (0 = all cores)
+//	mpcbench -json           # machine-readable rows (one JSON object per
+//	                         # table) for BENCH_*.json trajectories
 package main
 
 import (
@@ -32,12 +35,14 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 2018, "root random seed")
 		trials     = fs.Int("trials", 3, "trials per randomized cell")
 		quick      = fs.Bool("quick", false, "reduced instance sizes")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); tables are identical for every value")
+		jsonOut    = fs.Bool("json", false, "emit one JSON object per table instead of aligned text")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 	if *list {
 		for _, id := range bench.IDs() {
 			fmt.Println(id)
@@ -45,6 +50,9 @@ func run(args []string) error {
 		return nil
 	}
 	if *experiment == "" {
+		if *jsonOut {
+			return bench.RunAllJSON(cfg, os.Stdout)
+		}
 		bench.RunAll(cfg, os.Stdout)
 		return nil
 	}
@@ -52,6 +60,12 @@ func run(args []string) error {
 		tab, err := bench.Run(strings.TrimSpace(id), cfg)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			if err := tab.RenderJSON(os.Stdout); err != nil {
+				return err
+			}
+			continue
 		}
 		tab.Render(os.Stdout)
 	}

@@ -20,6 +20,18 @@ func TestRunMultipleExperiments(t *testing.T) {
 	}
 }
 
+func TestRunJSONExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkersSequential(t *testing.T) {
+	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "E99"}); err == nil {
 		t.Error("unknown experiment accepted")

@@ -1,0 +1,3 @@
+module mpcgraph
+
+go 1.24

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -139,5 +140,30 @@ func TestHelperStats(t *testing.T) {
 	}
 	if ll := loglog(1 << 16); ll != 4 {
 		t.Errorf("loglog(2^16) = %v, want 4", ll)
+	}
+}
+
+func TestRenderJSONRoundTrips(t *testing.T) {
+	tab := &Table{
+		ID:      "E0",
+		Title:   "json smoke",
+		Claim:   "rows survive the round trip",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:   "note",
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.ID != "E0" || len(got.Rows) != 2 || got.Rows[1][1] != "4" {
+		t.Fatalf("round trip mangled the table: %+v", got)
 	}
 }

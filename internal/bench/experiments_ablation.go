@@ -39,7 +39,7 @@ func runE15(cfg Config) *Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := rng.Hash(cfg.Seed, 15, math.Float64bits(alpha), uint64(trial))
 			g := sqrtDegGNP(n, rng.New(seed))
-			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Alpha: alpha})
+			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Alpha: alpha, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -94,6 +94,7 @@ func runE16(cfg Config) *Table {
 			Eps:            0.1,
 			PhaseIterBeta:  s.beta,
 			PaperConstants: s.paper,
+			Workers:        cfg.Workers,
 		})
 		if err != nil {
 			continue

@@ -80,7 +80,7 @@ func runE5(cfg Config) *Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := rng.Hash(cfg.Seed, 5, uint64(n), uint64(trial))
 			g := graph.GNP(n, 16/float64(n), rng.New(seed))
-			res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1})
+			res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -124,7 +124,7 @@ func runE6(cfg Config) *Table {
 	for _, eps := range []float64{0.5, 0.1} {
 		for _, f := range mk(rng.Hash(cfg.Seed, 6, math.Float64bits(eps))) {
 			res, err := matching.ApproxMaxMatching(f.g, matching.PipelineOptions{
-				Seed: rng.Hash(cfg.Seed, 60, math.Float64bits(eps)), Eps: eps,
+				Seed: rng.Hash(cfg.Seed, 60, math.Float64bits(eps)), Eps: eps, Workers: cfg.Workers,
 			})
 			if err != nil {
 				continue
@@ -135,7 +135,7 @@ func runE6(cfg Config) *Table {
 				mRatio = float64(mOpt) / float64(res.M.Size())
 			}
 			cover, err := matching.ApproxMinVertexCover(f.g, matching.PipelineOptions{
-				Seed: rng.Hash(cfg.Seed, 61, math.Float64bits(eps)), Eps: eps,
+				Seed: rng.Hash(cfg.Seed, 61, math.Float64bits(eps)), Eps: eps, Workers: cfg.Workers,
 			})
 			if err != nil {
 				continue
@@ -172,7 +172,7 @@ func runE7(cfg Config) *Table {
 	for _, n := range sizes {
 		seed := rng.Hash(cfg.Seed, 7, uint64(n))
 		g := graph.GNP(n, 24/float64(n), rng.New(seed))
-		res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Strict: true})
+		res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Strict: true, Workers: cfg.Workers})
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fi(n), "-", "-", "-", "AUDIT-FAIL"})
 			continue
@@ -205,7 +205,7 @@ func runE8(cfg Config) *Table {
 	}
 	seed := rng.Hash(cfg.Seed, 8)
 	g := graph.GNP(n, 16/float64(n), rng.New(seed))
-	res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1})
+	res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Workers: cfg.Workers})
 	if err != nil {
 		t.Notes = "simulation failed: " + err.Error()
 		return t
@@ -249,12 +249,12 @@ func runE9(cfg Config) *Table {
 	for _, eps := range []float64{0.5, 0.2, 0.1} {
 		seed := rng.Hash(cfg.Seed, 9, math.Float64bits(eps))
 		bg := graph.RandomBipartite(half, half, 8/float64(half), rng.New(seed))
-		rows := runBoostCase(t, "bipartite", bg.Graph, eps, seed, func() int {
+		rows := runBoostCase(t, "bipartite", bg.Graph, eps, seed, cfg.Workers, func() int {
 			return baseline.HopcroftKarp(bg).Size()
 		})
 		t.Rows = append(t.Rows, rows)
 		gg := graph.GNP(half, 8/float64(half), rng.New(seed+1))
-		rows = runBoostCase(t, "general", gg, eps, seed+1, func() int {
+		rows = runBoostCase(t, "general", gg, eps, seed+1, cfg.Workers, func() int {
 			return baseline.MaxMatchingGeneral(gg).Size()
 		})
 		t.Rows = append(t.Rows, rows)
@@ -262,8 +262,8 @@ func runE9(cfg Config) *Table {
 	return t
 }
 
-func runBoostCase(t *Table, name string, g *graph.Graph, eps float64, seed uint64, opt func() int) []string {
-	base, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{Seed: seed, Eps: eps})
+func runBoostCase(t *Table, name string, g *graph.Graph, eps float64, seed uint64, workers int, opt func() int) []string {
+	base, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{Seed: seed, Eps: eps, Workers: workers})
 	if err != nil {
 		return []string{name, f2(eps), "-", "-", "-", "-", "-", "-", "-"}
 	}
@@ -348,12 +348,12 @@ func runE12(cfg Config) *Table {
 		seed := rng.Hash(cfg.Seed, 12, uint64(n))
 		g := graph.GNP(n, 0.25, rng.New(seed))
 		probe := &matching.DeviationProbe{}
-		res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Probe: probe})
+		res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Probe: probe, Workers: cfg.Workers})
 		if err != nil {
 			continue
 		}
 		probeFixed := &matching.DeviationProbe{}
-		_, err = matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Probe: probeFixed, FixedThreshold: true})
+		_, err = matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Probe: probeFixed, FixedThreshold: true, Workers: cfg.Workers})
 		if err != nil {
 			continue
 		}
@@ -394,7 +394,7 @@ func runE13(cfg Config) *Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := rng.Hash(cfg.Seed, 13, uint64(n), uint64(trial))
 			g := sqrtDegGNP(n, rng.New(seed))
-			if r, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed}); err == nil {
+			if r, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Workers: cfg.Workers}); err == nil {
 				oursMIS = append(oursMIS, float64(r.Rounds))
 			}
 			if c, err := mpc.NewCluster(mpc.Config{Machines: int(math.Sqrt(float64(n))) + 1, CapacityWords: int64(16 * n)}); err == nil {
@@ -402,7 +402,7 @@ func runE13(cfg Config) *Table {
 					luby = append(luby, float64(r.Rounds))
 				}
 			}
-			if res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1}); err == nil {
+			if res, err := matching.Simulate(g, matching.SimOptions{Seed: seed, Eps: 0.1, Workers: cfg.Workers}); err == nil {
 				oursMatch = append(oursMatch, float64(res.Rounds))
 			}
 			filt = append(filt, float64(matching.FilteringMaximalMatching(g, int64(2*n), rng.New(seed+2)).Rounds))

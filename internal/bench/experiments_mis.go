@@ -44,7 +44,7 @@ func runE1(cfg Config) *Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := rng.Hash(cfg.Seed, 1, uint64(n), uint64(trial))
 			g := sqrtDegGNP(n, rng.New(seed))
-			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed})
+			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -74,7 +74,7 @@ func runE2(cfg Config) *Table {
 	for _, n := range misSizes(cfg) {
 		seed := rng.Hash(cfg.Seed, 2, uint64(n))
 		g := sqrtDegGNP(n, rng.New(seed))
-		res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed})
+		res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Workers: cfg.Workers})
 		if err != nil {
 			continue
 		}
@@ -143,7 +143,7 @@ func runE11(cfg Config) *Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			seed := rng.Hash(cfg.Seed, 11, uint64(n), uint64(trial))
 			g := sqrtDegGNP(n, rng.New(seed))
-			res, err := mis.RandGreedyCongestedClique(g, mis.Options{Seed: seed})
+			res, err := mis.RandGreedyCongestedClique(g, mis.Options{Seed: seed, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}
@@ -175,7 +175,7 @@ func runE14(cfg Config) *Table {
 			g := sqrtDegGNP(n, src)
 			perm := src.Perm(n)
 			depth = append(depth, float64(baseline.GreedyDependencyDepth(g, perm)))
-			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed})
+			res, err := mis.RandGreedyMPC(g, mis.Options{Seed: seed, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}

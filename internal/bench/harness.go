@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -23,6 +24,10 @@ type Config struct {
 	Trials int
 	// Quick shrinks instance sizes for smoke tests and -short runs.
 	Quick bool
+	// Workers is the parallel execution knob threaded into every
+	// algorithm invocation (0 = all cores, 1 = sequential). Tables are
+	// bit-identical for every setting; only wall-clock time changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +99,21 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// RenderJSON writes the table as one JSON object on a single line —
+// the machine-readable form behind mpcbench -json, stable enough for
+// BENCH_*.json trajectories to diff across commits.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Claim   string     `json:"claim"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   string     `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Claim, t.Columns, t.Rows, t.Notes})
+}
+
 // Experiment is a runnable experiment.
 type Experiment struct {
 	ID    string
@@ -141,6 +161,21 @@ func RunAll(cfg Config, w io.Writer) {
 		}
 		t.Render(w)
 	}
+}
+
+// RunAllJSON executes every experiment and writes one JSON object per
+// line to w (the -json form of RunAll).
+func RunAllJSON(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		if err := t.RenderJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Formatting helpers shared by the experiment implementations.

@@ -12,6 +12,8 @@ package congest
 import (
 	"errors"
 	"fmt"
+
+	"mpcgraph/internal/par"
 )
 
 // Config describes a clique deployment.
@@ -23,6 +25,10 @@ type Config struct {
 	PairBudgetWords int
 	// Strict makes budget violations fail the round.
 	Strict bool
+	// Workers bounds the goroutines used to process a round's outboxes
+	// (0 = all cores, 1 = sequential). Every setting produces identical
+	// inboxes, metrics and errors.
+	Workers int
 }
 
 // Metrics aggregates the model costs incurred so far.
@@ -84,48 +90,118 @@ func (q *Clique) Metrics() Metrics { return q.met }
 
 // Round executes one synchronous round. out[i] holds player i's messages;
 // the per-ordered-pair budget is enforced. Delivery order is by sender.
+// The per-player accounting fans out across Workers goroutines; inboxes,
+// metrics and errors are bit-identical for every Workers setting.
 func (q *Clique) Round(out [][]Message) ([][]Message, error) {
 	if len(out) != q.cfg.Players {
 		return nil, fmt.Errorf("congest: Round got %d outboxes for %d players", len(out), q.cfg.Players)
 	}
 	q.met.Rounds++
 	n := q.cfg.Players
-	in := make([][]Message, n)
-	inWords := make([]int64, n)
-	pairWords := make(map[[2]int]int)
-	var firstErr error
-	for i, box := range out {
-		var outWords int64
-		for k := range box {
-			msg := box[k]
-			if msg.To < 0 || msg.To >= n {
-				return nil, fmt.Errorf("congest: player %d sent to invalid player %d", i, msg.To)
-			}
-			if msg.To == i {
-				return nil, fmt.Errorf("congest: player %d sent to itself", i)
-			}
-			if msg.Words < 0 {
-				return nil, fmt.Errorf("congest: player %d sent negative-size message", i)
-			}
-			msg.From = i
-			key := [2]int{i, msg.To}
-			pairWords[key] += msg.Words
-			if pairWords[key] > q.cfg.PairBudgetWords {
-				q.met.Violations++
-				if firstErr == nil {
-					firstErr = &BudgetError{
-						Round:  q.met.Rounds,
-						Detail: fmt.Sprintf("pair (%d,%d) carries %d words, budget %d", i, msg.To, pairWords[key], q.cfg.PairBudgetWords),
+	shards := par.ShardCount(q.cfg.Workers, n)
+	outWords := make([]int64, n)
+	shardIn := make([][]int64, shards)
+	shardCnt := make([][]int32, shards)
+	shardTotal := make([]int64, shards)
+	shardViol := make([]int, shards)
+	shardErr := make([]error, shards)       // malformed messages: abort the round
+	shardBudgetErr := make([]error, shards) // first budget violation, by sender order
+	for w := 0; w < shards; w++ {
+		shardIn[w] = make([]int64, n)
+		shardCnt[w] = make([]int32, n)
+	}
+	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
+		iw, cw := shardIn[w], shardCnt[w]
+		// The pair budget only aggregates within one sender's box, so a
+		// worker-local tally with per-sender reset suffices.
+		pw := make([]int, n)
+		touched := make([]int, 0, 16)
+		for i := lo; i < hi; i++ {
+			var ow int64
+			for k := range out[i] {
+				msg := &out[i][k]
+				if msg.To < 0 || msg.To >= n {
+					shardErr[w] = fmt.Errorf("congest: player %d sent to invalid player %d", i, msg.To)
+					return
+				}
+				if msg.To == i {
+					shardErr[w] = fmt.Errorf("congest: player %d sent to itself", i)
+					return
+				}
+				if msg.Words < 0 {
+					shardErr[w] = fmt.Errorf("congest: player %d sent negative-size message", i)
+					return
+				}
+				if pw[msg.To] == 0 {
+					touched = append(touched, msg.To)
+				}
+				pw[msg.To] += msg.Words
+				if pw[msg.To] > q.cfg.PairBudgetWords {
+					shardViol[w]++
+					if shardBudgetErr[w] == nil {
+						shardBudgetErr[w] = &BudgetError{
+							Round:  q.met.Rounds,
+							Detail: fmt.Sprintf("pair (%d,%d) carries %d words, budget %d", i, msg.To, pw[msg.To], q.cfg.PairBudgetWords),
+						}
 					}
 				}
+				ow += int64(msg.Words)
+				iw[msg.To] += int64(msg.Words)
+				cw[msg.To]++
+				shardTotal[w] += int64(msg.Words)
 			}
-			outWords += int64(msg.Words)
-			inWords[msg.To] += int64(msg.Words)
-			q.met.TotalWords += int64(msg.Words)
-			in[msg.To] = append(in[msg.To], msg)
+			outWords[i] = ow
+			for _, t := range touched {
+				pw[t] = 0
+			}
+			touched = touched[:0]
 		}
-		if outWords > q.met.MaxPlayerOut {
-			q.met.MaxPlayerOut = outWords
+	})
+	for _, err := range shardErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var firstErr error
+	for w := 0; w < shards; w++ {
+		q.met.TotalWords += shardTotal[w]
+		q.met.Violations += shardViol[w]
+		if firstErr == nil {
+			firstErr = shardBudgetErr[w]
+		}
+	}
+	in := make([][]Message, n)
+	inWords := make([]int64, n)
+	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
+		for j := lo; j < hi; j++ {
+			var words int64
+			var cnt int32
+			for w := 0; w < shards; w++ {
+				words += shardIn[w][j]
+				base := cnt
+				cnt += shardCnt[w][j]
+				shardCnt[w][j] = base
+			}
+			inWords[j] = words
+			if cnt > 0 {
+				in[j] = make([]Message, cnt)
+			}
+		}
+	})
+	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
+		cur := shardCnt[w]
+		for i := lo; i < hi; i++ {
+			for k := range out[i] {
+				msg := out[i][k]
+				msg.From = i
+				in[msg.To][cur[msg.To]] = msg
+				cur[msg.To]++
+			}
+		}
+	})
+	for _, ow := range outWords {
+		if ow > q.met.MaxPlayerOut {
+			q.met.MaxPlayerOut = ow
 		}
 	}
 	for _, w := range inWords {
@@ -152,36 +228,88 @@ func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
 	n := q.cfg.Players
 	limit := int64(n) * int64(q.cfg.PairBudgetWords)
 	q.met.Rounds += lenzenRounds
+	shards := par.ShardCount(q.cfg.Workers, n)
+	outWords := make([]int64, n)
+	shardIn := make([][]int64, shards)
+	shardCnt := make([][]int32, shards)
+	shardTotal := make([]int64, shards)
+	shardErr := make([]error, shards)
+	for w := 0; w < shards; w++ {
+		shardIn[w] = make([]int64, n)
+		shardCnt[w] = make([]int32, n)
+	}
+	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
+		iw, cw := shardIn[w], shardCnt[w]
+		for i := lo; i < hi; i++ {
+			var ow int64
+			for k := range out[i] {
+				msg := &out[i][k]
+				if msg.To < 0 || msg.To >= n {
+					shardErr[w] = fmt.Errorf("congest: player %d routes to invalid player %d", i, msg.To)
+					return
+				}
+				if msg.Words < 0 {
+					shardErr[w] = fmt.Errorf("congest: player %d routes negative-size message", i)
+					return
+				}
+				ow += int64(msg.Words)
+				iw[msg.To] += int64(msg.Words)
+				cw[msg.To]++
+				shardTotal[w] += int64(msg.Words)
+			}
+			outWords[i] = ow
+		}
+	})
+	for _, err := range shardErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range shardTotal {
+		q.met.TotalWords += t
+	}
 	in := make([][]Message, n)
 	inWords := make([]int64, n)
-	var firstErr error
-	for i, box := range out {
-		var outWords int64
-		for k := range box {
-			msg := box[k]
-			if msg.To < 0 || msg.To >= n {
-				return nil, fmt.Errorf("congest: player %d routes to invalid player %d", i, msg.To)
+	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
+		for j := lo; j < hi; j++ {
+			var words int64
+			var cnt int32
+			for w := 0; w < shards; w++ {
+				words += shardIn[w][j]
+				base := cnt
+				cnt += shardCnt[w][j]
+				shardCnt[w][j] = base
 			}
-			if msg.Words < 0 {
-				return nil, fmt.Errorf("congest: player %d routes negative-size message", i)
+			inWords[j] = words
+			if cnt > 0 {
+				in[j] = make([]Message, cnt)
 			}
-			msg.From = i
-			outWords += int64(msg.Words)
-			inWords[msg.To] += int64(msg.Words)
-			q.met.TotalWords += int64(msg.Words)
-			in[msg.To] = append(in[msg.To], msg)
 		}
-		if outWords > limit {
+	})
+	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
+		cur := shardCnt[w]
+		for i := lo; i < hi; i++ {
+			for k := range out[i] {
+				msg := out[i][k]
+				msg.From = i
+				in[msg.To][cur[msg.To]] = msg
+				cur[msg.To]++
+			}
+		}
+	})
+	var firstErr error
+	for i, ow := range outWords {
+		if ow > limit {
 			q.met.Violations++
 			if firstErr == nil {
 				firstErr = &BudgetError{
 					Round:  q.met.Rounds,
-					Detail: fmt.Sprintf("player %d sends %d words, Lenzen limit %d", i, outWords, limit),
+					Detail: fmt.Sprintf("player %d sends %d words, Lenzen limit %d", i, ow, limit),
 				}
 			}
 		}
-		if outWords > q.met.MaxPlayerOut {
-			q.met.MaxPlayerOut = outWords
+		if ow > q.met.MaxPlayerOut {
+			q.met.MaxPlayerOut = ow
 		}
 	}
 	for j, w := range inWords {
@@ -282,14 +410,16 @@ func (q *Clique) AllBroadcast(wordsEach int, payloads []any) ([][]any, error) {
 		q.met.MaxPlayerIn = per
 	}
 	received := make([][]any, n)
-	for j := 0; j < n; j++ {
-		row := make([]any, n)
-		for i := 0; i < n; i++ {
-			if i != j {
-				row[i] = payloads[i]
+	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
+		for j := lo; j < hi; j++ {
+			row := make([]any, n)
+			for i := 0; i < n; i++ {
+				if i != j {
+					row[i] = payloads[i]
+				}
 			}
+			received[j] = row
 		}
-		received[j] = row
-	}
+	})
 	return received, nil
 }

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgraph/internal/rng"
+)
+
+// benchGraph is a mid-size G(n, p) instance with ~n·√n/2 edges, the
+// density regime the MIS experiments run in.
+func benchGraph(n int) *Graph {
+	return GNP(n, 1/float64(int(1)<<7), rng.New(99))
+}
+
+func benchWorkerCounts() []int { return []int{1, 0} }
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := benchGraph(1 << 14)
+	keep := make([]bool, g.NumVertices())
+	src := rng.New(5)
+	for i := range keep {
+		keep[i] = src.Bool(0.5)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.SubgraphWorkers(keep, w)
+			}
+		})
+	}
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	base := benchGraph(1 << 14)
+	edges := base.EdgeList()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bld := NewBuilder(base.NumVertices())
+				for _, e := range edges {
+					bld.AddEdge(e[0], e[1])
+				}
+				if _, err := bld.BuildWorkers(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompactInduced(b *testing.B) {
+	g := benchGraph(1 << 14)
+	var vertices []int32
+	for v := int32(0); v < int32(g.NumVertices()); v += 2 {
+		vertices = append(vertices, v)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CompactInducedWorkers(vertices, w)
+			}
+		})
+	}
+}
+
+func BenchmarkLineGraph(b *testing.B) {
+	// Line graphs square the size; keep the base instance moderate.
+	g := GNP(1<<11, 0.01, rng.New(3))
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.LineGraphWorkers(w)
+			}
+		})
+	}
+}
+
+func BenchmarkMaxDegreeCached(b *testing.B) {
+	g := benchGraph(1 << 14)
+	g.MaxDegree() // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaxDegree()
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"mpcgraph/internal/par"
 )
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate
@@ -41,16 +43,28 @@ func (b *Builder) AddEdge(u, v int32) {
 	b.edges = append(b.edges, [2]int32{u, v})
 }
 
-// Build constructs the graph, deduplicating parallel edges.
+// Build constructs the graph, deduplicating parallel edges. It runs on
+// all cores; BuildWorkers takes an explicit worker count.
 func (b *Builder) Build() (*Graph, error) {
+	return b.BuildWorkers(0)
+}
+
+// BuildWorkers is Build with an explicit Workers knob (0 = all cores,
+// 1 = sequential). The edge list is parallel-merge-sorted, then the CSR
+// arrays are built with a sharded counting sort: each worker counts the
+// per-vertex degrees of its edge shard, the shard-order prefix sums fix
+// every worker's write cursors, and the fill lands each adjacency entry
+// exactly where the sequential pass would — the output is bit-identical
+// for every worker count.
+func (b *Builder) BuildWorkers(workers int) (*Graph, error) {
 	if b.n == 0 && len(b.edges) > 0 {
 		return nil, errors.New("graph: edges on zero vertices")
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	par.Sort(workers, b.edges, func(x, y [2]int32) bool {
+		if x[0] != y[0] {
+			return x[0] < y[0]
 		}
-		return b.edges[i][1] < b.edges[j][1]
+		return x[1] < y[1]
 	})
 	dedup := b.edges[:0]
 	for i, e := range b.edges {
@@ -60,31 +74,57 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	b.edges = dedup
 
+	m := len(b.edges)
+	shards := par.ShardCount(workers, m)
+	// counts[w][v] = adjacency entries vertex v receives from shard w.
+	counts := make([][]int32, shards)
+	for w := range counts {
+		counts[w] = make([]int32, b.n)
+	}
+	par.For(workers, m, func(lo, hi, w int) {
+		c := counts[w]
+		for _, e := range b.edges[lo:hi] {
+			c[e[0]]++
+			c[e[1]]++
+		}
+	})
 	offsets := make([]int32, b.n+1)
-	for _, e := range b.edges {
-		offsets[e[0]+1]++
-		offsets[e[1]+1]++
+	// cursors[w][v] = first slot of v's list that shard w writes; shards
+	// write in shard order, so the fill reproduces the sequential entry
+	// order exactly.
+	cursors := make([][]int32, shards)
+	for w := range cursors {
+		cursors[w] = make([]int32, b.n)
 	}
-	for i := 1; i <= b.n; i++ {
-		offsets[i] += offsets[i-1]
+	for v := 0; v < b.n; v++ {
+		deg := int32(0)
+		for w := 0; w < shards; w++ {
+			cursors[w][v] = deg
+			deg += counts[w][v]
+		}
+		offsets[v+1] = offsets[v] + deg
 	}
-	adj := make([]int32, 2*len(b.edges))
-	cursor := make([]int32, b.n)
-	for _, e := range b.edges {
-		u, v := e[0], e[1]
-		adj[offsets[u]+cursor[u]] = v
-		cursor[u]++
-		adj[offsets[v]+cursor[v]] = u
-		cursor[v]++
-	}
-	g := &Graph{n: b.n, m: len(b.edges), offsets: offsets, adj: adj}
+	adj := make([]int32, 2*m)
+	par.For(workers, m, func(lo, hi, w int) {
+		cur := cursors[w]
+		for _, e := range b.edges[lo:hi] {
+			u, v := e[0], e[1]
+			adj[offsets[u]+cur[u]] = v
+			cur[u]++
+			adj[offsets[v]+cur[v]] = u
+			cur[v]++
+		}
+	})
+	g := &Graph{n: b.n, m: m, offsets: offsets, adj: adj}
 	// Each per-vertex list must be sorted; inputs were sorted by (u,v) so
 	// the lists of smaller endpoints are sorted, but entries pointing back
 	// from larger endpoints interleave. Sort each list.
-	for v := int32(0); int(v) < b.n; v++ {
-		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-	}
+	par.For(workers, b.n, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	})
 	return g, nil
 }
 

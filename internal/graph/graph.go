@@ -13,6 +13,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+
+	"mpcgraph/internal/par"
 )
 
 // Graph is an immutable simple undirected graph in CSR form.
@@ -22,6 +25,10 @@ type Graph struct {
 	m       int
 	offsets []int32 // length n+1; neighbors of v are adj[offsets[v]:offsets[v+1]]
 	adj     []int32 // length 2m; each undirected edge appears twice, lists sorted
+
+	// maxDeg caches MaxDegree()+1; 0 means not yet computed. Atomic so
+	// concurrent readers (the parallel execution engine) stay race-free.
+	maxDeg atomic.Int64
 }
 
 // NumVertices returns n, the number of vertices.
@@ -49,13 +56,20 @@ func (g *Graph) HasEdge(u, v int32) bool {
 }
 
 // MaxDegree returns the maximum vertex degree, or 0 on the empty graph.
+// The value is computed lazily once and cached; the graph is immutable,
+// so repeated calls (String, LineGraph, every MIS phase schedule) cost
+// one atomic load.
 func (g *Graph) MaxDegree() int {
+	if c := g.maxDeg.Load(); c > 0 {
+		return int(c - 1)
+	}
 	max := 0
 	for v := int32(0); v < int32(g.n); v++ {
 		if d := g.Degree(v); d > max {
 			max = d
 		}
 	}
+	g.maxDeg.Store(int64(max) + 1)
 	return max
 }
 
@@ -94,18 +108,27 @@ type EdgeIndex struct {
 	start []int32 // start[u] = id of the first edge whose smaller endpoint is u
 }
 
-// NewEdgeIndex builds the edge index for g in O(n + m).
+// NewEdgeIndex builds the edge index for g in O(n + m) on all cores;
+// NewEdgeIndexWorkers takes an explicit worker count.
 func NewEdgeIndex(g *Graph) *EdgeIndex {
+	return NewEdgeIndexWorkers(g, 0)
+}
+
+// NewEdgeIndexWorkers is NewEdgeIndex with an explicit Workers knob
+// (0 = all cores, 1 = sequential).
+func NewEdgeIndexWorkers(g *Graph, workers int) *EdgeIndex {
 	start := make([]int32, g.n+1)
-	var id int32
-	for u := int32(0); u < int32(g.n); u++ {
-		start[u] = id
-		nb := g.Neighbors(u)
-		// Neighbors are sorted, so the ones greater than u form a suffix.
-		i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
-		id += int32(len(nb) - i)
+	par.For(workers, g.n, func(lo, hi, _ int) {
+		for u := int32(lo); u < int32(hi); u++ {
+			nb := g.Neighbors(u)
+			// Neighbors are sorted, so the ones greater than u form a suffix.
+			i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+			start[u+1] = int32(len(nb) - i)
+		}
+	})
+	for u := 0; u < g.n; u++ {
+		start[u+1] += start[u]
 	}
-	start[g.n] = id
 	return &EdgeIndex{g: g, start: start}
 }
 
@@ -150,46 +173,74 @@ func (ix *EdgeIndex) NumEdges() int { return int(ix.start[ix.g.n]) }
 // the edges with both endpoints marked in keep. Vertices outside keep
 // become isolated; vertex ids are preserved. This is the "remove vertices,
 // keep the id space" operation the greedy MIS simulation relies on.
+// It runs on all cores; SubgraphWorkers takes an explicit worker count.
 func (g *Graph) Subgraph(keep []bool) *Graph {
+	return g.SubgraphWorkers(keep, 0)
+}
+
+// SubgraphWorkers is Subgraph with an explicit Workers knob (0 = all
+// cores, 1 = sequential). The result is bit-identical for every worker
+// count: the CSR arrays are built count-then-fill, with each vertex's
+// slot range computed before any adjacency is written.
+func (g *Graph) SubgraphWorkers(keep []bool, workers int) *Graph {
 	if len(keep) != g.n {
 		panic("graph: Subgraph mask has wrong length")
 	}
 	offsets := make([]int32, g.n+1)
-	for u := int32(0); u < int32(g.n); u++ {
-		cnt := int32(0)
-		if keep[u] {
+	par.For(workers, g.n, func(lo, hi, _ int) {
+		for u := int32(lo); u < int32(hi); u++ {
+			cnt := int32(0)
+			if keep[u] {
+				for _, v := range g.Neighbors(u) {
+					if keep[v] {
+						cnt++
+					}
+				}
+			}
+			offsets[u+1] = cnt
+		}
+	})
+	for u := 0; u < g.n; u++ {
+		offsets[u+1] += offsets[u]
+	}
+	adj := make([]int32, offsets[g.n])
+	par.For(workers, g.n, func(lo, hi, _ int) {
+		for u := int32(lo); u < int32(hi); u++ {
+			if !keep[u] {
+				continue
+			}
+			w := offsets[u]
 			for _, v := range g.Neighbors(u) {
 				if keep[v] {
-					cnt++
+					adj[w] = v
+					w++
 				}
 			}
 		}
-		offsets[u+1] = offsets[u] + cnt
-	}
-	adj := make([]int32, offsets[g.n])
-	for u := int32(0); u < int32(g.n); u++ {
-		if !keep[u] {
-			continue
-		}
-		w := offsets[u]
-		for _, v := range g.Neighbors(u) {
-			if keep[v] {
-				adj[w] = v
-				w++
-			}
-		}
-	}
+	})
 	return &Graph{n: g.n, m: int(offsets[g.n]) / 2, offsets: offsets, adj: adj}
 }
 
 // CompactInduced returns the induced subgraph on the given vertices with a
 // fresh dense id space, plus the mapping from new ids back to original
-// ids. Vertices must be distinct and in range.
+// ids. Vertices must be distinct and in range. It runs on all cores;
+// CompactInducedWorkers takes an explicit worker count.
 func (g *Graph) CompactInduced(vertices []int32) (*Graph, []int32) {
+	return g.CompactInducedWorkers(vertices, 0)
+}
+
+// CompactInducedWorkers is CompactInduced with an explicit Workers knob
+// (0 = all cores, 1 = sequential). The CSR is built directly with
+// count-then-fill instead of going through a Builder edge sort, so the
+// cost is O(n + m·log(maxdeg)) and the output is bit-identical for
+// every worker count.
+func (g *Graph) CompactInducedWorkers(vertices []int32, workers int) (*Graph, []int32) {
 	inv := make([]int32, g.n)
-	for i := range inv {
-		inv[i] = -1
-	}
+	par.For(workers, g.n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			inv[i] = -1
+		}
+	})
 	orig := make([]int32, len(vertices))
 	for i, v := range vertices {
 		if v < 0 || int(v) >= g.n {
@@ -201,39 +252,99 @@ func (g *Graph) CompactInduced(vertices []int32) (*Graph, []int32) {
 		inv[v] = int32(i)
 		orig[i] = v
 	}
-	b := NewBuilder(len(vertices))
-	for i, v := range vertices {
-		for _, w := range g.Neighbors(v) {
-			if j := inv[w]; j >= 0 && int32(i) < j {
-				b.AddEdge(int32(i), j)
+	k := len(vertices)
+	offsets := make([]int32, k+1)
+	par.For(workers, k, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			cnt := int32(0)
+			for _, w := range g.Neighbors(orig[i]) {
+				if inv[w] >= 0 {
+					cnt++
+				}
 			}
+			offsets[i+1] = cnt
 		}
+	})
+	for i := 0; i < k; i++ {
+		offsets[i+1] += offsets[i]
 	}
-	return b.MustBuild(), orig
+	adj := make([]int32, offsets[k])
+	par.For(workers, k, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			pos := offsets[i]
+			for _, w := range g.Neighbors(orig[i]) {
+				if j := inv[w]; j >= 0 {
+					adj[pos] = j
+					pos++
+				}
+			}
+			// The original neighbor order follows original ids; the new
+			// ids follow the order of the vertices argument, so each list
+			// must be re-sorted.
+			nb := adj[offsets[i]:pos]
+			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		}
+	})
+	return &Graph{n: k, m: int(offsets[k]) / 2, offsets: offsets, adj: adj}, orig
 }
 
 // LineGraph returns the line graph L(G): one vertex per edge of g, with
 // two line-graph vertices adjacent when the underlying edges share an
 // endpoint. The edge ids follow NewEdgeIndex(g). This is the classical
-// reduction (Luby on L(G) yields a maximal matching of G) discussed in the
-// paper's introduction.
+// reduction (Luby on L(G) yields a maximal matching of G) discussed in
+// the paper's introduction. It runs on all cores; LineGraphWorkers takes
+// an explicit worker count.
 func (g *Graph) LineGraph() (*Graph, *EdgeIndex) {
-	ix := NewEdgeIndex(g)
-	b := NewBuilder(g.m)
-	// Edges of L(G): for every vertex, all pairs of incident edges.
-	ids := make([]int32, 0, g.MaxDegree())
-	for v := int32(0); v < int32(g.n); v++ {
-		ids = ids[:0]
-		for _, u := range g.Neighbors(v) {
-			ids = append(ids, ix.ID(v, u))
-		}
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				b.AddEdge(ids[i], ids[j])
+	return g.LineGraphWorkers(0)
+}
+
+// LineGraphWorkers is LineGraph with an explicit Workers knob (0 = all
+// cores, 1 = sequential). Since two distinct edges of a simple graph
+// share at most one endpoint, the L(G) degree of edge {u,v} is exactly
+// deg(u)+deg(v)-2 and the CSR can be built count-then-fill with no
+// deduplication; the output is bit-identical for every worker count.
+func (g *Graph) LineGraphWorkers(workers int) (*Graph, *EdgeIndex) {
+	ix := NewEdgeIndexWorkers(g, workers)
+	mL := g.m // vertices of L(G)
+	ends := make([][2]int32, mL)
+	offsets := make([]int32, mL+1)
+	par.For(workers, g.n, func(lo, hi, _ int) {
+		for u := int32(lo); u < int32(hi); u++ {
+			nb := g.Neighbors(u)
+			i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+			for j := i; j < len(nb); j++ {
+				id := ix.start[u] + int32(j-i)
+				v := nb[j]
+				ends[id] = [2]int32{u, v}
+				offsets[id+1] = int32(g.Degree(u) + g.Degree(v) - 2)
 			}
 		}
+	})
+	for e := 0; e < mL; e++ {
+		offsets[e+1] += offsets[e]
 	}
-	return b.MustBuild(), ix
+	adj := make([]int32, offsets[mL])
+	par.For(workers, mL, func(lo, hi, _ int) {
+		for e := int32(lo); e < int32(hi); e++ {
+			u, v := ends[e][0], ends[e][1]
+			pos := offsets[e]
+			for _, w := range g.Neighbors(u) {
+				if w != v {
+					adj[pos] = ix.ID(u, w)
+					pos++
+				}
+			}
+			for _, w := range g.Neighbors(v) {
+				if w != u {
+					adj[pos] = ix.ID(v, w)
+					pos++
+				}
+			}
+			nb := adj[offsets[e]:pos]
+			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		}
+	})
+	return &Graph{n: mL, m: int(offsets[mL]) / 2, offsets: offsets, adj: adj}, ix
 }
 
 // Clone returns a deep copy of g.
@@ -242,7 +353,9 @@ func (g *Graph) Clone() *Graph {
 	copy(offsets, g.offsets)
 	adj := make([]int32, len(g.adj))
 	copy(adj, g.adj)
-	return &Graph{n: g.n, m: g.m, offsets: offsets, adj: adj}
+	c := &Graph{n: g.n, m: g.m, offsets: offsets, adj: adj}
+	c.maxDeg.Store(g.maxDeg.Load())
+	return c
 }
 
 // String returns a short human-readable summary.

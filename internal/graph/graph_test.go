@@ -553,15 +553,3 @@ func BenchmarkGNP(b *testing.B) {
 	}
 }
 
-func BenchmarkSubgraph(b *testing.B) {
-	g := GNP(5000, 0.004, rng.New(1))
-	keep := make([]bool, 5000)
-	for i := range keep {
-		keep[i] = i%2 == 0
-	}
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = g.Subgraph(keep)
-	}
-}

@@ -6,6 +6,7 @@ import (
 
 	"mpcgraph/internal/graph"
 	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -42,6 +43,11 @@ type SimOptions struct {
 	// Probe, when non-nil, records the |y - ỹ| deviation and bad-vertex
 	// statistics of Section 4.4.3 (experiment E12).
 	Probe *DeviationProbe
+	// Workers bounds the goroutines used for the per-machine round
+	// bodies (0 = all cores, 1 = the exact sequential path). Results are
+	// bit-identical for every setting: every floating-point sum is
+	// computed entirely inside one vertex's loop body.
+	Workers int
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -151,7 +157,7 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 	oracle := rng.NewThresholdOracle(rng.Hash(opts.Seed, 0x7472), lo, hi)
 	partSrc := rng.New(opts.Seed).SplitString("partition")
 
-	st := newSimState(g, eps)
+	st := newSimState(g, eps, opts.Workers)
 	res := &SimResult{}
 
 	capacity := int64(opts.MemoryFactor * float64(n))
@@ -160,6 +166,7 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 		Machines:      machines,
 		CapacityWords: capacity,
 		Strict:        opts.Strict,
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -224,28 +231,41 @@ func phaseIterations(m int, eps float64, opts SimOptions) int {
 
 // simState is the global algorithm state shared by phases.
 type simState struct {
-	g   *graph.Graph
-	eps float64
-	w0  float64
-	t   int // global iteration counter
+	g       *graph.Graph
+	eps     float64
+	w0      float64
+	t       int // global iteration counter
+	workers int
 
 	inV        []bool  // v ∈ V'
 	freezeIter []int32 // iteration at which v froze; -1 while active
 	cover      []bool  // frozen ∪ removed
 
 	pow []float64 // pow[t] = (1-eps)^(-t), grown on demand
+
+	// Per-phase scratch, allocated once and re-zeroed each phase so the
+	// phase loop stays allocation-free in steady state.
+	yold      []float64
+	part      []int32
+	localDeg  []int32
+	globalDeg []int32
 }
 
-func newSimState(g *graph.Graph, eps float64) *simState {
+func newSimState(g *graph.Graph, eps float64, workers int) *simState {
 	n := g.NumVertices()
 	st := &simState{
 		g:          g,
 		eps:        eps,
 		w0:         (1 - 2*eps) / math.Max(float64(n), 1),
+		workers:    workers,
 		inV:        make([]bool, n),
 		freezeIter: make([]int32, n),
 		cover:      make([]bool, n),
 		pow:        []float64{1},
+		yold:       make([]float64, n),
+		part:       make([]int32, n),
+		localDeg:   make([]int32, n),
+		globalDeg:  make([]int32, n),
 	}
 	for i := range st.inV {
 		st.inV[i] = true
@@ -295,41 +315,57 @@ func (st *simState) runPhase(
 	stat := PhaseStat{Machines: m, Iterations: iters}
 
 	// Line (b): y_old — weight of already-frozen edges at each active
-	// vertex. Line (d): partition active vertices onto m machines.
-	yold := make([]float64, n)
-	part := make([]int32, n)
+	// vertex. Line (d): partition active vertices onto m machines. The
+	// partition draw consumes a sequential RNG stream, so it stays on
+	// one goroutine; everything after it is a read-only scan.
+	yold, part := st.yold, st.part
+	localDeg, globalDeg := st.localDeg, st.globalDeg // globalDeg feeds the probe's exact process
 	for v := int32(0); v < n; v++ {
 		part[v] = -1
 		if st.inV[v] && !st.frozen(v) {
 			part[v] = int32(partSrc.Intn(m))
 		}
 	}
-	localDeg := make([]int32, n)
-	inducedWords := make([]int64, m)
-	globalDeg := make([]int32, n) // for the probe's exact process
-	for v := int32(0); v < n; v++ {
-		if !st.inV[v] {
-			continue
-		}
-		if st.frozen(v) {
-			continue
-		}
-		inducedWords[part[v]]++
-		for _, u := range g.Neighbors(v) {
-			if !st.inV[u] {
+	// wAt grows its memo lazily; pre-grow it to the deepest iteration the
+	// phase can reference so the parallel scan only reads it.
+	st.wAt(st.t + iters)
+	shards := par.ShardCount(st.workers, int(n))
+	shardWords := make([][]int64, shards)
+	for w := range shardWords {
+		shardWords[w] = make([]int64, m)
+	}
+	par.For(st.workers, int(n), func(lo, hi, w int) {
+		words := shardWords[w]
+		for v := int32(lo); v < int32(hi); v++ {
+			yold[v] = 0
+			localDeg[v] = 0
+			globalDeg[v] = 0
+			if !st.inV[v] || st.frozen(v) {
 				continue
 			}
-			if st.frozen(u) {
-				yold[v] += st.wAt(int(st.freezeIter[u]))
-				continue
-			}
-			globalDeg[v]++
-			if part[u] == part[v] {
-				localDeg[v]++
-				if v < u {
-					inducedWords[part[v]] += 2
+			words[part[v]]++
+			for _, u := range g.Neighbors(v) {
+				if !st.inV[u] {
+					continue
+				}
+				if st.frozen(u) {
+					yold[v] += st.wAt(int(st.freezeIter[u]))
+					continue
+				}
+				globalDeg[v]++
+				if part[u] == part[v] {
+					localDeg[v]++
+					if v < u {
+						words[part[v]] += 2
+					}
 				}
 			}
+		}
+	})
+	inducedWords := make([]int64, m)
+	for _, words := range shardWords {
+		for j, w := range words {
+			inducedWords[j] += w
 		}
 	}
 	for _, w := range inducedWords {
@@ -376,27 +412,49 @@ func (st *simState) runPhase(
 		wt := st.wAt(st.t)
 		toFreeze = toFreeze[:0]
 		hypoToFreeze = hypoToFreeze[:0]
-		for v := int32(0); v < n; v++ {
-			if !st.inV[v] || st.frozen(v) {
-				continue
-			}
-			yTilde := float64(m)*wt*float64(localDeg[v]) + yold[v]
-			th := oracle.At(v, st.t)
-			if yTilde >= th {
-				toFreeze = append(toFreeze, v)
-			}
-			if probe != nil && hypoFreeze[v] < 0 {
-				yExact := wt*float64(globalDeg[v]) + yold[v]
-				probe.Compared++
-				dev := math.Abs(yExact - yTilde)
-				if dev > probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] {
-					probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] = dev
+		if probe == nil {
+			// The freeze predicate reads only pre-iteration state (the
+			// thresholds come from a stateless oracle), so the scan fans
+			// out; shard-order concatenation reproduces the sequential
+			// ascending-vertex candidate order exactly.
+			toFreeze = append(toFreeze, par.Collect(st.workers, int(n), func(lo, hi, _ int) []int32 {
+				var out []int32
+				for v := int32(lo); v < int32(hi); v++ {
+					if !st.inV[v] || st.frozen(v) {
+						continue
+					}
+					if float64(m)*wt*float64(localDeg[v])+yold[v] >= oracle.At(v, st.t) {
+						out = append(out, v)
+					}
 				}
-				if yExact >= th {
-					hypoToFreeze = append(hypoToFreeze, v)
+				return out
+			})...)
+		} else {
+			// The probe couples the simulated and hypothetical processes
+			// with shared running statistics; it runs at conformance
+			// scale, so the combined scan stays sequential.
+			for v := int32(0); v < n; v++ {
+				if !st.inV[v] || st.frozen(v) {
+					continue
 				}
-				if (yExact >= th) != (yTilde >= th) {
-					probe.PhaseBad[len(probe.PhaseBad)-1]++
+				yTilde := float64(m)*wt*float64(localDeg[v]) + yold[v]
+				th := oracle.At(v, st.t)
+				if yTilde >= th {
+					toFreeze = append(toFreeze, v)
+				}
+				if hypoFreeze[v] < 0 {
+					yExact := wt*float64(globalDeg[v]) + yold[v]
+					probe.Compared++
+					dev := math.Abs(yExact - yTilde)
+					if dev > probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] {
+						probe.PhaseMaxDev[len(probe.PhaseMaxDev)-1] = dev
+					}
+					if yExact >= th {
+						hypoToFreeze = append(hypoToFreeze, v)
+					}
+					if (yExact >= th) != (yTilde >= th) {
+						probe.PhaseBad[len(probe.PhaseBad)-1]++
+					}
 				}
 			}
 		}
@@ -504,29 +562,35 @@ func (st *simState) runPhase(
 func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) (int, error) {
 	g := st.g
 	n := int32(g.NumVertices())
-	// Initialize exact incremental state.
+	// Initialize exact incremental state. Each vertex gathers its own
+	// frozen-weight sum and active degree (both endpoints see each edge),
+	// so the scan fans out with per-vertex float sums kept whole.
 	yFrozen := make([]float64, n)
 	activeDeg := make([]int32, n)
-	activeEdges := 0
-	for v := int32(0); v < n; v++ {
-		if !st.inV[v] {
-			continue
-		}
-		for _, u := range g.Neighbors(v) {
-			if !st.inV[u] || u <= v {
+	st.wAt(st.t) // pre-grow the weight memo
+	halfActive := par.Reduce(st.workers, int(n), func(lo, hi, _ int) int64 {
+		var active int64
+		for v := int32(lo); v < int32(hi); v++ {
+			if !st.inV[v] {
 				continue
 			}
-			if st.frozen(v) || st.frozen(u) {
-				w := st.edgeWeightAt(v, u, st.t)
-				yFrozen[v] += w
-				yFrozen[u] += w
-			} else {
-				activeDeg[v]++
-				activeDeg[u]++
-				activeEdges++
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				if !st.inV[u] {
+					continue
+				}
+				if st.frozen(v) || st.frozen(u) {
+					s += st.edgeWeightAt(v, u, st.t)
+				} else {
+					activeDeg[v]++
+					active++
+				}
 			}
+			yFrozen[v] = s
 		}
-	}
+		return active
+	}, func(a, b int64) int64 { return a + b })
+	activeEdges := int(halfActive / 2)
 	maxIter := maxCentralIterations(int(n), st.eps) + st.t
 	iters := 0
 	toFreeze := make([]int32, 0, 64)
@@ -535,16 +599,18 @@ func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) 
 			return iters, fmt.Errorf("direct iteration %d: %w", iters, err)
 		}
 		wt := st.wAt(st.t)
-		toFreeze = toFreeze[:0]
-		for v := int32(0); v < n; v++ {
-			if !st.inV[v] || st.frozen(v) {
-				continue
+		toFreeze = append(toFreeze[:0], par.Collect(st.workers, int(n), func(lo, hi, _ int) []int32 {
+			var out []int32
+			for v := int32(lo); v < int32(hi); v++ {
+				if !st.inV[v] || st.frozen(v) {
+					continue
+				}
+				if wt*float64(activeDeg[v])+yFrozen[v] >= oracle.At(v, st.t) {
+					out = append(out, v)
+				}
 			}
-			y := wt*float64(activeDeg[v]) + yFrozen[v]
-			if y >= oracle.At(v, st.t) {
-				toFreeze = append(toFreeze, v)
-			}
-		}
+			return out
+		})...)
 		for _, v := range toFreeze {
 			st.freezeIter[v] = int32(st.t)
 			st.cover[v] = true
@@ -592,47 +658,68 @@ func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) 
 	return iters, nil
 }
 
-// computeY returns y^MPC over G[V'] at the current iteration.
+// computeY returns y^MPC over G[V'] at the current iteration. Each
+// vertex gathers its own incident weights (every edge weight is
+// recomputed on both sides), so the per-vertex float sums are formed
+// entirely inside one loop body and the result is bit-identical for
+// every worker count.
 func (st *simState) computeY() []float64 {
 	g := st.g
-	n := int32(g.NumVertices())
+	n := g.NumVertices()
 	y := make([]float64, n)
-	for v := int32(0); v < n; v++ {
-		if !st.inV[v] {
-			continue
-		}
-		for _, u := range g.Neighbors(v) {
-			if u > v && st.inV[u] {
-				w := st.edgeWeightAt(v, u, st.t)
-				y[v] += w
-				y[u] += w
+	st.wAt(st.t) // pre-grow the weight memo so the scan only reads it
+	par.For(st.workers, n, func(lo, hi, _ int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			if !st.inV[v] {
+				continue
 			}
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				if st.inV[u] {
+					s += st.edgeWeightAt(v, u, st.t)
+				}
+			}
+			y[v] = s
 		}
-	}
+	})
 	return y
 }
 
 // finalize assembles the fractional matching output: edges inside the
 // final V' carry their reconciled weights; edges touching removed
 // vertices carry zero (they are covered by the removed endpoints).
+// X entries are disjoint per edge and each Y entry is gathered inside
+// one vertex's body, so both fills fan out deterministically.
 func (st *simState) finalize() *FracResult {
 	g := st.g
-	ix := graph.NewEdgeIndex(g)
+	n := g.NumVertices()
+	ix := graph.NewEdgeIndexWorkers(g, st.workers)
 	res := &FracResult{
 		Ix:         ix,
 		X:          make([]float64, ix.NumEdges()),
-		Y:          make([]float64, g.NumVertices()),
+		Y:          make([]float64, n),
 		Cover:      st.cover,
 		Iterations: st.t,
 	}
-	g.ForEachEdge(func(u, v int32) {
-		if !st.inV[u] || !st.inV[v] {
-			return
+	st.wAt(st.t) // pre-grow the weight memo
+	par.For(st.workers, n, func(lo, hi, _ int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			if !st.inV[v] {
+				continue
+			}
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				if !st.inV[u] {
+					continue
+				}
+				w := st.edgeWeightAt(v, u, st.t)
+				s += w
+				if v < u {
+					res.X[ix.ID(v, u)] = w
+				}
+			}
+			res.Y[v] = s
 		}
-		w := st.edgeWeightAt(u, v, st.t)
-		res.X[ix.ID(u, v)] = w
-		res.Y[u] += w
-		res.Y[v] += w
 	})
 	return res
 }

@@ -29,6 +29,10 @@ type PipelineOptions struct {
 	// small-matching path). Used by experiments that want to observe the
 	// core pipeline in isolation.
 	SkipFinish bool
+	// Workers bounds the goroutines used by the fractional simulation
+	// and the subgraph constructions (0 = all cores, 1 = the exact
+	// sequential path). Results are bit-identical for every setting.
+	Workers int
 }
 
 // PipelineResult is the output of ApproxMaxMatching.
@@ -90,7 +94,7 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 	}
 	emptyStreak := 0
 	for inv := 0; inv < maxInv; inv++ {
-		sub := g.Subgraph(active)
+		sub := g.SubgraphWorkers(active, opts.Workers)
 		if sub.NumEdges() == 0 {
 			break
 		}
@@ -99,6 +103,7 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 			Eps:          epsPrime,
 			MemoryFactor: opts.MemoryFactor,
 			Strict:       opts.Strict,
+			Workers:      opts.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("invocation %d: %w", inv, err)
@@ -130,7 +135,7 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 		// Section 4.4.5: the residual instance has a small maximum
 		// matching, handled by the filtering small-matching path; we
 		// complete greedily, charging the filtering round count.
-		sub := g.Subgraph(active)
+		sub := g.SubgraphWorkers(active, opts.Workers)
 		if sub.NumEdges() > 0 {
 			fr := FilteringMaximalMatching(sub, int64(16*n), rng.New(opts.Seed).SplitString("finish"))
 			for _, e := range fr.M.Edges() {
@@ -158,5 +163,6 @@ func ApproxMinVertexCover(g *graph.Graph, opts PipelineOptions) (*SimResult, err
 		Eps:          opts.Eps / 5,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 }

@@ -1,0 +1,75 @@
+package mis
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/rng"
+)
+
+// BenchmarkPrefixPhase measures one rank-prefix phase of the Section 3
+// MPC simulation — the gather-volume scan, leader extension, broadcast
+// and residual-degree instrumentation — at the √n-degree density the
+// experiments use.
+func BenchmarkPrefixPhase(b *testing.B) {
+	const n = 1 << 14
+	g := graph.GNP(n, 1/math.Sqrt(float64(n)), rng.New(7))
+	opts := Options{Seed: 7}.withDefaults()
+	perm := rng.New(opts.Seed).SplitString("mis-perm").Perm(n)
+	rank := make([]int32, n)
+	for i, v := range perm {
+		rank[v] = int32(i)
+	}
+	capacity := int64(opts.MemoryFactor * float64(n))
+	machines := int(2*int64(g.NumEdges())/capacity) + 2
+	homeOf := func(u, v int32) int {
+		return int(rng.Hash(opts.Seed, 0xed6e, uint64(uint32(u)), uint64(uint32(v))) % uint64(machines))
+	}
+	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
+	if len(ranks) == 0 {
+		b.Fatal("no prefix phases at this scale")
+	}
+	r := ranks[0]
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cluster, err := mpc.NewCluster(mpc.Config{Machines: machines, CapacityWords: capacity, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				alive := make([]bool, n)
+				for j := range alive {
+					alive[j] = true
+				}
+				inMIS := make([]bool, n)
+				b.StartTimer()
+				if _, err := runPrefixPhase(cluster, g, perm, rank, alive, inMIS, 0, r, homeOf, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRandGreedyMPC measures the full Theorem 1.1 simulation.
+func BenchmarkRandGreedyMPC(b *testing.B) {
+	const n = 1 << 13
+	g := graph.GNP(n, 1/math.Sqrt(float64(n)), rng.New(11))
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RandGreedyMPC(g, Options{Seed: 11, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mpcgraph/internal/congest"
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -36,6 +37,7 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 		Players:         n,
 		PairBudgetWords: 1,
 		Strict:          opts.Strict,
+		Workers:         opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -64,7 +66,7 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
 	prev := 0
 	for _, r := range ranks {
-		info, err := cliquePrefixPhase(clique, g, perm, rank, alive, res.InMIS, prev, r)
+		info, err := cliquePrefixPhase(clique, g, perm, rank, alive, res.InMIS, prev, r, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -74,11 +76,11 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 	}
 
 	// Sparsified stage: one round per dynamics iteration.
-	d := newDynamics(g, alive, res.InMIS, opts.Seed)
+	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
 	residualLimit := int64(n) // one Lenzen invocation's receive budget
 	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > residualLimit/2 && iter < maxIter; iter++ {
-		maxDeg, edges := aliveDegreeProfile(g, d.alive)
+		maxDeg, edges := aliveDegreeProfile(g, d.alive, opts.Workers)
 		if err := clique.ChargeRound(1, int64(maxDeg), int64(maxDeg), 2*edges); err != nil {
 			return nil, fmt.Errorf("dynamics round: %w", err)
 		}
@@ -86,7 +88,7 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 		res.SparsifiedIterations++
 	}
 	if d.undecided() > 0 {
-		if err := chunkedLenzenGather(clique, g, d.alive); err != nil {
+		if err := chunkedLenzenGather(clique, g, d.alive, opts.Workers); err != nil {
 			return nil, err
 		}
 		d.finishGreedy(perm)
@@ -115,6 +117,7 @@ func cliquePrefixPhase(
 	rank []int32,
 	alive, inMIS []bool,
 	prev, r int,
+	workers int,
 ) (PhaseInfo, error) {
 	n := g.NumVertices()
 	info := PhaseInfo{Rank: r}
@@ -122,26 +125,45 @@ func cliquePrefixPhase(
 		return alive[v] && int(rank[v]) >= prev && int(rank[v]) < r
 	}
 	// Gather volume: every in-range vertex ships its in-range incident
-	// edges (2 words each, counted once for the smaller endpoint).
-	var total int64
-	var maxOut int64
-	for u := int32(0); u < int32(n); u++ {
-		if !inRange(u) {
-			continue
-		}
-		info.GatheredVertices++
-		var out int64 = 1 // its own id
-		for _, v := range g.Neighbors(u) {
-			if u < v && inRange(v) {
-				out += 2
+	// edges (2 words each, counted once for the smaller endpoint). The
+	// scan is read-only, so it fans out with integer accumulators merged
+	// in shard order.
+	type volAcc struct {
+		total, maxOut, edgeWords int64
+		vertices                 int
+	}
+	acc := par.Reduce(workers, n, func(lo, hi, _ int) volAcc {
+		var a volAcc
+		for u := int32(lo); u < int32(hi); u++ {
+			if !inRange(u) {
+				continue
+			}
+			a.vertices++
+			var out int64 = 1 // its own id
+			for _, v := range g.Neighbors(u) {
+				if u < v && inRange(v) {
+					out += 2
+				}
+			}
+			a.total += out
+			a.edgeWords += out - 1
+			if out > a.maxOut {
+				a.maxOut = out
 			}
 		}
-		total += out
-		info.GatheredEdgeWords += out - 1
-		if out > maxOut {
-			maxOut = out
+		return a
+	}, func(a, b volAcc) volAcc {
+		a.total += b.total
+		a.edgeWords += b.edgeWords
+		a.vertices += b.vertices
+		if b.maxOut > a.maxOut {
+			a.maxOut = b.maxOut
 		}
-	}
+		return a
+	})
+	total, maxOut := acc.total, acc.maxOut
+	info.GatheredVertices = acc.vertices
+	info.GatheredEdgeWords = acc.edgeWords
 	// Lenzen-route to the leader in chunks of at most n words.
 	for remaining := total; ; {
 		chunk := remaining
@@ -200,43 +222,40 @@ func cliquePrefixPhase(
 			alive[u] = false
 		}
 	}
-	for v := int32(0); v < int32(n); v++ {
-		if !alive[v] {
-			continue
-		}
-		deg := 0
-		for _, u := range g.Neighbors(v) {
-			if alive[u] {
-				deg++
-			}
-		}
-		if deg > info.ResidualMaxDegree {
-			info.ResidualMaxDegree = deg
-		}
-	}
+	info.ResidualMaxDegree = residualMaxDegree(g, alive, workers)
 	return info, nil
 }
 
 // chunkedLenzenGather routes the alive-induced residue to the leader in
 // n-word chunks.
-func chunkedLenzenGather(clique *congest.Clique, g *graph.Graph, alive []bool) error {
+func chunkedLenzenGather(clique *congest.Clique, g *graph.Graph, alive []bool, workers int) error {
 	n := int64(g.NumVertices())
-	var total, maxOut int64
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		if !alive[u] {
-			continue
-		}
-		var out int64 = 1
-		for _, v := range g.Neighbors(u) {
-			if u < v && alive[v] {
-				out += 2
+	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) [2]int64 {
+		var a [2]int64
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
+				continue
+			}
+			var out int64 = 1
+			for _, v := range g.Neighbors(u) {
+				if u < v && alive[v] {
+					out += 2
+				}
+			}
+			a[0] += out
+			if out > a[1] {
+				a[1] = out
 			}
 		}
-		total += out
-		if out > maxOut {
-			maxOut = out
+		return a
+	}, func(a, b [2]int64) [2]int64 {
+		a[0] += b[0]
+		if b[1] > a[1] {
+			a[1] = b[1]
 		}
-	}
+		return a
+	})
+	total, maxOut := acc[0], acc[1]
 	for remaining := total; ; {
 		chunk := remaining
 		if chunk > n {
@@ -255,25 +274,39 @@ func chunkedLenzenGather(clique *congest.Clique, g *graph.Graph, alive []bool) e
 
 // aliveDegreeProfile returns the maximum alive-induced degree and the
 // number of alive-induced edges.
-func aliveDegreeProfile(g *graph.Graph, alive []bool) (maxDeg int, edges int64) {
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		if !alive[u] {
-			continue
-		}
-		deg := 0
-		for _, v := range g.Neighbors(u) {
-			if alive[v] {
-				deg++
-				if u < v {
-					edges++
+func aliveDegreeProfile(g *graph.Graph, alive []bool, workers int) (maxDeg int, edges int64) {
+	type profAcc struct {
+		maxDeg int
+		edges  int64
+	}
+	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) profAcc {
+		var a profAcc
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
+				continue
+			}
+			deg := 0
+			for _, v := range g.Neighbors(u) {
+				if alive[v] {
+					deg++
+					if u < v {
+						a.edges++
+					}
 				}
 			}
+			if deg > a.maxDeg {
+				a.maxDeg = deg
+			}
 		}
-		if deg > maxDeg {
-			maxDeg = deg
+		return a
+	}, func(a, b profAcc) profAcc {
+		if b.maxDeg > a.maxDeg {
+			a.maxDeg = b.maxDeg
 		}
-	}
-	return maxDeg, edges
+		a.edges += b.edges
+		return a
+	})
+	return acc.maxDeg, acc.edges
 }
 
 func min64(a, b int64) int64 {

@@ -5,6 +5,7 @@ import (
 
 	"mpcgraph/internal/congest"
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -33,19 +34,21 @@ func RealMessageCliqueMIS(g *graph.Graph, opts Options) (*Result, error) {
 		Players:         n,
 		PairBudgetWords: 1,
 		Strict:          opts.Strict,
+		Workers:         opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	st := &realPlayers{
-		g:      g,
-		q:      clique,
-		n:      n,
-		seed:   opts.Seed,
-		rank:   make([]int32, n),
-		alive:  make([]bool, n),
-		inMIS:  res.InMIS,
-		leader: 0,
+		g:       g,
+		q:       clique,
+		n:       n,
+		seed:    opts.Seed,
+		workers: opts.Workers,
+		rank:    make([]int32, n),
+		alive:   make([]bool, n),
+		inMIS:   res.InMIS,
+		leader:  0,
 	}
 	for v := range st.alive {
 		st.alive[v] = true
@@ -89,11 +92,12 @@ func RealMessageCliqueMIS(g *graph.Graph, opts Options) (*Result, error) {
 // shared arrays are indexed per player and a player's logic only reads
 // its own row plus whatever messages delivered.
 type realPlayers struct {
-	g      *graph.Graph
-	q      *congest.Clique
-	n      int
-	seed   uint64
-	leader int
+	g       *graph.Graph
+	q       *congest.Clique
+	n       int
+	seed    uint64
+	workers int
+	leader  int
 
 	// perm is leader-local knowledge (the leader draws it).
 	perm []int32
@@ -361,39 +365,52 @@ func (st *realPlayers) sparsifiedStage(opts Options) (int, error) {
 
 		// (1) exchange (p, mark) along alive edges.
 		marked := make([]bool, n)
-		for v := int32(0); v < int32(n); v++ {
-			if st.alive[v] {
-				marked[v] = coin(v, t) < p[v]
-			}
-		}
-		out := make([][]congest.Message, n)
-		for v := int32(0); v < int32(n); v++ {
-			if !st.alive[v] {
-				continue
-			}
-			pl := dynamicsPayload{P: p[v], Marked: marked[v]}
-			for _, u := range st.g.Neighbors(v) {
-				if st.alive[u] {
-					out[v] = append(out[v], congest.Message{To: int(u), Words: 1, Payload: pl})
+		par.For(st.workers, n, func(lo, hi, _ int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				if st.alive[v] {
+					marked[v] = coin(v, t) < p[v]
 				}
 			}
-		}
+		})
+		out := make([][]congest.Message, n)
+		par.For(st.workers, n, func(lo, hi, _ int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				if !st.alive[v] {
+					continue
+				}
+				pl := dynamicsPayload{P: p[v], Marked: marked[v]}
+				for _, u := range st.g.Neighbors(v) {
+					if st.alive[u] {
+						out[v] = append(out[v], congest.Message{To: int(u), Words: 1, Payload: pl})
+					}
+				}
+			}
+		})
 		in, err := st.q.Round(out)
 		if err != nil {
 			return iters, fmt.Errorf("dynamics exchange %d: %w", t, err)
 		}
 		effDeg := make([]float64, n)
 		nbrMarked := make([]bool, n)
-		for v := 0; v < n; v++ {
-			for _, msg := range in[v] {
-				pl, ok := msg.Payload.(dynamicsPayload)
-				if !ok {
-					return iters, fmt.Errorf("dynamics exchange: bad payload %T", msg.Payload)
+		shardErr := make([]error, par.ShardCount(st.workers, n))
+		par.For(st.workers, n, func(lo, hi, w int) {
+			for v := lo; v < hi; v++ {
+				for _, msg := range in[v] {
+					pl, ok := msg.Payload.(dynamicsPayload)
+					if !ok {
+						shardErr[w] = fmt.Errorf("dynamics exchange: bad payload %T", msg.Payload)
+						return
+					}
+					effDeg[v] += pl.P
+					if pl.Marked {
+						nbrMarked[v] = true
+					}
 				}
-				effDeg[v] += pl.P
-				if pl.Marked {
-					nbrMarked[v] = true
-				}
+			}
+		})
+		for _, err := range shardErr {
+			if err != nil {
+				return iters, err
 			}
 		}
 		// (2) lonely marked players join; joiners notify neighbors.
@@ -404,14 +421,16 @@ func (st *realPlayers) sparsifiedStage(opts Options) (int, error) {
 			}
 		}
 		out = make([][]congest.Message, n)
-		for v := int32(0); v < int32(n); v++ {
-			if !join[v] {
-				continue
+		par.For(st.workers, n, func(lo, hi, _ int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				if !join[v] {
+					continue
+				}
+				for _, u := range st.g.Neighbors(v) {
+					out[v] = append(out[v], congest.Message{To: int(u), Words: 1, Payload: true})
+				}
 			}
-			for _, u := range st.g.Neighbors(v) {
-				out[v] = append(out[v], congest.Message{To: int(u), Words: 1, Payload: true})
-			}
-		}
+		})
 		in, err = st.q.Round(out)
 		if err != nil {
 			return iters, fmt.Errorf("dynamics notify %d: %w", t, err)

@@ -2,6 +2,7 @@ package mis
 
 import (
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -24,27 +25,32 @@ import (
 // round) and gather the shattered residue to a leader; see DESIGN.md for
 // why the direct count upper-bounds the paper's at simulation scale.
 type dynamics struct {
-	g      *graph.Graph
-	seed   uint64
-	alive  []bool // undecided vertices
-	p      []float64
-	inMIS  []bool
-	marked []bool
-	undec  int // number of undecided vertices
+	g       *graph.Graph
+	seed    uint64
+	workers int
+	alive   []bool // undecided vertices
+	p       []float64
+	inMIS   []bool
+	marked  []bool
+	effDeg  []float64 // per-iteration scratch, allocated once
+	undec   int       // number of undecided vertices
 }
 
 // newDynamics starts the process on the alive-induced subgraph of g.
 // inMIS is shared with the caller and accumulates MIS additions; alive is
-// owned by the dynamics afterwards.
-func newDynamics(g *graph.Graph, alive []bool, inMIS []bool, seed uint64) *dynamics {
+// owned by the dynamics afterwards. workers follows the Options.Workers
+// convention; every setting computes the same process.
+func newDynamics(g *graph.Graph, alive []bool, inMIS []bool, seed uint64, workers int) *dynamics {
 	n := g.NumVertices()
 	d := &dynamics{
-		g:      g,
-		seed:   seed,
-		alive:  alive,
-		p:      make([]float64, n),
-		inMIS:  inMIS,
-		marked: make([]bool, n),
+		g:       g,
+		seed:    seed,
+		workers: workers,
+		alive:   alive,
+		p:       make([]float64, n),
+		inMIS:   inMIS,
+		marked:  make([]bool, n),
+		effDeg:  make([]float64, n),
 	}
 	for v := 0; v < n; v++ {
 		if alive[v] {
@@ -62,45 +68,61 @@ func (d *dynamics) coin(v int32, t int) float64 {
 }
 
 // step executes one iteration and returns the number of vertices decided.
+// The mark, effective-degree, lonely-scan and desire-update passes are
+// read-only over the pre-step state (the coins are a stateless hash), so
+// they run in parallel; only the join application, whose writes cascade
+// through neighborhoods, stays sequential. Each vertex's effective degree
+// is summed entirely inside its own loop body, so the floating-point
+// results are bit-identical for every worker count.
 func (d *dynamics) step(t int) int {
 	g := d.g
-	n := int32(g.NumVertices())
+	n := g.NumVertices()
 	// Mark.
-	for v := int32(0); v < n; v++ {
-		d.marked[v] = d.alive[v] && d.coin(v, t) < d.p[v]
-	}
+	par.For(d.workers, n, func(lo, hi, _ int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			d.marked[v] = d.alive[v] && d.coin(v, t) < d.p[v]
+		}
+	})
 	// Effective degrees from the pre-step state (used for the p update).
-	effDeg := make([]float64, n)
-	for v := int32(0); v < n; v++ {
-		if !d.alive[v] {
-			continue
+	effDeg := d.effDeg
+	par.For(d.workers, n, func(lo, hi, _ int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			if !d.alive[v] {
+				effDeg[v] = 0
+				continue
+			}
+			s := 0.0
+			for _, u := range g.Neighbors(v) {
+				if d.alive[u] {
+					s += d.p[u]
+				}
+			}
+			effDeg[v] = s
 		}
-		s := 0.0
-		for _, u := range g.Neighbors(v) {
-			if d.alive[u] {
-				s += d.p[u]
+	})
+	// Lonely marked vertices join the MIS. The scan is read-only; the
+	// per-shard candidate lists concatenate in shard order, reproducing
+	// the sequential ascending-vertex order exactly.
+	join := par.Collect(d.workers, n, func(lo, hi, _ int) []int32 {
+		var out []int32
+		for v := int32(lo); v < int32(hi); v++ {
+			if !d.marked[v] || !d.alive[v] {
+				continue
+			}
+			lonely := true
+			for _, u := range g.Neighbors(v) {
+				if d.alive[u] && d.marked[u] {
+					lonely = false
+					break
+				}
+			}
+			if lonely {
+				out = append(out, v)
 			}
 		}
-		effDeg[v] = s
-	}
-	// Lonely marked vertices join the MIS.
+		return out
+	})
 	decided := 0
-	join := make([]int32, 0, 16)
-	for v := int32(0); v < n; v++ {
-		if !d.marked[v] || !d.alive[v] {
-			continue
-		}
-		lonely := true
-		for _, u := range g.Neighbors(v) {
-			if d.alive[u] && d.marked[u] {
-				lonely = false
-				break
-			}
-		}
-		if lonely {
-			join = append(join, v)
-		}
-	}
 	for _, v := range join {
 		if !d.alive[v] {
 			continue // dominated by an earlier joiner this iteration
@@ -117,19 +139,21 @@ func (d *dynamics) step(t int) int {
 		}
 	}
 	// Desire-level update for survivors.
-	for v := int32(0); v < n; v++ {
-		if !d.alive[v] {
-			continue
-		}
-		if effDeg[v] >= 2 {
-			d.p[v] /= 2
-		} else if d.p[v] < 0.5 {
-			d.p[v] *= 2
-			if d.p[v] > 0.5 {
-				d.p[v] = 0.5
+	par.For(d.workers, n, func(lo, hi, _ int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			if !d.alive[v] {
+				continue
+			}
+			if effDeg[v] >= 2 {
+				d.p[v] /= 2
+			} else if d.p[v] < 0.5 {
+				d.p[v] *= 2
+				if d.p[v] > 0.5 {
+					d.p[v] = 0.5
+				}
 			}
 		}
-	}
+	})
 	d.undec -= decided
 	return decided
 }
@@ -140,19 +164,21 @@ func (d *dynamics) undecided() int { return d.undec }
 // residualEdgeWords returns 2·|E(residual)| — the gather cost of shipping
 // the undecided graph to one machine — plus the undecided vertex count.
 func (d *dynamics) residualEdgeWords() int64 {
-	var words int64
-	for v := int32(0); v < int32(d.g.NumVertices()); v++ {
-		if !d.alive[v] {
-			continue
-		}
-		words++
-		for _, u := range d.g.Neighbors(v) {
-			if d.alive[u] && u > v {
-				words += 2
+	return par.Reduce(d.workers, d.g.NumVertices(), func(lo, hi, _ int) int64 {
+		var words int64
+		for v := int32(lo); v < int32(hi); v++ {
+			if !d.alive[v] {
+				continue
+			}
+			words++
+			for _, u := range d.g.Neighbors(v) {
+				if d.alive[u] && u > v {
+					words += 2
+				}
 			}
 		}
-	}
-	return words
+		return words
+	}, func(a, b int64) int64 { return a + b })
 }
 
 // finishGreedy completes the MIS on the undecided residue sequentially in

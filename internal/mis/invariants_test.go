@@ -16,7 +16,7 @@ func TestDynamicsDesireLevelBounds(t *testing.T) {
 	for i := range alive {
 		alive[i] = true
 	}
-	d := newDynamics(g, alive, make([]bool, 200), 2)
+	d := newDynamics(g, alive, make([]bool, 200), 2, 0)
 	for iter := 0; iter < 60 && d.undecided() > 0; iter++ {
 		d.step(iter)
 		for v := 0; v < 200; v++ {
@@ -38,7 +38,7 @@ func TestDynamicsUndecidedMonotone(t *testing.T) {
 	for i := range alive {
 		alive[i] = true
 	}
-	d := newDynamics(g, alive, make([]bool, 300), 4)
+	d := newDynamics(g, alive, make([]bool, 300), 4, 0)
 	prev := d.undecided()
 	for iter := 0; iter < 100 && d.undecided() > 0; iter++ {
 		decided := d.step(iter)
@@ -62,7 +62,7 @@ func TestDynamicsIndependenceInvariant(t *testing.T) {
 		alive[i] = true
 	}
 	inMIS := make([]bool, 250)
-	d := newDynamics(g, alive, inMIS, 6)
+	d := newDynamics(g, alive, inMIS, 6, 0)
 	for iter := 0; iter < 80 && d.undecided() > 0; iter++ {
 		d.step(iter)
 		if !graph.IsIndependentSet(g, inMIS) {
@@ -91,7 +91,7 @@ func TestDynamicsDeterministicAcrossRestarts(t *testing.T) {
 			alive[i] = true
 		}
 		inMIS := make([]bool, 150)
-		d := newDynamics(g, alive, inMIS, 99)
+		d := newDynamics(g, alive, inMIS, 99, 0)
 		for iter := 0; iter < 100 && d.undecided() > 0; iter++ {
 			d.step(iter)
 		}
@@ -113,7 +113,7 @@ func TestResidualEdgeWordsConsistent(t *testing.T) {
 	for i := 0; i < 100; i += 2 {
 		alive[i] = true
 	}
-	d := newDynamics(g, alive, make([]bool, 100), 9)
+	d := newDynamics(g, alive, make([]bool, 100), 9, 0)
 	var want int64
 	for v := int32(0); v < 100; v++ {
 		if !d.alive[v] {

@@ -42,6 +42,10 @@ type Options struct {
 	// MaxDynamicsIterations caps the sparsified stage; 0 means the
 	// default 10·(log2 Δ'+2).
 	MaxDynamicsIterations int
+	// Workers bounds the goroutines used for the per-machine round
+	// bodies (0 = all cores, 1 = the exact sequential path). Results are
+	// bit-identical for every setting.
+	Workers int
 }
 
 // withDefaults fills unset fields.

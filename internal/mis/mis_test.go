@@ -210,7 +210,7 @@ func TestDynamicsDecidesEverything(t *testing.T) {
 		alive[i] = true
 	}
 	inMIS := make([]bool, 300)
-	d := newDynamics(g, alive, inMIS, 99)
+	d := newDynamics(g, alive, inMIS, 99, 0)
 	for t := 0; t < 200 && d.undecided() > 0; t++ {
 		d.step(t)
 	}
@@ -245,7 +245,7 @@ func TestDynamicsFinishGreedy(t *testing.T) {
 		alive[i] = true
 	}
 	inMIS := make([]bool, 50)
-	d := newDynamics(g, alive, inMIS, 1)
+	d := newDynamics(g, alive, inMIS, 1, 0)
 	perm := rng.New(2).Perm(50)
 	d.finishGreedy(perm)
 	if d.undecided() != 0 {
@@ -343,16 +343,6 @@ func TestDefaultPolylogDegree(t *testing.T) {
 	}
 	if d := DefaultPolylogDegree(0); d != 8 {
 		t.Errorf("D(0) = %d, want 8", d)
-	}
-}
-
-func BenchmarkRandGreedyMPC(b *testing.B) {
-	g := graph.GNP(1<<13, 0.004, rng.New(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RandGreedyMPC(g, Options{Seed: uint64(i)}); err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"mpcgraph/internal/graph"
 	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -38,6 +39,7 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 		Machines:      machines,
 		CapacityWords: capacity,
 		Strict:        opts.Strict,
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -61,10 +63,10 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 	// Tiny instance: one gather finishes the job, as any MPC deployment
 	// would do when the input fits one machine.
 	if int64(2*g.NumEdges()+n) <= capacity {
-		if err := gatherAll(cluster, g, alive, homeOf); err != nil {
+		if err := gatherAll(cluster, g, alive, homeOf, opts.Workers); err != nil {
 			return nil, err
 		}
-		d := newDynamics(g, alive, res.InMIS, opts.Seed)
+		d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 		d.finishGreedy(perm)
 		finalizeMetrics(res, cluster)
 		return res, nil
@@ -73,7 +75,7 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
 	prev := 0
 	for _, r := range ranks {
-		info, err := runPrefixPhase(cluster, g, perm, rank, alive, res.InMIS, prev, r, homeOf)
+		info, err := runPrefixPhase(cluster, g, perm, rank, alive, res.InMIS, prev, r, homeOf, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -86,10 +88,10 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 	// one metered round per iteration (messages: one word of desire level
 	// plus one mark bit per live edge direction, aggregated per machine
 	// pair), until the residue fits comfortably on the leader.
-	d := newDynamics(g, alive, res.InMIS, opts.Seed)
+	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
 	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > capacity/2 && iter < maxIter; iter++ {
-		if err := chargeDynamicsRound(cluster, g, d.alive, machines); err != nil {
+		if err := chargeDynamicsRound(cluster, g, d.alive, machines, opts.Workers); err != nil {
 			return nil, err
 		}
 		d.step(iter)
@@ -97,7 +99,7 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	// Final gather of the shattered residue, then finish on the leader.
 	if d.undecided() > 0 {
-		if err := gatherResidual(cluster, g, d.alive, homeOf); err != nil {
+		if err := gatherResidual(cluster, g, d.alive, homeOf, opts.Workers); err != nil {
 			return nil, err
 		}
 		d.finishGreedy(perm)
@@ -117,6 +119,7 @@ func runPrefixPhase(
 	alive, inMIS []bool,
 	prev, r int,
 	homeOf func(u, v int32) int,
+	workers int,
 ) (PhaseInfo, error) {
 	info := PhaseInfo{Rank: r}
 	machines := cluster.Machines()
@@ -125,21 +128,44 @@ func runPrefixPhase(
 	}
 	// Words each machine ships to the leader: 2 per stored edge with both
 	// endpoints in range, 1 per range vertex it owns (owner = home of the
-	// vertex's id hashed alone).
-	words := make([]int64, machines)
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		if !inRange(u) {
-			continue
-		}
-		info.GatheredVertices++
-		words[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
-		for _, v := range g.Neighbors(u) {
-			if u < v && inRange(v) {
-				words[homeOf(u, v)] += 2
-				info.GatheredEdgeWords += 2
+	// vertex's id hashed alone). The scan is read-only (homeOf is a
+	// stateless hash), so it fans out with per-worker tallies merged in
+	// shard order — integer sums, bit-identical at every worker count.
+	type gatherAcc struct {
+		words     []int64
+		vertices  int
+		edgeWords int64
+	}
+	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) gatherAcc {
+		a := gatherAcc{words: make([]int64, machines)}
+		for u := int32(lo); u < int32(hi); u++ {
+			if !inRange(u) {
+				continue
+			}
+			a.vertices++
+			a.words[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
+			for _, v := range g.Neighbors(u) {
+				if u < v && inRange(v) {
+					a.words[homeOf(u, v)] += 2
+					a.edgeWords += 2
+				}
 			}
 		}
+		return a
+	}, func(a, b gatherAcc) gatherAcc {
+		for i, w := range b.words {
+			a.words[i] += w
+		}
+		a.vertices += b.vertices
+		a.edgeWords += b.edgeWords
+		return a
+	})
+	words := acc.words
+	if words == nil {
+		words = make([]int64, machines)
 	}
+	info.GatheredVertices = acc.vertices
+	info.GatheredEdgeWords = acc.edgeWords
 	parts := make([]mpc.Message, machines)
 	for i := range parts {
 		parts[i] = mpc.Message{Words: words[i]}
@@ -184,62 +210,98 @@ func runPrefixPhase(
 		}
 	}
 	// Instrumentation: residual maximum degree (Lemma 3.1 quantity).
-	for v := int32(0); v < int32(g.NumVertices()); v++ {
-		if !alive[v] {
-			continue
-		}
-		deg := 0
-		for _, u := range g.Neighbors(v) {
-			if alive[u] {
-				deg++
+	info.ResidualMaxDegree = residualMaxDegree(g, alive, workers)
+	return info, nil
+}
+
+// residualMaxDegree returns the maximum alive-induced degree.
+func residualMaxDegree(g *graph.Graph, alive []bool, workers int) int {
+	return par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) int {
+		max := 0
+		for v := int32(lo); v < int32(hi); v++ {
+			if !alive[v] {
+				continue
+			}
+			deg := 0
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					deg++
+				}
+			}
+			if deg > max {
+				max = deg
 			}
 		}
-		if deg > info.ResidualMaxDegree {
-			info.ResidualMaxDegree = deg
+		return max
+	}, func(a, b int) int {
+		if a > b {
+			return a
 		}
-	}
-	return info, nil
+		return b
+	})
 }
 
 // chargeDynamicsRound meters one iteration of the local dynamics: every
 // live edge carries one word each way (desire level and mark bit packed),
 // aggregated into per-machine-pair messages. Vertices live on machine
 // v mod machines.
-func chargeDynamicsRound(cluster *mpc.Cluster, g *graph.Graph, alive []bool, machines int) error {
-	volume := make([]int64, machines*machines)
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		if !alive[u] {
-			continue
-		}
-		mu := int(u) % machines
-		for _, v := range g.Neighbors(u) {
-			if !alive[v] {
+func chargeDynamicsRound(cluster *mpc.Cluster, g *graph.Graph, alive []bool, machines, workers int) error {
+	volume := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
+		vol := make([]int64, machines*machines)
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
 				continue
 			}
-			mv := int(v) % machines
-			if mu != mv {
-				volume[mu*machines+mv]++
+			mu := int(u) % machines
+			for _, v := range g.Neighbors(u) {
+				if !alive[v] {
+					continue
+				}
+				mv := int(v) % machines
+				if mu != mv {
+					vol[mu*machines+mv]++
+				}
 			}
 		}
+		return vol
+	}, func(a, b []int64) []int64 {
+		for i, w := range b {
+			a[i] += w
+		}
+		return a
+	})
+	if volume == nil {
+		volume = make([]int64, machines*machines)
 	}
 	_, err := cluster.ChargeVolumeMatrix(volume)
 	return err
 }
 
 // gatherResidual charges the final residue shipment to the leader.
-func gatherResidual(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int) error {
+func gatherResidual(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int, workers int) error {
 	machines := cluster.Machines()
-	words := make([]int64, machines)
-	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		if !alive[u] {
-			continue
-		}
-		words[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
-		for _, v := range g.Neighbors(u) {
-			if u < v && alive[v] {
-				words[homeOf(u, v)] += 2
+	words := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
+		w := make([]int64, machines)
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
+				continue
+			}
+			w[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
+			for _, v := range g.Neighbors(u) {
+				if u < v && alive[v] {
+					w[homeOf(u, v)] += 2
+				}
 			}
 		}
+		return w
+	}, func(a, b []int64) []int64 {
+		for i, w := range b {
+			a[i] += w
+		}
+		return a
+	})
+	if words == nil {
+		words = make([]int64, machines)
 	}
 	parts := make([]mpc.Message, machines)
 	for i := range parts {
@@ -254,8 +316,8 @@ func gatherResidual(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf f
 
 // gatherAll charges shipping the entire graph to the leader (tiny-input
 // fast path).
-func gatherAll(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int) error {
-	return gatherResidual(cluster, g, alive, homeOf)
+func gatherAll(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int, workers int) error {
+	return gatherResidual(cluster, g, alive, homeOf, workers)
 }
 
 // finalizeMetrics copies cluster metrics into the result.

@@ -1,0 +1,66 @@
+package mpc
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgraph/internal/rng"
+)
+
+// BenchmarkExchange measures one synchronous MPC round: every machine
+// sends a message to a pseudo-random subset of peers, exercising the
+// validate/tally, cursor, and delivery passes of the round body.
+func BenchmarkExchange(b *testing.B) {
+	const machines = 256
+	const fanout = 64
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c, err := NewCluster(Config{Machines: machines, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([][]Message, machines)
+			for i := range out {
+				for k := 0; k < fanout; k++ {
+					to := int(rng.Hash(uint64(i), uint64(k)) % machines)
+					if to == i {
+						to = (to + 1) % machines
+					}
+					out[i] = append(out[i], Message{To: to, Words: 3})
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Exchange(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChargeVolumeMatrix measures the bulk-accounting round used by
+// the charge-only algorithms.
+func BenchmarkChargeVolumeMatrix(b *testing.B) {
+	const machines = 128
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c, err := NewCluster(Config{Machines: machines, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vol := make([]int64, machines*machines)
+			for i := range vol {
+				vol[i] = int64(i % 7)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ChargeVolumeMatrix(vol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	// Strict makes capacity violations fail the offending operation.
 	// When false, violations are only recorded in Metrics.
 	Strict bool
+	// Workers bounds the goroutines used to process a round's outboxes
+	// (0 = all cores, 1 = sequential). Every setting produces identical
+	// inboxes, metrics and errors; see the package comment.
+	Workers int
 }
 
 // Metrics aggregates everything the model cares about over the lifetime of
@@ -72,8 +77,12 @@ func (e *CapacityError) Error() string {
 		e.Machine, e.Dir, e.Words, e.Capacity, e.Round)
 }
 
-// Cluster is a simulated MPC deployment. It is not safe for concurrent
-// use; drive it from a single goroutine as the model is synchronous.
+// Cluster is a simulated MPC deployment. The model is bulk-synchronous,
+// so drive rounds from one goroutine; within a round the cluster fans
+// the per-machine send/receive/charge accounting out across Workers
+// goroutines itself (machines are independent inside a round, which is
+// exactly the parallelism the model grants). Delivery order, metrics and
+// errors are bit-identical for every Workers setting.
 type Cluster struct {
 	cfg Config
 	met Metrics
@@ -104,38 +113,98 @@ func (c *Cluster) Machines() int { return c.cfg.Machines }
 // slice in[j] holds the messages delivered to machine j, ordered by
 // sender then submission order, so delivery is deterministic.
 //
-// Per-machine outbox and inbox word totals are audited against S. In
-// strict mode the first violation aborts the round with a *CapacityError;
-// the round still counts (the machines did communicate — that the model
-// was violated is the finding).
+// The per-machine accounting fans out across Workers goroutines: each
+// worker validates and tallies a contiguous shard of senders, the
+// shard-order prefix sums fix every delivery slot, and a second parallel
+// pass writes the inboxes in exactly the order the sequential loop
+// would. Per-machine outbox and inbox word totals are audited against S.
+// In strict mode the first violation aborts the round with a
+// *CapacityError; the round still counts (the machines did communicate —
+// that the model was violated is the finding).
 func (c *Cluster) Exchange(out [][]Message) ([][]Message, error) {
-	if len(out) != c.cfg.Machines {
-		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), c.cfg.Machines)
+	m := c.cfg.Machines
+	if len(out) != m {
+		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), m)
 	}
 	c.met.Rounds++
-	inWords := make([]int64, c.cfg.Machines)
-	in := make([][]Message, c.cfg.Machines)
+	shards := par.ShardCount(c.cfg.Workers, m)
+	outWords := make([]int64, m)
+	shardIn := make([][]int64, shards)  // per-shard inbox word tallies
+	shardCnt := make([][]int32, shards) // per-shard per-receiver message counts
+	shardTotal := make([]int64, shards)
+	shardErr := make([]error, shards) // first malformed message, by sender order
+	for w := 0; w < shards; w++ {
+		shardIn[w] = make([]int64, m)
+		shardCnt[w] = make([]int32, m)
+	}
+	par.For(c.cfg.Workers, m, func(lo, hi, w int) {
+		iw, cw := shardIn[w], shardCnt[w]
+		for i := lo; i < hi; i++ {
+			var ow int64
+			for k := range out[i] {
+				msg := &out[i][k]
+				if msg.To < 0 || msg.To >= m {
+					shardErr[w] = fmt.Errorf("mpc: machine %d sent to invalid machine %d", i, msg.To)
+					return
+				}
+				if msg.Words < 0 {
+					shardErr[w] = fmt.Errorf("mpc: machine %d sent negative-size message", i)
+					return
+				}
+				ow += msg.Words
+				iw[msg.To] += msg.Words
+				cw[msg.To]++
+				shardTotal[w] += msg.Words
+			}
+			outWords[i] = ow
+		}
+	})
+	for _, err := range shardErr {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Commit volume metrics and turn the per-shard counts into delivery
+	// cursors: shardCnt[w][j] becomes the first slot of in[j] that shard
+	// w writes, so the parallel fill reproduces sender order exactly.
+	inWords := make([]int64, m)
+	in := make([][]Message, m)
+	for _, t := range shardTotal {
+		c.met.TotalWords += t
+	}
+	par.For(c.cfg.Workers, m, func(lo, hi, _ int) {
+		for j := lo; j < hi; j++ {
+			var words int64
+			var cnt int32
+			for w := 0; w < shards; w++ {
+				words += shardIn[w][j]
+				base := cnt
+				cnt += shardCnt[w][j]
+				shardCnt[w][j] = base
+			}
+			inWords[j] = words
+			if cnt > 0 {
+				in[j] = make([]Message, cnt)
+			}
+		}
+	})
+	par.For(c.cfg.Workers, m, func(lo, hi, w int) {
+		cur := shardCnt[w]
+		for i := lo; i < hi; i++ {
+			for k := range out[i] {
+				msg := out[i][k]
+				msg.From = i
+				in[msg.To][cur[msg.To]] = msg
+				cur[msg.To]++
+			}
+		}
+	})
 	var firstErr error
-	for i, box := range out {
-		var outWords int64
-		for k := range box {
-			msg := box[k]
-			if msg.To < 0 || msg.To >= c.cfg.Machines {
-				return nil, fmt.Errorf("mpc: machine %d sent to invalid machine %d", i, msg.To)
-			}
-			if msg.Words < 0 {
-				return nil, fmt.Errorf("mpc: machine %d sent negative-size message", i)
-			}
-			msg.From = i
-			outWords += msg.Words
-			inWords[msg.To] += msg.Words
-			c.met.TotalWords += msg.Words
-			in[msg.To] = append(in[msg.To], msg)
+	for i, ow := range outWords {
+		if ow > c.met.MaxOutWords {
+			c.met.MaxOutWords = ow
 		}
-		if outWords > c.met.MaxOutWords {
-			c.met.MaxOutWords = outWords
-		}
-		if err := c.audit(i, outWords, "out"); err != nil && firstErr == nil {
+		if err := c.audit(i, ow, "out"); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -240,13 +309,15 @@ func (c *Cluster) ChargeVolumeMatrix(vol []int64) ([][]Message, error) {
 		return nil, fmt.Errorf("mpc: volume matrix has %d entries for %d machines", len(vol), m)
 	}
 	out := make([][]Message, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if w := vol[i*m+j]; w > 0 {
-				out[i] = append(out[i], Message{To: j, Words: w})
+	par.For(c.cfg.Workers, m, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < m; j++ {
+				if w := vol[i*m+j]; w > 0 {
+					out[i] = append(out[i], Message{To: j, Words: w})
+				}
 			}
 		}
-	}
+	})
 	return c.Exchange(out)
 }
 

@@ -16,6 +16,21 @@
 // the paper's round/space claims are observable outputs. Build graphs
 // with NewGraphBuilder or the generator helpers, then call the top-level
 // functions. All algorithms are deterministic given Options.Seed.
+//
+// # Concurrency and determinism
+//
+// The model is bulk-synchronous: within a round every simulated machine
+// computes independently, so the simulators execute each round body in
+// parallel across real cores (see internal/par). Options.Workers
+// controls the fan-out: 0 uses every core, 1 forces the exact
+// sequential path, and any other value caps the goroutine count.
+// Results are bit-identical for every Workers setting — parallel index
+// ranges are sharded deterministically, integer accounting merges in
+// shard order, and every floating-point sum is computed entirely inside
+// one vertex's loop body — so Workers trades wall-clock time only,
+// never reproducibility. A *Graph is safe for concurrent readers; the
+// algorithm entry points may be called from different goroutines on
+// different graphs.
 package mpcgraph
 
 import (
@@ -63,6 +78,12 @@ type Options struct {
 	// Strict makes simulated memory/bandwidth violations return errors
 	// instead of being recorded silently.
 	Strict bool
+	// Workers bounds the goroutines used to execute round bodies and
+	// graph constructions: 0 (the default) uses every core, 1 is the
+	// exact legacy sequential path, larger values cap the fan-out.
+	// Results are bit-identical for every setting; see the package
+	// comment.
+	Workers int
 }
 
 // Stats reports the simulated model costs of a run.
@@ -92,6 +113,7 @@ func MIS(g *Graph, opts Options) (*MISResult, error) {
 		Seed:         opts.Seed,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: MIS: %w", err)
@@ -110,6 +132,7 @@ func MISCongestedClique(g *Graph, opts Options) (*MISResult, error) {
 		Seed:         opts.Seed,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: MISCongestedClique: %w", err)
@@ -139,6 +162,7 @@ func ApproxMaxMatching(g *Graph, opts Options) (*MatchingResult, error) {
 		Eps:          opts.Eps,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: ApproxMaxMatching: %w", err)
@@ -159,6 +183,7 @@ func OnePlusEpsMatching(g *Graph, opts Options) (*MatchingResult, error) {
 		Eps:          opts.Eps,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: OnePlusEpsMatching: %w", err)
@@ -196,6 +221,7 @@ func ApproxMinVertexCover(g *Graph, opts Options) (*VertexCoverResult, error) {
 		Eps:          opts.Eps,
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: ApproxMinVertexCover: %w", err)

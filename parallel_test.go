@@ -1,0 +1,178 @@
+package mpcgraph_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mpcgraph"
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// The parallel execution engine's contract is that Workers only trades
+// wall-clock time: for a fixed seed, every Workers setting must produce
+// bit-identical results. Running these tests under -race also exercises
+// the engine's shard disjointness.
+
+// detGraphs returns named deterministic instances spanning the
+// generators (random, heavy-tailed, bipartite, structured).
+func detGraphs(seed uint64) map[string]*mpcgraph.Graph {
+	src := rng.New(seed)
+	return map[string]*mpcgraph.Graph{
+		"gnp-sparse":   mpcgraph.RandomGraph(3000, 4.0/3000, seed),
+		"gnp-dense":    mpcgraph.RandomGraph(600, 0.2, seed+1),
+		"powerlaw":     graph.PreferentialAttachment(2000, 3, src.SplitString("pa")),
+		"bipartite":    graph.RandomBipartite(800, 800, 0.01, src.SplitString("bip")).Graph,
+		"ring":         graph.Ring(2048),
+		"complete-256": graph.Complete(256),
+	}
+}
+
+// workerSweep is the set of Workers values compared against Workers: 1.
+var workerSweep = []int{0, 2, 5}
+
+func TestMISDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{3, 2018} {
+		for name, g := range detGraphs(seed) {
+			want, err := mpcgraph.MIS(g, mpcgraph.Options{Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: sequential MIS: %v", name, err)
+			}
+			for _, w := range workerSweep {
+				got, err := mpcgraph.MIS(g, mpcgraph.Options{Seed: seed, Workers: w})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, w, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s seed=%d: MIS with Workers=%d diverged from Workers=1", name, seed, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCliqueMISDeterministicAcrossWorkers(t *testing.T) {
+	for name, g := range detGraphs(7) {
+		want, err := mpcgraph.MISCongestedClique(g, mpcgraph.Options{Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential clique MIS: %v", name, err)
+		}
+		for _, w := range workerSweep {
+			got, err := mpcgraph.MISCongestedClique(g, mpcgraph.Options{Seed: 7, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: clique MIS with Workers=%d diverged from Workers=1", name, w)
+			}
+		}
+	}
+}
+
+func TestMatchingDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{11, 99} {
+		for name, g := range detGraphs(seed) {
+			want, err := mpcgraph.ApproxMaxMatching(g, mpcgraph.Options{Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: sequential matching: %v", name, err)
+			}
+			for _, w := range workerSweep {
+				got, err := mpcgraph.ApproxMaxMatching(g, mpcgraph.Options{Seed: seed, Workers: w})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, w, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s seed=%d: matching with Workers=%d diverged from Workers=1", name, seed, w)
+				}
+			}
+		}
+	}
+}
+
+func TestVertexCoverDeterministicAcrossWorkers(t *testing.T) {
+	for name, g := range detGraphs(23) {
+		want, err := mpcgraph.ApproxMinVertexCover(g, mpcgraph.Options{Seed: 23, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential cover: %v", name, err)
+		}
+		for _, w := range workerSweep {
+			got, err := mpcgraph.ApproxMinVertexCover(g, mpcgraph.Options{Seed: 23, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: cover with Workers=%d diverged from Workers=1", name, w)
+			}
+		}
+	}
+}
+
+func TestOnePlusEpsDeterministicAcrossWorkers(t *testing.T) {
+	g := mpcgraph.RandomGraph(1500, 8.0/1500, 5)
+	want, err := mpcgraph.OnePlusEpsMatching(g, mpcgraph.Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerSweep {
+		got, err := mpcgraph.OnePlusEpsMatching(g, mpcgraph.Options{Seed: 5, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("1+eps matching with Workers=%d diverged from Workers=1", w)
+		}
+	}
+}
+
+// TestGraphConstructorsDeterministicAcrossWorkers pins the graph-layer
+// parallel count-then-fill paths to their sequential outputs.
+func TestGraphConstructorsDeterministicAcrossWorkers(t *testing.T) {
+	g := mpcgraph.RandomGraph(4000, 10.0/4000, 77)
+	keep := make([]bool, g.NumVertices())
+	var vertices []int32
+	src := rng.New(8)
+	for i := range keep {
+		keep[i] = src.Bool(0.6)
+		if i%3 != 0 {
+			vertices = append(vertices, int32(i))
+		}
+	}
+	subSeq := g.SubgraphWorkers(keep, 1)
+	compSeq, origSeq := g.CompactInducedWorkers(vertices, 1)
+	lineSeq, _ := g.LineGraphWorkers(1)
+	for _, w := range workerSweep {
+		if got := g.SubgraphWorkers(keep, w); !graphEqual(got, subSeq) {
+			t.Errorf("Subgraph with workers=%d diverged", w)
+		}
+		gotComp, gotOrig := g.CompactInducedWorkers(vertices, w)
+		if !graphEqual(gotComp, compSeq) || !reflect.DeepEqual(gotOrig, origSeq) {
+			t.Errorf("CompactInduced with workers=%d diverged", w)
+		}
+		if gotLine, _ := g.LineGraphWorkers(w); !graphEqual(gotLine, lineSeq) {
+			t.Errorf("LineGraph with workers=%d diverged", w)
+		}
+	}
+}
+
+// graphEqual compares two graphs structurally (vertices, edges, and the
+// full sorted adjacency of every vertex).
+func graphEqual(a, b *mpcgraph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		if !reflect.DeepEqual(a.Neighbors(v), b.Neighbors(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func ExampleOptions_workers() {
+	g := mpcgraph.RandomGraph(512, 0.05, 1)
+	seq, _ := mpcgraph.MIS(g, mpcgraph.Options{Seed: 9, Workers: 1})
+	all, _ := mpcgraph.MIS(g, mpcgraph.Options{Seed: 9, Workers: 0})
+	fmt.Println(reflect.DeepEqual(seq, all))
+	// Output: true
+}
