@@ -1,22 +1,33 @@
 # Pre-merge check for this repository. `make ci` is the documented gate:
-# it vets every package, runs the full test suite under the race
-# detector (the determinism tests in parallel_test.go double as the
-# parallel-engine oracle), and smoke-runs the benchmarks so the
-# parallelized hot paths keep compiling and terminating.
+# it checks formatting, vets every package, runs the full test suite
+# under the race detector (the determinism tests in parallel_test.go
+# double as the parallel-engine oracle; the parity tests in
+# solve_test.go pin the deprecated wrappers to Solve), smoke-runs the
+# benchmarks, and proves the mpcbench CLI enumerates the algorithm
+# registry and that every registered (Problem, Model) pair has a
+# working benchmark entry.
 #
 # Targets:
-#   make ci     - go vet + race tests + benchmark smoke (run before merging)
-#   make test   - fast test suite
-#   make race   - full test suite under -race
-#   make bench  - full benchmark pass with allocation counts
-#   make tables - regenerate the experiment tables (text) at quick scale
-#   make json   - machine-readable experiment rows (BENCH_*.json input)
+#   make ci         - fmt + vet + race tests + benchmark smoke + registry smoke
+#   make fmt        - fail if any file needs gofmt
+#   make test       - fast test suite
+#   make race       - full test suite under -race
+#   make bench      - full benchmark pass with allocation counts
+#   make tables     - regenerate the experiment tables (text) at quick scale
+#   make json       - machine-readable experiment rows (BENCH_*.json input)
+#   make list-smoke - mpcbench -list + registry/benchmark coverage check
 
 GO ?= go
 
-.PHONY: ci vet test race bench bench-smoke tables json
+.PHONY: ci fmt vet test race bench bench-smoke list-smoke tables json
 
-ci: vet race bench-smoke
+ci: fmt vet race bench-smoke list-smoke
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +43,10 @@ bench:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/graph/ ./internal/mpc/ ./internal/mis/
+
+list-smoke:
+	$(GO) run ./cmd/mpcbench -list
+	$(GO) run ./cmd/mpcbench -check
 
 tables:
 	$(GO) run ./cmd/mpcbench -quick -trials 1

@@ -1,5 +1,6 @@
 // Command mpcbench regenerates the paper-reproduction experiment tables
-// (the E1–E14 index of DESIGN.md / EXPERIMENTS.md).
+// (the E1–E18 index of DESIGN.md / EXPERIMENTS.md) and enumerates the
+// unified Solve algorithm registry.
 //
 // Usage:
 //
@@ -10,50 +11,71 @@
 //	mpcbench -workers=1      # force the sequential path (0 = all cores)
 //	mpcbench -json           # machine-readable rows (one JSON object per
 //	                         # table) for BENCH_*.json trajectories
+//	mpcbench -list           # list experiments and registered algorithms
+//	mpcbench -check          # verify every registered (Problem, Model)
+//	                         # pair has a working benchmark entry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"mpcgraph/internal/bench"
+	"mpcgraph/internal/registry"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mpcbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "experiment id (E1..E14); empty runs all")
+		experiment = fs.String("experiment", "", "experiment id (E1..E18); empty runs all")
 		seed       = fs.Uint64("seed", 2018, "root random seed")
 		trials     = fs.Int("trials", 3, "trials per randomized cell")
 		quick      = fs.Bool("quick", false, "reduced instance sizes")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); tables are identical for every value")
 		jsonOut    = fs.Bool("json", false, "emit one JSON object per table instead of aligned text")
-		list       = fs.Bool("list", false, "list experiment ids and exit")
+		list       = fs.Bool("list", false, "list experiment ids and registered algorithms, then exit")
+		check      = fs.Bool("check", false, "fail unless every registered (Problem, Model) pair has a valid benchmark entry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 	if *list {
+		fmt.Fprintln(w, "experiments:")
 		for _, id := range bench.IDs() {
-			fmt.Println(id)
+			fmt.Fprintf(w, "  %s\n", id)
 		}
+		// The algorithm listing is generated from the registry, so a
+		// newly registered (Problem, Model) pair appears here with no
+		// CLI change.
+		fmt.Fprintln(w, "algorithms:")
+		for _, pair := range registry.Pairs() {
+			fmt.Fprintf(w, "  %s\n", pair)
+		}
+		return nil
+	}
+	if *check {
+		if err := bench.VerifyRegistryCoverage(bench.Config{Seed: *seed, Trials: 1, Quick: true, Workers: *workers}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "registry coverage ok: %d algorithms benchmarked\n", len(registry.Pairs()))
 		return nil
 	}
 	if *experiment == "" {
 		if *jsonOut {
-			return bench.RunAllJSON(cfg, os.Stdout)
+			return bench.RunAllJSON(cfg, w)
 		}
-		bench.RunAll(cfg, os.Stdout)
+		bench.RunAll(cfg, w)
 		return nil
 	}
 	for _, id := range strings.Split(*experiment, ",") {
@@ -62,12 +84,12 @@ func run(args []string) error {
 			return err
 		}
 		if *jsonOut {
-			if err := tab.RenderJSON(os.Stdout); err != nil {
+			if err := tab.RenderJSON(w); err != nil {
 				return err
 			}
 			continue
 		}
-		tab.Render(os.Stdout)
+		tab.Render(w)
 	}
 	return nil
 }

@@ -1,45 +1,101 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/registry"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunListEnumeratesRegistry is the CLI half of the registry CI
+// gate: -list must show every registered (Problem, Model) pair, so new
+// algorithms surface in the CLI without code changes here.
+func TestRunListEnumeratesRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "experiments:") || !strings.Contains(out, "algorithms:") {
+		t.Fatalf("-list output missing sections:\n%s", out)
+	}
+	pairs := registry.Pairs()
+	if len(pairs) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, pair := range pairs {
+		if !strings.Contains(out, "  "+pair.String()+"\n") {
+			t.Errorf("-list output missing registered algorithm %s:\n%s", pair, out)
+		}
+	}
+}
+
+func TestRunCheckRegistryCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered algorithm at quick scale")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-check"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "registry coverage ok") {
+		t.Fatalf("-check output unexpected:\n%s", buf.String())
+	}
+}
+
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1"}); err != nil {
+	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMultipleExperiments(t *testing.T) {
-	if err := run([]string{"-experiment", "E3, E17", "-quick", "-trials", "1"}); err != nil {
+	if err := run([]string{"-experiment", "E3, E17", "-quick", "-trials", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-json"}); err != nil {
+	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-json"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunRegistrySweepExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered algorithm at quick scale")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "E18", "-quick", "-trials", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mis/mpc") {
+		t.Fatalf("registry sweep table missing algorithm rows:\n%s", buf.String())
+	}
+}
+
 func TestRunWorkersSequential(t *testing.T) {
-	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-workers", "1"}); err != nil {
+	if err := run([]string{"-experiment", "E3", "-quick", "-trials", "1", "-workers", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "E99"}); err == nil {
+	if err := run([]string{"-experiment", "E99"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,41 +46,41 @@ func run(args []string) error {
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
+	// Both problems run through the unified Solve pipeline.
 	opts := mpcgraph.Options{Seed: *seed, Eps: *eps, Strict: *strict}
+	ctx := context.Background()
 
-	var mres *mpcgraph.MatchingResult
-	if *onePlus {
-		mres, err = mpcgraph.OnePlusEpsMatching(g, opts)
-	} else {
-		mres, err = mpcgraph.ApproxMaxMatching(g, opts)
-	}
-	if err != nil {
-		return err
-	}
-	if !mpcgraph.IsMatching(g, mres.M) {
-		return fmt.Errorf("internal error: matching failed validation")
-	}
+	problem := mpcgraph.ProblemApproxMatching
 	kind := "(2+eps)"
 	if *onePlus {
+		problem = mpcgraph.ProblemOnePlusEpsMatching
 		kind = "(1+eps)"
 	}
-	fmt.Printf("matching %s: size=%d rounds=%d\n", kind, mres.M.Size(), mres.Stats.Rounds)
-
-	cres, err := mpcgraph.ApproxMinVertexCover(g, opts)
+	mrep, err := mpcgraph.Solve(ctx, g, problem, opts)
 	if err != nil {
 		return err
 	}
-	if !mpcgraph.IsVertexCover(g, cres.InCover) {
+	if !mpcgraph.IsMatching(g, mrep.M) {
+		return fmt.Errorf("internal error: matching failed validation")
+	}
+	fmt.Printf("matching %s: size=%d rounds=%d maxMachineLoad=%d words totalComm=%d words\n",
+		kind, mrep.M.Size(), mrep.Rounds, mrep.MaxMachineWords, mrep.TotalWords)
+
+	crep, err := mpcgraph.Solve(ctx, g, mpcgraph.ProblemVertexCover, opts)
+	if err != nil {
+		return err
+	}
+	if !mpcgraph.IsVertexCover(g, crep.InCover) {
 		return fmt.Errorf("internal error: cover failed validation")
 	}
 	size := 0
-	for _, in := range cres.InCover {
+	for _, in := range crep.InCover {
 		if in {
 			size++
 		}
 	}
 	fmt.Printf("vertex cover (2+eps): size=%d dualLowerBound=%.1f rounds=%d maxMachineLoad=%d words\n",
-		size, cres.FractionalWeight, cres.Stats.Rounds, cres.Stats.MaxMachineWords)
+		size, crep.FractionalWeight, crep.Rounds, crep.MaxMachineWords)
 	return nil
 }
 

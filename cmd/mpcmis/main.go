@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,21 +47,21 @@ func run(args []string) error {
 	}
 	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
+	// The model is an option of the unified Solve pipeline, not a
+	// separate entry point.
 	opts := mpcgraph.Options{Seed: *seed, Strict: *strict}
-	var res *mpcgraph.MISResult
 	if *clique {
-		res, err = mpcgraph.MISCongestedClique(g, opts)
-	} else {
-		res, err = mpcgraph.MIS(g, opts)
+		opts.Model = mpcgraph.ModelCongestedClique
 	}
+	rep, err := mpcgraph.Solve(context.Background(), g, mpcgraph.ProblemMIS, opts)
 	if err != nil {
 		return err
 	}
-	if !mpcgraph.IsMaximalIndependentSet(g, res.InMIS) {
+	if !mpcgraph.IsMaximalIndependentSet(g, rep.InMIS) {
 		return fmt.Errorf("internal error: output failed validation")
 	}
 	size := 0
-	for _, in := range res.InMIS {
+	for _, in := range rep.InMIS {
 		if in {
 			size++
 		}
@@ -71,10 +72,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("MIS: size=%d (validated maximal independent set)\n", size)
 	fmt.Printf("%s cost: rounds=%d phases=%d maxMachineLoad=%d words totalComm=%d words\n",
-		model, res.Stats.Rounds, res.Phases, res.Stats.MaxMachineWords, res.Stats.TotalWords)
+		model, rep.Rounds, rep.Phases, rep.MaxMachineWords, rep.TotalWords)
 
 	if *out != "" {
-		return writeSet(*out, res.InMIS)
+		return writeSet(*out, rep.InMIS)
 	}
 	return nil
 }

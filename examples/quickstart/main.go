@@ -1,72 +1,79 @@
-// Quickstart: build a graph, run every algorithm of the library once, and
-// print sizes plus the simulated MPC round counts.
+// Quickstart: build a graph, then drive every registered algorithm
+// through the unified Solve API and print the payload sizes plus the
+// audited model costs from the uniform Report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"mpcgraph"
 )
 
 func main() {
-	// A random graph on 4096 vertices with expected degree ~16.
+	// A random graph on 4096 vertices with expected degree ~16, plus a
+	// weighted copy for the weighted-matching corollary.
 	g := mpcgraph.RandomGraph(4096, 16.0/4096, 42)
+	wg := mpcgraph.RandomWeightedGraph(4096, 16.0/4096, 1, 100, 42)
 	fmt.Printf("input: %d vertices, %d edges, max degree %d\n\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	// Workers: 0 runs every round body on all cores; Workers: 1 forces
-	// the sequential path. Either way the results are bit-identical —
-	// only the wall-clock time changes.
+	// One Options struct covers every problem. Workers: 0 runs round
+	// bodies on all cores (results are bit-identical for every setting);
+	// Model selects MPC or the congested clique.
 	opts := mpcgraph.Options{Seed: 7, Eps: 0.1, Workers: 0}
+	ctx := context.Background()
 
-	// Maximal independent set in O(log log Δ) MPC rounds (Theorem 1.1).
-	misRes, err := mpcgraph.MIS(g, opts)
+	// Enumerate the algorithm registry: every (Problem, Model) pair the
+	// library implements, with no hard-coded list — newly registered
+	// algorithms appear here automatically.
+	for _, algo := range mpcgraph.Algorithms() {
+		runOpts := opts
+		runOpts.Model = algo.Model
+		var in mpcgraph.Instance = g
+		if algo.Problem == mpcgraph.ProblemWeightedMatching {
+			in = wg
+		}
+		rep, err := mpcgraph.Solve(ctx, in, algo.Problem, runOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-16s rounds %5d  maxLoad %7d  totalComm %10d  wall %s\n",
+			algo.Problem, algo.Model, rep.Rounds, rep.MaxMachineWords, rep.TotalWords,
+			rep.Wall.Round(time.Millisecond))
+	}
+
+	// Reading a specific payload: the Report carries the field for the
+	// problem that ran (InMIS, M, InCover/FractionalWeight, Value).
+	rep, err := mpcgraph.Solve(ctx, g, mpcgraph.ProblemMIS, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	misSize := 0
-	for _, in := range misRes.InMIS {
+	fmt.Printf("\n%s\n", payloadSummary(g, rep))
+
+	// Long runs are observable and cancellable: Options.Trace streams
+	// per-round progress, and a cancelled context aborts between rounds.
+	traceOpts := opts
+	events := 0
+	traceOpts.Trace = func(ev mpcgraph.TraceEvent) { events++ }
+	if _, err := mpcgraph.Solve(ctx, g, mpcgraph.ProblemApproxMatching, traceOpts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced %d metered rounds of the matching pipeline\n", events)
+}
+
+// payloadSummary renders the MIS payload with its validation verdict.
+func payloadSummary(g *mpcgraph.Graph, rep *mpcgraph.Report) string {
+	size := 0
+	for _, in := range rep.InMIS {
 		if in {
-			misSize++
+			size++
 		}
 	}
-	fmt.Printf("MIS:            size %5d   rounds %4d   phases %d\n",
-		misSize, misRes.Stats.Rounds, misRes.Phases)
-
-	// (2+eps)-approximate maximum matching (Theorem 1.2).
-	mRes, err := mpcgraph.ApproxMaxMatching(g, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("matching 2+eps: size %5d   rounds %4d\n", mRes.M.Size(), mRes.Stats.Rounds)
-
-	// (1+eps)-approximate maximum matching (Corollary 1.3).
-	bRes, err := mpcgraph.OnePlusEpsMatching(g, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("matching 1+eps: size %5d   rounds %4d\n", bRes.M.Size(), bRes.Stats.Rounds)
-
-	// (2+eps)-approximate minimum vertex cover (Theorem 1.2).
-	cRes, err := mpcgraph.ApproxMinVertexCover(g, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	coverSize := 0
-	for _, in := range cRes.InCover {
-		if in {
-			coverSize++
-		}
-	}
-	fmt.Printf("vertex cover:   size %5d   rounds %4d   dual lower bound %.0f\n",
-		coverSize, cRes.Stats.Rounds, cRes.FractionalWeight)
-
-	// Every output is validated.
-	fmt.Printf("\nvalidated: MIS=%v matching=%v cover=%v\n",
-		mpcgraph.IsMaximalIndependentSet(g, misRes.InMIS),
-		mpcgraph.IsMatching(g, bRes.M),
-		mpcgraph.IsVertexCover(g, cRes.InCover))
+	return fmt.Sprintf("MIS payload: size %d, validated=%v, %d phases, %d stages in the cost breakdown",
+		size, mpcgraph.IsMaximalIndependentSet(g, rep.InMIS), rep.Phases, len(rep.Stages))
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
@@ -85,6 +85,20 @@ func TestNoExperimentViolatesAudits(t *testing.T) {
 				t.Errorf("%s: violations = %s in row %v", id, row[col], row)
 			}
 		}
+	}
+}
+
+// TestSolveRegistryBenchmarkCoverage is the CI gate of the unified
+// Solve redesign: every (Problem, Model) pair registered in
+// internal/registry must produce a valid row in the registry sweep.
+// A pair that errors, validates false, or is silently skipped fails
+// the build.
+func TestSolveRegistryBenchmarkCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered algorithm at quick scale")
+	}
+	if err := VerifyRegistryCoverage(Config{Seed: 5, Trials: 1, Quick: true}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -267,7 +268,10 @@ func runBoostCase(t *Table, name string, g *graph.Graph, eps float64, seed uint6
 	if err != nil {
 		return []string{name, f2(eps), "-", "-", "-", "-", "-", "-", "-"}
 	}
-	boost := matching.BoostToOnePlusEps(g, base.M, eps)
+	boost, err := matching.BoostToOnePlusEps(context.Background(), g, base.M, eps)
+	if err != nil {
+		return []string{name, f2(eps), "-", "-", "-", "-", "-", "-", "-"}
+	}
 	mOpt := opt()
 	ratio := func(sz int) string {
 		if sz == 0 {
@@ -318,7 +322,9 @@ func runE10(cfg Config) *Table {
 		src := rng.New(seed)
 		g := graph.GNP(n, 8/float64(n), src)
 		wg := graph.RandomWeights(g, 1, spread, src)
-		ours, err := matching.ApproxMaxWeightedMatchingMPC(wg, 0.1, seed, 16, false)
+		ours, err := matching.ApproxMaxWeightedMatchingMPC(wg, matching.WeightedMPCOptions{
+			Eps: 0.1, Seed: seed, MemoryFactor: 16, Workers: cfg.Workers,
+		})
 		if err != nil {
 			continue
 		}

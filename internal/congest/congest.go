@@ -10,9 +10,11 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/par"
 )
 
@@ -29,6 +31,15 @@ type Config struct {
 	// (0 = all cores, 1 = sequential). Every setting produces identical
 	// inboxes, metrics and errors.
 	Workers int
+	// Ctx, when non-nil, is checked at the start of every round-charging
+	// operation; a cancelled context aborts the operation with ctx.Err(),
+	// making long simulated runs cancellable between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, receives one TraceEvent per metered
+	// communication step (Round and ChargeRound emit one each; the
+	// Lenzen primitives emit one event covering their constant rounds).
+	// Tracing never changes results, metrics or errors.
+	Trace model.TraceFunc
 }
 
 // Metrics aggregates the model costs incurred so far.
@@ -67,8 +78,9 @@ func (e *BudgetError) Error() string {
 
 // Clique is a simulated CONGESTED-CLIQUE network.
 type Clique struct {
-	cfg Config
-	met Metrics
+	cfg    Config
+	met    Metrics
+	active int // algorithm-reported undecided-vertex gauge (SetActive)
 }
 
 // New validates cfg and returns a fresh clique.
@@ -88,6 +100,25 @@ func (q *Clique) Players() int { return q.cfg.Players }
 // Metrics returns a snapshot of the accumulated metrics.
 func (q *Clique) Metrics() Metrics { return q.met }
 
+// SetActive records the algorithm's current count of undecided vertices,
+// reported on subsequent TraceEvents. Observational only.
+func (q *Clique) SetActive(vertices int) { q.active = vertices }
+
+// interrupted returns the configured context's error, if any.
+func (q *Clique) interrupted() error {
+	if q.cfg.Ctx == nil {
+		return nil
+	}
+	return q.cfg.Ctx.Err()
+}
+
+// emit delivers one trace event for a step that moved words of volume.
+func (q *Clique) emit(words int64) {
+	if q.cfg.Trace != nil {
+		q.cfg.Trace(model.TraceEvent{Round: q.met.Rounds, LiveWords: words, ActiveVertices: q.active})
+	}
+}
+
 // Round executes one synchronous round. out[i] holds player i's messages;
 // the per-ordered-pair budget is enforced. Delivery order is by sender.
 // The per-player accounting fans out across Workers goroutines; inboxes,
@@ -95,6 +126,9 @@ func (q *Clique) Metrics() Metrics { return q.met }
 func (q *Clique) Round(out [][]Message) ([][]Message, error) {
 	if len(out) != q.cfg.Players {
 		return nil, fmt.Errorf("congest: Round got %d outboxes for %d players", len(out), q.cfg.Players)
+	}
+	if err := q.interrupted(); err != nil {
+		return nil, err
 	}
 	q.met.Rounds++
 	n := q.cfg.Players
@@ -163,13 +197,16 @@ func (q *Clique) Round(out [][]Message) ([][]Message, error) {
 		}
 	}
 	var firstErr error
+	var roundWords int64
 	for w := 0; w < shards; w++ {
 		q.met.TotalWords += shardTotal[w]
+		roundWords += shardTotal[w]
 		q.met.Violations += shardViol[w]
 		if firstErr == nil {
 			firstErr = shardBudgetErr[w]
 		}
 	}
+	q.emit(roundWords)
 	in := make([][]Message, n)
 	inWords := make([]int64, n)
 	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
@@ -225,6 +262,9 @@ func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
 	if len(out) != q.cfg.Players {
 		return nil, fmt.Errorf("congest: LenzenRoute got %d outboxes for %d players", len(out), q.cfg.Players)
 	}
+	if err := q.interrupted(); err != nil {
+		return nil, err
+	}
 	n := q.cfg.Players
 	limit := int64(n) * int64(q.cfg.PairBudgetWords)
 	q.met.Rounds += lenzenRounds
@@ -265,9 +305,12 @@ func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
 			return nil, err
 		}
 	}
+	var routeWords int64
 	for _, t := range shardTotal {
 		q.met.TotalWords += t
+		routeWords += t
 	}
+	q.emit(routeWords)
 	in := make([][]Message, n)
 	inWords := make([]int64, n)
 	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
@@ -339,8 +382,12 @@ func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
 // ordered pair carries; maxOut/maxIn are the largest per-player send and
 // receive volumes; total is the overall volume.
 func (q *Clique) ChargeRound(maxPairWords int, maxOut, maxIn, total int64) error {
+	if err := q.interrupted(); err != nil {
+		return err
+	}
 	q.met.Rounds++
 	q.met.TotalWords += total
+	q.emit(total)
 	if maxOut > q.met.MaxPlayerOut {
 		q.met.MaxPlayerOut = maxOut
 	}
@@ -364,8 +411,12 @@ func (q *Clique) ChargeRound(maxPairWords int, maxOut, maxIn, total int64) error
 // precondition that no player sends or receives more than n·budget words.
 func (q *Clique) ChargeLenzen(maxOut, maxIn, total int64) error {
 	const lenzenRounds = 2
+	if err := q.interrupted(); err != nil {
+		return err
+	}
 	q.met.Rounds += lenzenRounds
 	q.met.TotalWords += total
+	q.emit(total)
 	if maxOut > q.met.MaxPlayerOut {
 		q.met.MaxPlayerOut = maxOut
 	}
@@ -394,6 +445,9 @@ func (q *Clique) AllBroadcast(wordsEach int, payloads []any) ([][]any, error) {
 	if len(payloads) != n {
 		return nil, fmt.Errorf("congest: AllBroadcast got %d payloads for %d players", len(payloads), n)
 	}
+	if err := q.interrupted(); err != nil {
+		return nil, err
+	}
 	if wordsEach > q.cfg.PairBudgetWords {
 		q.met.Violations++
 		if q.cfg.Strict {
@@ -403,6 +457,7 @@ func (q *Clique) AllBroadcast(wordsEach int, payloads []any) ([][]any, error) {
 	q.met.Rounds++
 	per := int64(wordsEach) * int64(n-1)
 	q.met.TotalWords += per * int64(n)
+	q.emit(per * int64(n))
 	if per > q.met.MaxPlayerOut {
 		q.met.MaxPlayerOut = per
 	}

@@ -552,4 +552,3 @@ func BenchmarkGNP(b *testing.B) {
 		_ = GNP(10000, 0.001, rng.New(uint64(i)))
 	}
 }
-

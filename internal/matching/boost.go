@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"math"
 
 	"mpcgraph/internal/graph"
@@ -30,7 +31,10 @@ type BoostResult struct {
 // (handling them exactly needs blossom contraction), so the boost is a
 // measured heuristic there — experiment E9 reports both cases against
 // exact optima.
-func BoostToOnePlusEps(g *graph.Graph, m graph.Matching, eps float64) *BoostResult {
+//
+// ctx is checked once per augmentation pass (the distributed-round
+// granularity); a nil ctx disables cancellation.
+func BoostToOnePlusEps(ctx context.Context, g *graph.Graph, m graph.Matching, eps float64) (*BoostResult, error) {
 	if eps <= 0 {
 		eps = 0.1
 	}
@@ -78,6 +82,11 @@ func BoostToOnePlusEps(g *graph.Graph, m graph.Matching, eps float64) *BoostResu
 	for L := 1; L <= res.PathCap; L += 2 {
 		budget := (L + 1) / 2
 		for {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			res.Passes++
 			usedInPass = make([]bool, n)
 			progress := 0
@@ -103,7 +112,7 @@ func BoostToOnePlusEps(g *graph.Graph, m graph.Matching, eps float64) *BoostResu
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // markPath marks the matched component containing v as used for the rest

@@ -14,6 +14,10 @@ type FilterResult struct {
 	Rounds int
 	// MaxSampleWords is the largest sample shipped to the coordinator.
 	MaxSampleWords int64
+	// RoundWords records, per round, the words shipped to the
+	// coordinator (len(RoundWords) == Rounds), so callers can charge the
+	// run on a metered simulator after the fact.
+	RoundWords []int64
 }
 
 // FilteringMaximalMatching implements the filtering technique of
@@ -45,6 +49,7 @@ func FilteringMaximalMatching(g *graph.Graph, memoryWords int64, src *rng.Source
 		if w := int64(2 * len(sample)); w > res.MaxSampleWords {
 			res.MaxSampleWords = w
 		}
+		res.RoundWords = append(res.RoundWords, int64(2*len(sample)))
 		// Central maximal matching of the sample over free vertices.
 		for _, e := range sample {
 			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
@@ -66,6 +71,7 @@ func FilteringMaximalMatching(g *graph.Graph, memoryWords int64, src *rng.Source
 		if w := int64(2 * len(active)); w > res.MaxSampleWords {
 			res.MaxSampleWords = w
 		}
+		res.RoundWords = append(res.RoundWords, int64(2*len(active)))
 		for _, e := range active {
 			if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
 				res.M.Match(e[0], e[1])

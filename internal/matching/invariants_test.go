@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -206,7 +207,7 @@ func TestBoostNeverInvalidates(t *testing.T) {
 		src := rng.New(seed)
 		g := graph.GNP(100, 0.07, src)
 		start := FilteringMaximalMatching(g, 256, src).M
-		res := BoostToOnePlusEps(g, start, 0.25)
+		res, _ := BoostToOnePlusEps(context.Background(), g, start, 0.25)
 		return graph.IsMatching(g, res.M) && res.M.Size() >= start.Size()
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
@@ -220,7 +221,7 @@ func TestWeightedMPCVariant(t *testing.T) {
 	src := rng.New(300)
 	g := graph.GNP(250, 0.04, src)
 	wg := graph.RandomWeights(g, 1, 20, src)
-	res, err := ApproxMaxWeightedMatchingMPC(wg, 0.1, 5, 16, true)
+	res, err := ApproxMaxWeightedMatchingMPC(wg, WeightedMPCOptions{Eps: 0.1, Seed: 5, MemoryFactor: 16, Strict: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestWeightedMPCComparableToSequential(t *testing.T) {
 	g := graph.GNP(200, 0.05, src)
 	wg := graph.RandomWeights(g, 1, 50, src)
 	seq := ApproxMaxWeightedMatching(wg, 0.1, 7)
-	met, err := ApproxMaxWeightedMatchingMPC(wg, 0.1, 7, 16, false)
+	met, err := ApproxMaxWeightedMatchingMPC(wg, WeightedMPCOptions{Eps: 0.1, Seed: 7, MemoryFactor: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -433,7 +434,7 @@ func TestBoostBipartiteReachesOnePlusEps(t *testing.T) {
 	for seed := uint64(0); seed < 3; seed++ {
 		bg := graph.RandomBipartite(120, 120, 0.04, rng.New(seed+60))
 		start := baseline.GreedyMaximalMatching(bg.Graph, bg.EdgeList())
-		res := BoostToOnePlusEps(bg.Graph, start, 0.1)
+		res, _ := BoostToOnePlusEps(context.Background(), bg.Graph, start, 0.1)
 		if !graph.IsMatching(bg.Graph, res.M) {
 			t.Fatal("boost produced invalid matching")
 		}
@@ -453,7 +454,7 @@ func TestBoostBipartiteReachesOnePlusEps(t *testing.T) {
 func TestBoostGeneralImproves(t *testing.T) {
 	g := graph.GNP(200, 0.04, rng.New(31))
 	start := baseline.GreedyMaximalMatching(g, g.EdgeList())
-	res := BoostToOnePlusEps(g, start, 0.2)
+	res, _ := BoostToOnePlusEps(context.Background(), g, start, 0.2)
 	if !graph.IsMatching(g, res.M) {
 		t.Fatal("invalid matching")
 	}
@@ -463,7 +464,7 @@ func TestBoostGeneralImproves(t *testing.T) {
 }
 
 func TestBoostPathCap(t *testing.T) {
-	res := BoostToOnePlusEps(graph.Path(2), graph.NewMatching(2), 0.25)
+	res, _ := BoostToOnePlusEps(context.Background(), graph.Path(2), graph.NewMatching(2), 0.25)
 	if res.PathCap != 2*4+1 {
 		t.Errorf("path cap = %d, want 9", res.PathCap)
 	}

@@ -1,0 +1,276 @@
+package matching
+
+import (
+	"context"
+	"math"
+
+	"mpcgraph/internal/congest"
+	"mpcgraph/internal/model"
+	"mpcgraph/internal/mpc"
+)
+
+// Costs is a snapshot of a meter's audited totals.
+type Costs struct {
+	// Rounds is the number of model rounds charged so far.
+	Rounds int
+	// MaxMachineWords is the largest per-round load on any machine or
+	// player observed so far.
+	MaxMachineWords int64
+	// TotalWords is the cumulative communication volume.
+	TotalWords int64
+	// Violations counts capacity/budget violations (non-strict mode).
+	Violations int
+}
+
+// meter abstracts the simulator backend the matching algorithms charge
+// their communication against. The algorithm state never reads anything
+// back from the meter, so one algorithm run produces bit-identical
+// outputs under every backend — only the audited costs differ, which is
+// exactly the paper's claim that the same technique runs in the MPC
+// model and (via Lenzen routing) in the CONGESTED-CLIQUE.
+type meter interface {
+	// Shuffle charges the phase-start repartitioning: machine class j of
+	// the m classes receives its induced subgraph of inducedWords[j]
+	// words (the Lemma 4.7 audit).
+	Shuffle(m int, inducedWords []int64) error
+	// ResultSync charges the end-of-phase freeze synchronization: a
+	// gather of frozenWords words followed by a broadcast of the same.
+	ResultSync(m int, frozenWords int64) error
+	// DirectRound charges one direct Central-Rand iteration: one word
+	// each way per active edge.
+	DirectRound(activeEdges int64) error
+	// Gather charges one coordinator gather of words words (the
+	// filtering completion's per-round sample shipment).
+	Gather(words int64) error
+	// SetActive reports the current undecided-vertex count for tracing.
+	SetActive(vertices int)
+	// Costs returns the audited totals so far.
+	Costs() Costs
+}
+
+// meterConfig carries everything needed to stand up either backend.
+type meterConfig struct {
+	n            int // vertices of the input graph
+	machines     int // MPC machine count (also the phase-m cap)
+	memoryFactor float64
+	strict       bool
+	workers      int
+	ctx          context.Context
+	trace        model.TraceFunc
+}
+
+// resolveMemoryFactor applies the package-wide per-machine memory
+// default of 16·n words (the constant behind the paper's Õ(n)).
+func resolveMemoryFactor(f float64) float64 {
+	if f == 0 {
+		return 16
+	}
+	return f
+}
+
+// simMachines returns the MPC machine count used by the simulation and
+// as the per-phase partition cap: ⌈√n⌉+1. The cap is shared by every
+// backend so the algorithm trajectory is identical across models.
+func simMachines(n int) int {
+	return int(math.Ceil(math.Sqrt(float64(n)))) + 1
+}
+
+// newMeter builds the backend for the selected model.
+func newMeter(m model.Model, cfg meterConfig) (meter, error) {
+	if cfg.machines == 0 {
+		cfg.machines = simMachines(cfg.n)
+	}
+	if m == model.CongestedClique {
+		return newCliqueMeter(cfg)
+	}
+	return newMPCMeter(cfg)
+}
+
+// mpcMeter charges an MPC cluster with ⌈√n⌉+1 machines of
+// MemoryFactor·n words each — the deployment of Section 4.3.
+type mpcMeter struct {
+	cluster *mpc.Cluster
+}
+
+func newMPCMeter(cfg meterConfig) (*mpcMeter, error) {
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Machines:      cfg.machines,
+		CapacityWords: int64(cfg.memoryFactor * float64(cfg.n)),
+		Strict:        cfg.strict,
+		Workers:       cfg.workers,
+		Ctx:           cfg.ctx,
+		Trace:         cfg.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &mpcMeter{cluster: cluster}, nil
+}
+
+func (mm *mpcMeter) Shuffle(m int, inducedWords []int64) error {
+	return chargeShuffle(mm.cluster, m, inducedWords)
+}
+
+func (mm *mpcMeter) ResultSync(m int, frozenWords int64) error {
+	return chargeResultSync(mm.cluster, m, frozenWords)
+}
+
+func (mm *mpcMeter) DirectRound(activeEdges int64) error {
+	return chargeDirectRound(mm.cluster, activeEdges)
+}
+
+func (mm *mpcMeter) Gather(words int64) error {
+	m := mm.cluster.Machines()
+	parts := make([]mpc.Message, m)
+	share, rem := words/int64(m), words%int64(m)
+	for i := 0; i < m; i++ {
+		w := share
+		if int64(i) < rem {
+			w++
+		}
+		parts[i] = mpc.Message{Words: w}
+	}
+	_, err := mm.cluster.GatherTo(0, parts)
+	return err
+}
+
+func (mm *mpcMeter) SetActive(vertices int) { mm.cluster.SetActive(vertices) }
+
+func (mm *mpcMeter) Costs() Costs {
+	met := mm.cluster.Metrics()
+	maxWords := met.MaxInWords
+	if met.MaxOutWords > maxWords {
+		maxWords = met.MaxOutWords
+	}
+	return Costs{
+		Rounds:          met.Rounds,
+		MaxMachineWords: maxWords,
+		TotalWords:      met.TotalWords,
+		Violations:      met.Violations,
+	}
+}
+
+// cliqueMeter charges a CONGESTED-CLIQUE of n players with the standard
+// one-word pair budget. Bulk deliveries ride Lenzen's routing scheme in
+// n-word chunks; broadcasts ride the relay tree at n-1 words per player
+// per round — the standard simulation of Õ(n)-memory MPC algorithms in
+// the clique (Section 2 of the paper).
+type cliqueMeter struct {
+	q *congest.Clique
+}
+
+func newCliqueMeter(cfg meterConfig) (*cliqueMeter, error) {
+	players := cfg.n
+	if players < 2 {
+		players = 2
+	}
+	q, err := congest.New(congest.Config{
+		Players:         players,
+		PairBudgetWords: 1,
+		Strict:          cfg.strict,
+		Workers:         cfg.workers,
+		Ctx:             cfg.ctx,
+		Trace:           cfg.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &cliqueMeter{q: q}, nil
+}
+
+// lenzenDeliver charges the delivery of total words with per-receiver
+// maximum maxIn, chunked into Lenzen invocations of at most n words per
+// receiver: the heaviest receiver's load is split evenly across the
+// chunks, so each invocation carries its actual share rather than the
+// whole per-receiver maximum.
+func (cm *cliqueMeter) lenzenDeliver(total, maxIn int64) error {
+	n := int64(cm.q.Players())
+	if maxIn <= 0 {
+		// The synchronization still happens even when nothing moved.
+		return cm.q.ChargeRound(1, 0, 0, 0)
+	}
+	k := (maxIn + n - 1) / n
+	inShare := (maxIn + k - 1) / k
+	share, rem := total/k, total%k
+	for i := int64(0); i < k; i++ {
+		t := share
+		if i < rem {
+			t++
+		}
+		if err := cm.q.ChargeLenzen(minWords(t, n), minWords(inShare, t), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// broadcast charges delivering words words to every player, n-1 words
+// per player per relay round.
+func (cm *cliqueMeter) broadcast(words int64) error {
+	n := int64(cm.q.Players())
+	for remaining := words; ; {
+		chunk := minWords(remaining, n-1)
+		if chunk < 0 {
+			chunk = 0
+		}
+		if err := cm.q.ChargeRound(1, chunk, chunk, chunk*n); err != nil {
+			return err
+		}
+		remaining -= chunk
+		if remaining <= 0 {
+			return nil
+		}
+	}
+}
+
+func (cm *cliqueMeter) Shuffle(m int, inducedWords []int64) error {
+	var total, maxIn int64
+	for _, w := range inducedWords {
+		total += w
+		if w > maxIn {
+			maxIn = w
+		}
+	}
+	return cm.lenzenDeliver(total, maxIn)
+}
+
+func (cm *cliqueMeter) ResultSync(m int, frozenWords int64) error {
+	if err := cm.lenzenDeliver(frozenWords, frozenWords); err != nil {
+		return err
+	}
+	return cm.broadcast(frozenWords)
+}
+
+func (cm *cliqueMeter) DirectRound(activeEdges int64) error {
+	n := int64(cm.q.Players())
+	words := 2 * activeEdges
+	per := words/n + 1
+	return cm.q.ChargeRound(1, per, per, words)
+}
+
+func (cm *cliqueMeter) Gather(words int64) error {
+	return cm.lenzenDeliver(words, words)
+}
+
+func (cm *cliqueMeter) SetActive(vertices int) { cm.q.SetActive(vertices) }
+
+func (cm *cliqueMeter) Costs() Costs {
+	met := cm.q.Metrics()
+	maxWords := met.MaxPlayerIn
+	if met.MaxPlayerOut > maxWords {
+		maxWords = met.MaxPlayerOut
+	}
+	return Costs{
+		Rounds:          met.Rounds,
+		MaxMachineWords: maxWords,
+		TotalWords:      met.TotalWords,
+		Violations:      met.Violations,
+	}
+}
+
+func minWords(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

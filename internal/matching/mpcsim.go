@@ -1,10 +1,12 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
@@ -48,6 +50,15 @@ type SimOptions struct {
 	// bit-identical for every setting: every floating-point sum is
 	// computed entirely inside one vertex's loop body.
 	Workers int
+	// Model selects the metered backend: model.MPC (default) or
+	// model.CongestedClique. The algorithm trajectory — and therefore the
+	// output — is bit-identical across models; only the audited costs
+	// differ.
+	Model model.Model
+	// Ctx, when non-nil, cancels the simulation between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, observes every metered round.
+	Trace model.TraceFunc
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -60,9 +71,7 @@ func (o SimOptions) withDefaults() SimOptions {
 	if o.Eps > 0.25 {
 		o.Eps = 0.25
 	}
-	if o.MemoryFactor == 0 {
-		o.MemoryFactor = 16
-	}
+	o.MemoryFactor = resolveMemoryFactor(o.MemoryFactor)
 	if o.DCut == nil {
 		o.DCut = DefaultDCut
 	}
@@ -123,6 +132,10 @@ type SimResult struct {
 	Violations int
 	// PhaseStats carries per-phase instrumentation.
 	PhaseStats []PhaseStat
+	// Stages is the audited per-stage cost breakdown (one entry per
+	// while-loop phase plus the direct stage). Rounds and Words sum to
+	// the run totals.
+	Stages []model.StageCost
 }
 
 // DeviationProbe accumulates the Section 4.4.3 coupling statistics: per
@@ -144,8 +157,30 @@ type DeviationProbe struct {
 }
 
 // Simulate runs the paper's MPC-Simulation on g and returns the
-// fractional matching, vertex cover, and audited model costs.
+// fractional matching, vertex cover, and audited model costs, metered on
+// the backend selected by opts.Model.
 func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
+	opts = opts.withDefaults()
+	mt, err := newMeter(opts.Model, meterConfig{
+		n:            g.NumVertices(),
+		memoryFactor: opts.MemoryFactor,
+		strict:       opts.Strict,
+		workers:      opts.Workers,
+		ctx:          opts.Ctx,
+		trace:        opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simulateOn(g, opts, mt)
+}
+
+// simulateOn runs the simulation against an existing meter, so callers
+// (the integral pipeline) can accumulate the costs of several
+// invocations on one backend. Rounds, TotalWords and Violations in the
+// result are deltas relative to the meter state at entry;
+// MaxMachineWords is the meter's cumulative per-round maximum.
+func simulateOn(g *graph.Graph, opts SimOptions, mt meter) (*SimResult, error) {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	eps := opts.Eps
@@ -159,19 +194,9 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 
 	st := newSimState(g, eps, opts.Workers)
 	res := &SimResult{}
+	base := mt.Costs()
 
-	capacity := int64(opts.MemoryFactor * float64(n))
-	machines := int(math.Ceil(math.Sqrt(float64(n)))) + 1
-	cluster, err := mpc.NewCluster(mpc.Config{
-		Machines:      machines,
-		CapacityWords: capacity,
-		Strict:        opts.Strict,
-		Workers:       opts.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-
+	machines := simMachines(n)
 	dCut := opts.DCut(n)
 	d := float64(n)
 	for d > dCut && res.Phases < 64 {
@@ -183,11 +208,18 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 			m = machines
 		}
 		iters := phaseIterations(m, eps, opts)
-		stat, err := st.runPhase(cluster, oracle, partSrc, m, iters, opts.Probe)
+		before := mt.Costs()
+		stat, err := st.runPhase(mt, oracle, partSrc, m, iters, opts.Probe)
 		if err != nil {
 			return nil, fmt.Errorf("phase %d: %w", res.Phases, err)
 		}
 		stat.D = d
+		after := mt.Costs()
+		res.Stages = append(res.Stages, model.StageCost{
+			Name:   fmt.Sprintf("phase-%d", res.Phases),
+			Rounds: after.Rounds - before.Rounds,
+			Words:  after.TotalWords - before.TotalWords,
+		})
 		res.Phases++
 		res.TotalIterations += iters
 		res.PhaseStats = append(res.PhaseStats, stat)
@@ -196,22 +228,27 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 
 	// Line (4): direct simulation of Central-Rand until every edge is
 	// frozen, one MPC round per iteration.
-	direct, err := st.runDirect(cluster, oracle)
+	beforeDirect := mt.Costs()
+	direct, err := st.runDirect(mt, oracle)
 	if err != nil {
 		return nil, err
 	}
 	res.DirectIterations = direct
 	res.TotalIterations += direct
+	if afterDirect := mt.Costs(); afterDirect.Rounds > beforeDirect.Rounds {
+		res.Stages = append(res.Stages, model.StageCost{
+			Name:   "direct",
+			Rounds: afterDirect.Rounds - beforeDirect.Rounds,
+			Words:  afterDirect.TotalWords - beforeDirect.TotalWords,
+		})
+	}
 
 	res.Frac = st.finalize()
-	met := cluster.Metrics()
-	res.Rounds = met.Rounds
-	res.MaxMachineWords = met.MaxInWords
-	if met.MaxOutWords > res.MaxMachineWords {
-		res.MaxMachineWords = met.MaxOutWords
-	}
-	res.TotalWords = met.TotalWords
-	res.Violations = met.Violations
+	c := mt.Costs()
+	res.Rounds = c.Rounds - base.Rounds
+	res.MaxMachineWords = c.MaxMachineWords
+	res.TotalWords = c.TotalWords - base.TotalWords
+	res.Violations = c.Violations - base.Violations
 	return res, nil
 }
 
@@ -304,7 +341,7 @@ func (st *simState) frozen(v int32) bool { return st.freezeIter[v] >= 0 }
 // I iterations, end-of-phase weight reconciliation, heavy removal and
 // late freezing (Lines (a)-(j) of the pseudocode).
 func (st *simState) runPhase(
-	cluster *mpc.Cluster,
+	mt meter,
 	oracle rng.ThresholdOracle,
 	partSrc *rng.Source,
 	m, iters int,
@@ -320,12 +357,15 @@ func (st *simState) runPhase(
 	// one goroutine; everything after it is a read-only scan.
 	yold, part := st.yold, st.part
 	localDeg, globalDeg := st.localDeg, st.globalDeg // globalDeg feeds the probe's exact process
+	activeCount := 0
 	for v := int32(0); v < n; v++ {
 		part[v] = -1
 		if st.inV[v] && !st.frozen(v) {
 			part[v] = int32(partSrc.Intn(m))
+			activeCount++
 		}
 	}
+	mt.SetActive(activeCount)
 	// wAt grows its memo lazily; pre-grow it to the deepest iteration the
 	// phase can reference so the parallel scan only reads it.
 	st.wAt(st.t + iters)
@@ -382,7 +422,7 @@ func (st *simState) runPhase(
 	// Charge the shuffle round: edges travel from their hash-home to the
 	// owner machine of their partition class; the inbox of machine i is
 	// exactly its induced subgraph (the Lemma 4.7 audit).
-	if err := chargeShuffle(cluster, m, inducedWords); err != nil {
+	if err := mt.Shuffle(m, inducedWords); err != nil {
 		return stat, err
 	}
 
@@ -528,7 +568,7 @@ func (st *simState) runPhase(
 	// gathered and redistributed (1 gather + broadcast).
 	frozenNow := countFrozen(st)
 	frozenWords := int64(2 * (frozenNow - frozenBefore))
-	if err := chargeResultSync(cluster, m, frozenWords); err != nil {
+	if err := mt.ResultSync(m, frozenWords); err != nil {
 		return stat, err
 	}
 
@@ -559,7 +599,7 @@ func (st *simState) runPhase(
 // runDirect executes Central-Rand directly from the current state until
 // no active edge remains, one MPC round per iteration. Returns the number
 // of iterations.
-func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) (int, error) {
+func (st *simState) runDirect(mt meter, oracle rng.ThresholdOracle) (int, error) {
 	g := st.g
 	n := int32(g.NumVertices())
 	// Initialize exact incremental state. Each vertex gathers its own
@@ -568,11 +608,14 @@ func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) 
 	yFrozen := make([]float64, n)
 	activeDeg := make([]int32, n)
 	st.wAt(st.t) // pre-grow the weight memo
-	halfActive := par.Reduce(st.workers, int(n), func(lo, hi, _ int) int64 {
-		var active int64
+	acc := par.Reduce(st.workers, int(n), func(lo, hi, _ int) [2]int64 {
+		var active, verts int64
 		for v := int32(lo); v < int32(hi); v++ {
 			if !st.inV[v] {
 				continue
+			}
+			if !st.frozen(v) {
+				verts++
 			}
 			s := 0.0
 			for _, u := range g.Neighbors(v) {
@@ -588,14 +631,16 @@ func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) 
 			}
 			yFrozen[v] = s
 		}
-		return active
-	}, func(a, b int64) int64 { return a + b })
-	activeEdges := int(halfActive / 2)
+		return [2]int64{active, verts}
+	}, func(a, b [2]int64) [2]int64 { return [2]int64{a[0] + b[0], a[1] + b[1]} })
+	activeEdges := int(acc[0] / 2)
+	activeVerts := int(acc[1])
 	maxIter := maxCentralIterations(int(n), st.eps) + st.t
 	iters := 0
 	toFreeze := make([]int32, 0, 64)
 	for activeEdges > 0 && st.t < maxIter {
-		if err := chargeDirectRound(cluster, int64(activeEdges)); err != nil {
+		mt.SetActive(activeVerts)
+		if err := mt.DirectRound(int64(activeEdges)); err != nil {
 			return iters, fmt.Errorf("direct iteration %d: %w", iters, err)
 		}
 		wt := st.wAt(st.t)
@@ -615,6 +660,7 @@ func (st *simState) runDirect(cluster *mpc.Cluster, oracle rng.ThresholdOracle) 
 			st.freezeIter[v] = int32(st.t)
 			st.cover[v] = true
 		}
+		activeVerts -= len(toFreeze)
 		// Deactivate edges whose first endpoint froze this iteration.
 		for _, v := range toFreeze {
 			for _, u := range g.Neighbors(v) {

@@ -1,10 +1,12 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/rng"
 )
 
@@ -33,6 +35,13 @@ type PipelineOptions struct {
 	// and the subgraph constructions (0 = all cores, 1 = the exact
 	// sequential path). Results are bit-identical for every setting.
 	Workers int
+	// Model selects the metered backend (model.MPC or
+	// model.CongestedClique). Outputs are bit-identical across models.
+	Model model.Model
+	// Ctx, when non-nil, cancels the pipeline between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, observes every metered round.
+	Trace model.TraceFunc
 }
 
 // PipelineResult is the output of ApproxMaxMatching.
@@ -44,13 +53,26 @@ type PipelineResult struct {
 	CoreSize int
 	// Invocations counts executions of algorithm A.
 	Invocations int
-	// SimRounds sums the MPC rounds of all fractional simulations.
+	// SimRounds sums the model rounds of all fractional simulations.
 	SimRounds int
 	// FinishRounds is the rounds charged to the completion step.
 	FinishRounds int
+	// Phases sums the while-loop phases across all invocations.
+	Phases int
+	// MaxMachineWords is the largest per-round load on any machine
+	// across the whole pipeline (all invocations share one metered
+	// backend).
+	MaxMachineWords int64
+	// TotalWords is the pipeline's total communication volume.
+	TotalWords int64
+	// Violations counts capacity violations (non-strict mode).
+	Violations int
+	// Stages is the audited per-stage breakdown: one entry per
+	// invocation of algorithm A plus the completion step.
+	Stages []model.StageCost
 }
 
-// Rounds returns the total MPC round count of the pipeline.
+// Rounds returns the total model round count of the pipeline.
 func (r *PipelineResult) Rounds() int { return r.SimRounds + r.FinishRounds }
 
 // ApproxMaxMatching computes a (2+eps)-approximate integral maximum
@@ -88,6 +110,20 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 
 	n := g.NumVertices()
 	res := &PipelineResult{M: graph.NewMatching(n)}
+	// Every invocation of algorithm A charges the same backend, so the
+	// pipeline's Report-level costs (max load, total volume) aggregate
+	// exactly as one deployment would observe them.
+	mt, err := newMeter(opts.Model, meterConfig{
+		n:            n,
+		memoryFactor: resolveMemoryFactor(opts.MemoryFactor),
+		strict:       opts.Strict,
+		workers:      opts.Workers,
+		ctx:          opts.Ctx,
+		trace:        opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true
@@ -98,18 +134,24 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 		if sub.NumEdges() == 0 {
 			break
 		}
-		sim, err := Simulate(sub, SimOptions{
+		sim, err := simulateOn(sub, SimOptions{
 			Seed:         rng.Hash(opts.Seed, uint64(inv)),
 			Eps:          epsPrime,
 			MemoryFactor: opts.MemoryFactor,
 			Strict:       opts.Strict,
 			Workers:      opts.Workers,
-		})
+		}, mt)
 		if err != nil {
 			return nil, fmt.Errorf("invocation %d: %w", inv, err)
 		}
 		res.Invocations++
 		res.SimRounds += sim.Rounds
+		res.Phases += sim.Phases
+		res.Stages = append(res.Stages, model.StageCost{
+			Name:   fmt.Sprintf("invocation-%d", inv),
+			Rounds: sim.Rounds,
+			Words:  sim.TotalWords,
+		})
 		candidate := CandidateSet(sim.Frac, 5*epsPrime)
 		mNew := RoundFractional(sub, sim.Frac, candidate, roundSrc)
 		added := 0
@@ -134,18 +176,36 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 	if !opts.SkipFinish {
 		// Section 4.4.5: the residual instance has a small maximum
 		// matching, handled by the filtering small-matching path; we
-		// complete greedily, charging the filtering round count.
+		// complete greedily, charging every filtering sample gather on
+		// the shared backend.
 		sub := g.SubgraphWorkers(active, opts.Workers)
 		if sub.NumEdges() > 0 {
+			mt.SetActive(graph.CountMarked(active))
 			fr := FilteringMaximalMatching(sub, int64(16*n), rng.New(opts.Seed).SplitString("finish"))
 			for _, e := range fr.M.Edges() {
 				if res.M[e[0]] == -1 && res.M[e[1]] == -1 {
 					res.M.Match(e[0], e[1])
 				}
 			}
-			res.FinishRounds += fr.Rounds
+			before := mt.Costs()
+			for _, w := range fr.RoundWords {
+				if err := mt.Gather(w); err != nil {
+					return nil, fmt.Errorf("finish: %w", err)
+				}
+			}
+			after := mt.Costs()
+			res.FinishRounds += after.Rounds - before.Rounds
+			res.Stages = append(res.Stages, model.StageCost{
+				Name:   "finish",
+				Rounds: after.Rounds - before.Rounds,
+				Words:  after.TotalWords - before.TotalWords,
+			})
 		}
 	}
+	c := mt.Costs()
+	res.MaxMachineWords = c.MaxMachineWords
+	res.TotalWords = c.TotalWords
+	res.Violations = c.Violations
 	return res, nil
 }
 
@@ -164,5 +224,8 @@ func ApproxMinVertexCover(g *graph.Graph, opts PipelineOptions) (*SimResult, err
 		MemoryFactor: opts.MemoryFactor,
 		Strict:       opts.Strict,
 		Workers:      opts.Workers,
+		Model:        opts.Model,
+		Ctx:          opts.Ctx,
+		Trace:        opts.Trace,
 	})
 }

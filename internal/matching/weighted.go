@@ -1,12 +1,14 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"mpcgraph/internal/baseline"
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/rng"
 )
@@ -105,6 +107,25 @@ func ApproxMaxWeightedMatching(wg *graph.Weighted, eps float64, seed uint64) *We
 	return res
 }
 
+// WeightedMPCOptions configures ApproxMaxWeightedMatchingMPC.
+type WeightedMPCOptions struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Eps is the approximation slack (default 0.1).
+	Eps float64
+	// MemoryFactor sets per-machine memory to MemoryFactor·n words
+	// (default 16).
+	MemoryFactor float64
+	// Strict makes capacity violations fail the run.
+	Strict bool
+	// Workers bounds goroutine fan-out in the metered cluster.
+	Workers int
+	// Ctx, when non-nil, cancels the run between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, observes every metered round.
+	Trace model.TraceFunc
+}
+
 // WeightedMPCResult augments the weighted matching with audited MPC
 // costs: Corollary 1.4 claims O(log log n · 1/eps) rounds, realized as
 // O(log(1/eps)/eps) maximal-matching invocations, each O(log n) rounds
@@ -118,8 +139,12 @@ type WeightedMPCResult struct {
 	Rounds int
 	// MaxMachineWords is the largest per-round machine load.
 	MaxMachineWords int64
+	// TotalWords is the total communication volume.
+	TotalWords int64
 	// Violations counts capacity violations (non-strict mode).
 	Violations int
+	// Stages is the audited per-improvement cost breakdown.
+	Stages []model.StageCost
 }
 
 // ApproxMaxWeightedMatchingMPC is ApproxMaxWeightedMatching with every
@@ -127,22 +152,25 @@ type WeightedMPCResult struct {
 // cluster (propose/accept, two rounds per iteration) instead of the
 // heavy-first greedy. Quality remains (2+eps) by the same [LPSR09]
 // argument — any maximal matching of the profitable subgraph suffices.
-func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, eps float64, seed uint64, memoryFactor float64, strict bool) (*WeightedMPCResult, error) {
+func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, opts WeightedMPCOptions) (*WeightedMPCResult, error) {
+	eps := opts.Eps
 	if eps <= 0 {
 		eps = 0.1
 	}
-	if memoryFactor == 0 {
-		memoryFactor = 16
-	}
+	opts.MemoryFactor = resolveMemoryFactor(opts.MemoryFactor)
 	n := wg.NumVertices()
 	cluster, err := mpc.NewCluster(mpc.Config{
 		Machines:      int(math.Sqrt(float64(n))) + 1,
-		CapacityWords: int64(memoryFactor * float64(n)),
-		Strict:        strict,
+		CapacityWords: int64(opts.MemoryFactor * float64(n)),
+		Strict:        opts.Strict,
+		Workers:       opts.Workers,
+		Ctx:           opts.Ctx,
+		Trace:         opts.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
+	cluster.SetActive(n)
 	res := &WeightedMPCResult{WeightedResult: WeightedResult{M: graph.NewMatching(n)}}
 	iters := int(math.Ceil(math.Log(1/eps)/eps)) + 1
 	if iters < 2 {
@@ -169,10 +197,18 @@ func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, eps float64, seed uint64, 
 			break
 		}
 		sub := b.MustBuild()
-		ii, err := baseline.IsraeliItaiOnCluster(sub, rng.New(rng.Hash(seed, uint64(k))), cluster)
+		cluster.SetActive(n - 2*res.M.Size())
+		before := cluster.Metrics()
+		ii, err := baseline.IsraeliItaiOnCluster(sub, rng.New(rng.Hash(opts.Seed, uint64(k))), cluster)
 		if err != nil {
 			return nil, fmt.Errorf("improvement %d: %w", k, err)
 		}
+		after := cluster.Metrics()
+		res.Stages = append(res.Stages, model.StageCost{
+			Name:   fmt.Sprintf("improvement-%d", k),
+			Rounds: after.Rounds - before.Rounds,
+			Words:  after.TotalWords - before.TotalWords,
+		})
 		for _, e := range ii.M.Edges() {
 			res.M.Unmatch(e[0])
 			res.M.Unmatch(e[1])
@@ -189,6 +225,7 @@ func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, eps float64, seed uint64, 
 	if met.MaxOutWords > res.MaxMachineWords {
 		res.MaxMachineWords = met.MaxOutWords
 	}
+	res.TotalWords = met.TotalWords
 	res.Violations = met.Violations
 	return res, nil
 }

@@ -38,10 +38,13 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 		PairBudgetWords: 1,
 		Strict:          opts.Strict,
 		Workers:         opts.Workers,
+		Ctx:             opts.Ctx,
+		Trace:           opts.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
+	clique.SetActive(n)
 
 	src := rng.New(opts.Seed)
 	perm := src.SplitString("mis-perm").Perm(n)
@@ -57,6 +60,8 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 	if err := clique.ChargeRound(1, int64(n-1), int64(n-1), int64(n)*int64(n-1)); err != nil {
 		return nil, fmt.Errorf("broadcast positions: %w", err)
 	}
+	setup := clique.Metrics()
+	res.Stages = append(res.Stages, stageCost("setup", 0, setup.Rounds, 0, setup.TotalWords))
 
 	alive := make([]bool, n)
 	for i := range alive {
@@ -66,12 +71,16 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
 	prev := 0
 	for _, r := range ranks {
+		before := clique.Metrics()
 		info, err := cliquePrefixPhase(clique, g, perm, rank, alive, res.InMIS, prev, r, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
 		res.Phases++
 		res.PhaseInfos = append(res.PhaseInfos, info)
+		after := clique.Metrics()
+		res.Stages = append(res.Stages, stageCost(fmt.Sprintf("prefix@%d", r), before.Rounds, after.Rounds, before.TotalWords, after.TotalWords))
+		clique.SetActive(graph.CountMarked(alive))
 		prev = r
 	}
 
@@ -79,7 +88,9 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
 	residualLimit := int64(n) // one Lenzen invocation's receive budget
+	beforeDyn := clique.Metrics()
 	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > residualLimit/2 && iter < maxIter; iter++ {
+		clique.SetActive(d.undecided())
 		maxDeg, edges := aliveDegreeProfile(g, d.alive, opts.Workers)
 		if err := clique.ChargeRound(1, int64(maxDeg), int64(maxDeg), 2*edges); err != nil {
 			return nil, fmt.Errorf("dynamics round: %w", err)
@@ -87,7 +98,13 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 		d.step(iter)
 		res.SparsifiedIterations++
 	}
+	if res.SparsifiedIterations > 0 {
+		afterDyn := clique.Metrics()
+		res.Stages = append(res.Stages, stageCost("sparsified", beforeDyn.Rounds, afterDyn.Rounds, beforeDyn.TotalWords, afterDyn.TotalWords))
+	}
 	if d.undecided() > 0 {
+		clique.SetActive(d.undecided())
+		beforeGather := clique.Metrics()
 		if err := chunkedLenzenGather(clique, g, d.alive, opts.Workers); err != nil {
 			return nil, err
 		}
@@ -96,7 +113,10 @@ func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
 		if err := clique.ChargeRound(1, int64(n-1), 1, int64(n-1)); err != nil {
 			return nil, fmt.Errorf("final scatter: %w", err)
 		}
+		afterGather := clique.Metrics()
+		res.Stages = append(res.Stages, stageCost("final-gather", beforeGather.Rounds, afterGather.Rounds, beforeGather.TotalWords, afterGather.TotalWords))
 	}
+	clique.SetActive(0)
 
 	m := clique.Metrics()
 	res.Rounds = m.Rounds

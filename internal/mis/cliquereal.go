@@ -35,10 +35,13 @@ func RealMessageCliqueMIS(g *graph.Graph, opts Options) (*Result, error) {
 		PairBudgetWords: 1,
 		Strict:          opts.Strict,
 		Workers:         opts.Workers,
+		Ctx:             opts.Ctx,
+		Trace:           opts.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
+	clique.SetActive(n)
 	st := &realPlayers{
 		g:       g,
 		q:       clique,

@@ -13,9 +13,11 @@
 package mis
 
 import (
+	"context"
 	"math"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
 )
 
 // Options configures the MIS simulations. The zero value is usable; all
@@ -46,6 +48,12 @@ type Options struct {
 	// bodies (0 = all cores, 1 = the exact sequential path). Results are
 	// bit-identical for every setting.
 	Workers int
+	// Ctx, when non-nil, cancels the simulation between rounds; the run
+	// returns ctx.Err().
+	Ctx context.Context
+	// Trace, when non-nil, observes every metered round (round index,
+	// live words, active vertices). Never changes results.
+	Trace model.TraceFunc
 }
 
 // withDefaults fills unset fields.
@@ -110,6 +118,10 @@ type Result struct {
 	TotalWords int64
 	// PhaseInfos carries per-phase instrumentation.
 	PhaseInfos []PhaseInfo
+	// Stages is the audited per-stage cost breakdown: one entry per
+	// prefix phase, plus the sparsified dynamics and the final gather
+	// when they run. Rounds and Words sum to the run totals.
+	Stages []model.StageCost
 	// Violations counts capacity violations in non-strict mode.
 	Violations int
 }
@@ -200,6 +212,12 @@ func prefixRanks(n, maxDeg, polylogDeg int, alpha float64) []int {
 		exp *= alpha
 	}
 	return ranks
+}
+
+// stageCost builds one StageCost entry from the round and word deltas
+// between two metric snapshots (shared by the MPC and clique paths).
+func stageCost(name string, beforeRounds, afterRounds int, beforeWords, afterWords int64) model.StageCost {
+	return model.StageCost{Name: name, Rounds: afterRounds - beforeRounds, Words: afterWords - beforeWords}
 }
 
 // defaultDynamicsCap returns the iteration cap for the sparsified stage.

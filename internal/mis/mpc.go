@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
@@ -40,10 +41,13 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 		CapacityWords: capacity,
 		Strict:        opts.Strict,
 		Workers:       opts.Workers,
+		Ctx:           opts.Ctx,
+		Trace:         opts.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
+	cluster.SetActive(n)
 
 	// Edges are distributed across machines by hash — the initial data
 	// layout of the model. homeOf(u,v) is the machine storing edge {u,v}.
@@ -69,18 +73,23 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 		d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 		d.finishGreedy(perm)
 		finalizeMetrics(res, cluster)
+		res.Stages = append(res.Stages, model.StageCost{Name: "gather-all", Rounds: res.Rounds, Words: res.TotalWords})
 		return res, nil
 	}
 
 	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
 	prev := 0
 	for _, r := range ranks {
+		before := cluster.Metrics()
 		info, err := runPrefixPhase(cluster, g, perm, rank, alive, res.InMIS, prev, r, homeOf, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
 		res.Phases++
 		res.PhaseInfos = append(res.PhaseInfos, info)
+		after := cluster.Metrics()
+		res.Stages = append(res.Stages, stageCost(fmt.Sprintf("prefix@%d", r), before.Rounds, after.Rounds, before.TotalWords, after.TotalWords))
+		cluster.SetActive(graph.CountMarked(alive))
 		prev = r
 	}
 
@@ -90,20 +99,31 @@ func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
 	// pair), until the residue fits comfortably on the leader.
 	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
 	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
+	beforeDyn := cluster.Metrics()
 	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > capacity/2 && iter < maxIter; iter++ {
+		cluster.SetActive(d.undecided())
 		if err := chargeDynamicsRound(cluster, g, d.alive, machines, opts.Workers); err != nil {
 			return nil, err
 		}
 		d.step(iter)
 		res.SparsifiedIterations++
 	}
+	if res.SparsifiedIterations > 0 {
+		afterDyn := cluster.Metrics()
+		res.Stages = append(res.Stages, stageCost("sparsified", beforeDyn.Rounds, afterDyn.Rounds, beforeDyn.TotalWords, afterDyn.TotalWords))
+	}
 	// Final gather of the shattered residue, then finish on the leader.
 	if d.undecided() > 0 {
+		cluster.SetActive(d.undecided())
+		beforeGather := cluster.Metrics()
 		if err := gatherResidual(cluster, g, d.alive, homeOf, opts.Workers); err != nil {
 			return nil, err
 		}
 		d.finishGreedy(perm)
+		afterGather := cluster.Metrics()
+		res.Stages = append(res.Stages, stageCost("final-gather", beforeGather.Rounds, afterGather.Rounds, beforeGather.TotalWords, afterGather.TotalWords))
 	}
+	cluster.SetActive(0)
 	finalizeMetrics(res, cluster)
 	return res, nil
 }

@@ -1,0 +1,67 @@
+// Package model holds the vocabulary shared by every layer of the
+// unified Solve pipeline: the computation-model selector and the
+// per-round trace event emitted by the metered simulators. It sits below
+// internal/mpc, internal/congest and the algorithm packages so that the
+// registry can dispatch on (Problem, Model) without import cycles.
+package model
+
+// Model selects the simulated computation model an algorithm runs on.
+// The paper proves its bounds in the Õ(n)-memory MPC model and, via
+// Lenzen routing, in the CONGESTED-CLIQUE model; both are metered here.
+type Model int
+
+const (
+	// MPC is the Massively Parallel Computation model [KSV10]: machines
+	// with S = Õ(n) words of memory proceeding in synchronous rounds.
+	MPC Model = iota
+	// CongestedClique is the CONGESTED-CLIQUE model [LPPSP03]: n players,
+	// one word per ordered pair per round, Lenzen routing as an O(1)-round
+	// primitive.
+	CongestedClique
+)
+
+// String returns the kebab-case name used by the CLI and the registry.
+func (m Model) String() string {
+	switch m {
+	case MPC:
+		return "mpc"
+	case CongestedClique:
+		return "congested-clique"
+	default:
+		return "unknown-model"
+	}
+}
+
+// TraceEvent is one observation of a metered simulator round, delivered
+// through Options.Trace. Events fire once per metered communication step
+// (a multi-round primitive such as a broadcast tree emits one event
+// covering all its rounds).
+type TraceEvent struct {
+	// Round is the cumulative round count after the step.
+	Round int
+	// LiveWords is the communication volume of the step in machine words.
+	LiveWords int64
+	// ActiveVertices is the algorithm's most recently reported count of
+	// still-undecided vertices (see the simulators' SetActive), or 0 if
+	// the algorithm never reported one.
+	ActiveVertices int
+}
+
+// TraceFunc observes TraceEvents. Implementations must be fast and must
+// not retain the event past the call; they are invoked synchronously
+// from the simulated round loop.
+type TraceFunc func(TraceEvent)
+
+// StageCost is one entry of a per-phase cost breakdown: the audited
+// rounds and communication volume a named algorithm stage consumed.
+// Every algorithm reports its run as a sequence of StageCosts whose
+// Rounds and Words sum to the run totals.
+type StageCost struct {
+	// Name identifies the stage (e.g. "prefix@512", "invocation-2",
+	// "direct", "finish").
+	Name string
+	// Rounds is the number of model rounds charged during the stage.
+	Rounds int
+	// Words is the communication volume charged during the stage.
+	Words int64
+}

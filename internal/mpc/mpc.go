@@ -14,9 +14,11 @@
 package mpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
@@ -35,6 +37,15 @@ type Config struct {
 	// (0 = all cores, 1 = sequential). Every setting produces identical
 	// inboxes, metrics and errors; see the package comment.
 	Workers int
+	// Ctx, when non-nil, is checked at the start of every round-charging
+	// operation; a cancelled context aborts the operation with ctx.Err(),
+	// making long simulated runs cancellable between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, receives one TraceEvent per metered
+	// communication step (Exchange and the primitives built on it emit
+	// one event each; BroadcastFrom emits one event covering its two
+	// rounds). Tracing never changes results, metrics or errors.
+	Trace model.TraceFunc
 }
 
 // Metrics aggregates everything the model cares about over the lifetime of
@@ -84,8 +95,9 @@ func (e *CapacityError) Error() string {
 // exactly the parallelism the model grants). Delivery order, metrics and
 // errors are bit-identical for every Workers setting.
 type Cluster struct {
-	cfg Config
-	met Metrics
+	cfg    Config
+	met    Metrics
+	active int // algorithm-reported undecided-vertex gauge (SetActive)
 }
 
 // NewCluster validates cfg and returns a fresh cluster.
@@ -108,6 +120,26 @@ func (c *Cluster) Metrics() Metrics { return c.met }
 // Machines returns the machine count m.
 func (c *Cluster) Machines() int { return c.cfg.Machines }
 
+// SetActive records the algorithm's current count of undecided vertices.
+// The value is observational only: it rides along on TraceEvents so
+// observers can correlate round costs with algorithmic progress.
+func (c *Cluster) SetActive(vertices int) { c.active = vertices }
+
+// interrupted returns the configured context's error, if any.
+func (c *Cluster) interrupted() error {
+	if c.cfg.Ctx == nil {
+		return nil
+	}
+	return c.cfg.Ctx.Err()
+}
+
+// emit delivers one trace event for a step that moved words of volume.
+func (c *Cluster) emit(words int64) {
+	if c.cfg.Trace != nil {
+		c.cfg.Trace(model.TraceEvent{Round: c.met.Rounds, LiveWords: words, ActiveVertices: c.active})
+	}
+}
+
 // Exchange executes one synchronous round. out[i] holds the messages
 // machine i emits; From fields are overwritten with i. The returned
 // slice in[j] holds the messages delivered to machine j, ordered by
@@ -125,6 +157,9 @@ func (c *Cluster) Exchange(out [][]Message) ([][]Message, error) {
 	m := c.cfg.Machines
 	if len(out) != m {
 		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), m)
+	}
+	if err := c.interrupted(); err != nil {
+		return nil, err
 	}
 	c.met.Rounds++
 	shards := par.ShardCount(c.cfg.Workers, m)
@@ -169,9 +204,12 @@ func (c *Cluster) Exchange(out [][]Message) ([][]Message, error) {
 	// w writes, so the parallel fill reproduces sender order exactly.
 	inWords := make([]int64, m)
 	in := make([][]Message, m)
+	var roundWords int64
 	for _, t := range shardTotal {
 		c.met.TotalWords += t
+		roundWords += t
 	}
+	c.emit(roundWords)
 	par.For(c.cfg.Workers, m, func(lo, hi, _ int) {
 		for j := lo; j < hi; j++ {
 			var words int64
@@ -274,10 +312,14 @@ func (c *Cluster) BroadcastFrom(src int, words int64, payload any) ([]Message, e
 	if src < 0 || src >= c.cfg.Machines {
 		return nil, fmt.Errorf("mpc: broadcast from invalid machine %d", src)
 	}
+	if err := c.interrupted(); err != nil {
+		return nil, err
+	}
 	// Model cost: one round to populate the tree, one to fan out. The
 	// source's fan-out is exempt from the outbox audit (the tree splits
 	// it); every receiver's copy is audited against S.
 	c.met.Rounds += 2
+	c.emit(words * int64(c.cfg.Machines))
 	var firstErr error
 	for j := 0; j < c.cfg.Machines; j++ {
 		c.met.TotalWords += words

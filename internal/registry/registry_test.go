@@ -1,0 +1,163 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
+	"mpcgraph/internal/rng"
+)
+
+func testInput(t *testing.T, weighted bool) Input {
+	t.Helper()
+	src := rng.New(11)
+	g := graph.GNP(300, 0.03, src)
+	in := Input{G: g}
+	if weighted {
+		in.WG = graph.RandomWeights(g, 1, 10, src)
+	}
+	return in
+}
+
+func TestPairsCoverPaperSurface(t *testing.T) {
+	have := map[Pair]bool{}
+	for _, p := range Pairs() {
+		have[p] = true
+	}
+	// Every problem under MPC.
+	for _, p := range Problems() {
+		if !have[Pair{Problem: p, Model: model.MPC}] {
+			t.Errorf("no MPC runner for %s", p)
+		}
+	}
+	// The unweighted problems also under the congested clique.
+	for _, p := range []Problem{MIS, MaximalMatching, ApproxMatching, OnePlusEpsMatching, VertexCover} {
+		if !have[Pair{Problem: p, Model: model.CongestedClique}] {
+			t.Errorf("no congested-clique runner for %s", p)
+		}
+	}
+}
+
+func TestPairsSorted(t *testing.T) {
+	pairs := Pairs()
+	for i := 1; i < len(pairs); i++ {
+		a, b := pairs[i-1], pairs[i]
+		if a.Problem > b.Problem || (a.Problem == b.Problem && a.Model >= b.Model) {
+			t.Fatalf("Pairs not sorted: %s before %s", a, b)
+		}
+	}
+}
+
+func TestSolveUnsupportedPair(t *testing.T) {
+	_, err := Solve(context.Background(), testInput(t, true), WeightedMatching, model.CongestedClique, Options{Seed: 1})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSolveWeightedNeedsWeights(t *testing.T) {
+	_, err := Solve(context.Background(), testInput(t, false), WeightedMatching, model.MPC, Options{Seed: 1})
+	if !errors.Is(err, ErrNeedWeighted) {
+		t.Fatalf("want ErrNeedWeighted, got %v", err)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(MIS, model.MPC, Runner{Run: runMISMPC})
+}
+
+// TestEveryRunnerReportsFullCosts is the acceptance criterion of the
+// unified Report: every registered pair must return nonzero audited
+// costs and a stage breakdown whose rounds and words sum to the totals.
+func TestEveryRunnerReportsFullCosts(t *testing.T) {
+	for _, pair := range Pairs() {
+		pair := pair
+		t.Run(pair.String(), func(t *testing.T) {
+			in := testInput(t, pair.Problem == WeightedMatching)
+			rep, err := Solve(context.Background(), in, pair.Problem, pair.Model, Options{Seed: 3, Eps: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Problem != pair.Problem || rep.Model != pair.Model {
+				t.Errorf("report identity %s/%s does not match pair %s", rep.Problem, rep.Model, pair)
+			}
+			if rep.Rounds == 0 {
+				t.Error("Rounds is zero")
+			}
+			if rep.MaxMachineWords == 0 {
+				t.Error("MaxMachineWords is zero")
+			}
+			if rep.TotalWords == 0 {
+				t.Error("TotalWords is zero")
+			}
+			if rep.Wall <= 0 {
+				t.Error("Wall not stamped")
+			}
+			var stageRounds int
+			var stageWords int64
+			for _, s := range rep.Stages {
+				stageRounds += s.Rounds
+				stageWords += s.Words
+			}
+			if stageRounds != rep.Rounds {
+				t.Errorf("stage rounds sum %d != report rounds %d (%v)", stageRounds, rep.Rounds, rep.Stages)
+			}
+			if stageWords != rep.TotalWords {
+				t.Errorf("stage words sum %d != report total %d (%v)", stageWords, rep.TotalWords, rep.Stages)
+			}
+		})
+	}
+}
+
+// TestMatchingFamilyModelInvariance asserts the cross-model determinism
+// contract: the congested-clique backend only changes the meter, so the
+// output must be bit-identical to the MPC run.
+func TestMatchingFamilyModelInvariance(t *testing.T) {
+	for _, p := range []Problem{MaximalMatching, ApproxMatching, OnePlusEpsMatching, VertexCover} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			in := testInput(t, false)
+			opts := Options{Seed: 9, Eps: 0.1}
+			mpcRep, err := Solve(context.Background(), in, p, model.MPC, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cliqueRep, err := Solve(context.Background(), in, p, model.CongestedClique, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range mpcRep.M {
+				if mpcRep.M[v] != cliqueRep.M[v] {
+					t.Fatalf("matching differs at vertex %d across models", v)
+				}
+			}
+			for v := range mpcRep.InCover {
+				if mpcRep.InCover[v] != cliqueRep.InCover[v] {
+					t.Fatalf("cover differs at vertex %d across models", v)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveNilGraph(t *testing.T) {
+	if _, err := Solve(context.Background(), Input{}, MIS, model.MPC, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestSolveCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(ctx, testInput(t, false), MIS, model.MPC, Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -2,20 +2,41 @@
 // Computation Algorithms for MIS, Matching, and Vertex Cover" (Ghaffari,
 // Gouleakis, Konrad, Mitrović, Rubinfeld; PODC 2018).
 //
-// It provides O(log log n)-round algorithms — executed on a metered MPC
-// simulator with Õ(n) words of memory per machine, and on a metered
-// CONGESTED-CLIQUE simulator — for:
+// The paper's headline claim is uniform: every problem it treats —
+// maximal independent set (Theorem 1.1), (2+ε)-approximate maximum
+// matching and minimum vertex cover (Theorem 1.2), (1+ε)-approximate
+// matching (Corollary 1.3), and (2+ε)-approximate maximum weighted
+// matching (Corollary 1.4) — is solved in O(log log n) rounds under the
+// same Õ(n)-memory MPC model, and the techniques carry over to the
+// CONGESTED-CLIQUE. The API mirrors that uniformity with a single entry
+// point:
 //
-//   - maximal independent set (Theorem 1.1),
-//   - (2+ε)-approximate maximum matching and minimum vertex cover
-//     (Theorem 1.2),
-//   - (1+ε)-approximate maximum matching (Corollary 1.3), and
-//   - (2+ε)-approximate maximum weighted matching (Corollary 1.4).
+//	g := mpcgraph.RandomGraph(1<<14, 16.0/(1<<14), 42)
+//	rep, err := mpcgraph.Solve(ctx, g, mpcgraph.ProblemApproxMatching,
+//		mpcgraph.Options{Seed: 7, Eps: 0.1})
 //
-// Every result reports the simulated round count and per-machine load, so
-// the paper's round/space claims are observable outputs. Build graphs
-// with NewGraphBuilder or the generator helpers, then call the top-level
-// functions. All algorithms are deterministic given Options.Seed.
+// Solve dispatches (Problem, Model) through an internal algorithm
+// registry and returns one Report carrying the problem's payload plus
+// the complete audited model costs: rounds, outer phases, the maximum
+// per-machine (or per-player) load, total communication volume, wall
+// time, and a per-stage breakdown — so the paper's round and space
+// claims are observable outputs of every run. Options.Model selects the
+// simulated model (ModelMPC or ModelCongestedClique); matching-family
+// outputs are bit-identical across models, only the audited costs
+// change. Runs are cancellable between simulated rounds through the
+// context, and Options.Trace streams per-round progress (round index,
+// live words, active vertices). Algorithms enumerates the registered
+// pairs.
+//
+// Build graphs with NewGraphBuilder, FromEdgeList or the generator
+// helpers; attach weights with NewWeightedGraph for
+// ProblemWeightedMatching. All algorithms are deterministic given
+// Options.Seed.
+//
+// The original per-problem functions (MIS, MISCongestedClique,
+// ApproxMaxMatching, OnePlusEpsMatching, ApproxMinVertexCover,
+// ApproxMaxWeightedMatching) remain as deprecated thin wrappers over
+// Solve and produce bit-identical results; new code should call Solve.
 //
 // # Concurrency and determinism
 //
@@ -34,11 +55,10 @@
 package mpcgraph
 
 import (
+	"context"
 	"fmt"
 
 	"mpcgraph/internal/graph"
-	"mpcgraph/internal/matching"
-	"mpcgraph/internal/mis"
 	"mpcgraph/internal/rng"
 )
 
@@ -65,7 +85,7 @@ func RandomGraph(n int, p float64, seed uint64) *Graph {
 	return graph.GNP(n, p, rng.New(seed))
 }
 
-// Options configures the top-level algorithms.
+// Options configures Solve and the deprecated per-problem functions.
 type Options struct {
 	// Seed makes every random choice reproducible. Two runs with equal
 	// seeds return identical results.
@@ -84,9 +104,18 @@ type Options struct {
 	// Results are bit-identical for every setting; see the package
 	// comment.
 	Workers int
+	// Model selects the simulated computation model for Solve: ModelMPC
+	// (the zero value) or ModelCongestedClique. The deprecated
+	// per-problem functions override it to match their historical model.
+	Model Model
+	// Trace, when non-nil, receives one TraceEvent per metered
+	// communication step of the run — the observability hook for long
+	// simulations. Tracing never changes results, costs or errors.
+	Trace TraceFunc
 }
 
-// Stats reports the simulated model costs of a run.
+// Stats reports the simulated model costs of a run (legacy shape; Solve
+// returns the richer Report).
 type Stats struct {
 	// Rounds is the number of MPC (or CONGESTED-CLIQUE) rounds used.
 	Rounds int
@@ -108,95 +137,72 @@ type MISResult struct {
 
 // MIS computes a maximal independent set in the simulated MPC model using
 // the paper's O(log log Δ)-round randomized greedy simulation.
+//
+// Deprecated: use Solve with ProblemMIS; this wrapper is equivalent to
+// Solve(context.Background(), g, ProblemMIS, opts) with opts.Model
+// forced to ModelMPC, and produces bit-identical results.
 func MIS(g *Graph, opts Options) (*MISResult, error) {
-	res, err := mis.RandGreedyMPC(g, mis.Options{
-		Seed:         opts.Seed,
-		MemoryFactor: opts.MemoryFactor,
-		Strict:       opts.Strict,
-		Workers:      opts.Workers,
-	})
+	opts.Model = ModelMPC
+	rep, err := Solve(context.Background(), g, ProblemMIS, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: MIS: %w", err)
 	}
-	return &MISResult{
-		InMIS:  res.InMIS,
-		Stats:  Stats{Rounds: res.Rounds, MaxMachineWords: res.MaxMachineWords, TotalWords: res.TotalWords},
-		Phases: res.Phases,
-	}, nil
+	return &MISResult{InMIS: rep.InMIS, Stats: statsOf(rep), Phases: rep.Phases}, nil
 }
 
 // MISCongestedClique computes a maximal independent set in the simulated
 // CONGESTED-CLIQUE model (Theorem 1.1, second part).
+//
+// Deprecated: use Solve with ProblemMIS and ModelCongestedClique.
 func MISCongestedClique(g *Graph, opts Options) (*MISResult, error) {
-	res, err := mis.RandGreedyCongestedClique(g, mis.Options{
-		Seed:         opts.Seed,
-		MemoryFactor: opts.MemoryFactor,
-		Strict:       opts.Strict,
-		Workers:      opts.Workers,
-	})
+	opts.Model = ModelCongestedClique
+	rep, err := Solve(context.Background(), g, ProblemMIS, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: MISCongestedClique: %w", err)
 	}
-	return &MISResult{
-		InMIS:  res.InMIS,
-		Stats:  Stats{Rounds: res.Rounds, MaxMachineWords: res.MaxMachineWords, TotalWords: res.TotalWords},
-		Phases: res.Phases,
-	}, nil
+	return &MISResult{InMIS: rep.InMIS, Stats: statsOf(rep), Phases: rep.Phases}, nil
 }
 
 // MatchingResult is the result of the matching algorithms.
 type MatchingResult struct {
 	// M is the computed matching.
 	M Matching
-	// Stats carries the audited model costs (MPC rounds include all
-	// fractional-simulation invocations).
+	// Stats carries the audited model costs (rounds include all
+	// fractional-simulation invocations and the completion).
 	Stats Stats
 }
 
 // ApproxMaxMatching computes a (2+ε)-approximate maximum matching
 // (Theorem 1.2): fractional weight-raising simulation, randomized
 // rounding, and the small-matching completion.
+//
+// Deprecated: use Solve with ProblemApproxMatching. The wrapper now
+// surfaces the full audited costs (historically it reported only
+// Rounds).
 func ApproxMaxMatching(g *Graph, opts Options) (*MatchingResult, error) {
-	res, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{
-		Seed:         opts.Seed,
-		Eps:          opts.Eps,
-		MemoryFactor: opts.MemoryFactor,
-		Strict:       opts.Strict,
-		Workers:      opts.Workers,
-	})
+	opts.Model = ModelMPC
+	rep, err := Solve(context.Background(), g, ProblemApproxMatching, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: ApproxMaxMatching: %w", err)
 	}
-	return &MatchingResult{
-		M:     res.M,
-		Stats: Stats{Rounds: res.Rounds()},
-	}, nil
+	return &MatchingResult{M: rep.M, Stats: statsOf(rep)}, nil
 }
 
 // OnePlusEpsMatching computes a (1+ε)-approximate maximum matching
 // (Corollary 1.3): the (2+ε) pipeline followed by short augmenting-path
 // boosting. Exact on bipartite inputs; a measured heuristic on general
 // graphs (see EXPERIMENTS.md, E9).
+//
+// Deprecated: use Solve with ProblemOnePlusEpsMatching. The wrapper now
+// surfaces the full audited costs (historically it reported only
+// Rounds).
 func OnePlusEpsMatching(g *Graph, opts Options) (*MatchingResult, error) {
-	base, err := matching.ApproxMaxMatching(g, matching.PipelineOptions{
-		Seed:         opts.Seed,
-		Eps:          opts.Eps,
-		MemoryFactor: opts.MemoryFactor,
-		Strict:       opts.Strict,
-		Workers:      opts.Workers,
-	})
+	opts.Model = ModelMPC
+	rep, err := Solve(context.Background(), g, ProblemOnePlusEpsMatching, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: OnePlusEpsMatching: %w", err)
 	}
-	eps := opts.Eps
-	if eps == 0 {
-		eps = 0.1
-	}
-	boost := matching.BoostToOnePlusEps(g, base.M, eps)
-	return &MatchingResult{
-		M:     boost.M,
-		Stats: Stats{Rounds: base.Rounds() + boost.Passes},
-	}, nil
+	return &MatchingResult{M: rep.M, Stats: statsOf(rep)}, nil
 }
 
 // VertexCoverResult is the result of ApproxMinVertexCover.
@@ -215,25 +221,18 @@ type VertexCoverResult struct {
 
 // ApproxMinVertexCover computes a (2+ε)-approximate minimum vertex cover
 // (Theorem 1.2) in O(log log n) simulated MPC rounds.
+//
+// Deprecated: use Solve with ProblemVertexCover.
 func ApproxMinVertexCover(g *Graph, opts Options) (*VertexCoverResult, error) {
-	res, err := matching.ApproxMinVertexCover(g, matching.PipelineOptions{
-		Seed:         opts.Seed,
-		Eps:          opts.Eps,
-		MemoryFactor: opts.MemoryFactor,
-		Strict:       opts.Strict,
-		Workers:      opts.Workers,
-	})
+	opts.Model = ModelMPC
+	rep, err := Solve(context.Background(), g, ProblemVertexCover, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mpcgraph: ApproxMinVertexCover: %w", err)
 	}
 	return &VertexCoverResult{
-		InCover:          res.Frac.Cover,
-		FractionalWeight: res.Frac.Weight(),
-		Stats: Stats{
-			Rounds:          res.Rounds,
-			MaxMachineWords: res.MaxMachineWords,
-			TotalWords:      res.TotalWords,
-		},
+		InCover:          rep.InCover,
+		FractionalWeight: rep.FractionalWeight,
+		Stats:            statsOf(rep),
 	}, nil
 }
 
@@ -260,13 +259,25 @@ type WeightedMatchingResult struct {
 
 // ApproxMaxWeightedMatching computes a (2+ε)-approximate maximum weight
 // matching (Corollary 1.4).
+//
+// Deprecated: use Solve with ProblemWeightedMatching, which additionally
+// returns the audited model costs and can fail loudly under
+// Options.Strict. This wrapper keeps the historical no-error contract:
+// it forces Strict off (the metered run then records violations instead
+// of failing), coerces an invalid MemoryFactor to the default — the old
+// implementation ignored the field entirely — and returns an empty
+// matching in the then-impossible event of an internal error.
 func ApproxMaxWeightedMatching(wg *WeightedGraph, opts Options) *WeightedMatchingResult {
-	eps := opts.Eps
-	if eps == 0 {
-		eps = 0.1
+	opts.Model = ModelMPC
+	opts.Strict = false
+	if opts.MemoryFactor < 0 {
+		opts.MemoryFactor = 0
 	}
-	res := matching.ApproxMaxWeightedMatching(wg, eps, opts.Seed)
-	return &WeightedMatchingResult{M: res.M, Value: res.Value}
+	rep, err := Solve(context.Background(), wg, ProblemWeightedMatching, opts)
+	if err != nil {
+		return &WeightedMatchingResult{M: graph.NewMatching(wg.NumVertices())}
+	}
+	return &WeightedMatchingResult{M: rep.M, Value: rep.Value}
 }
 
 // IsMaximalIndependentSet validates an MIS result against g.
@@ -276,6 +287,10 @@ func IsMaximalIndependentSet(g *Graph, set []bool) bool {
 
 // IsMatching validates a matching against g.
 func IsMatching(g *Graph, m Matching) bool { return graph.IsMatching(g, m) }
+
+// IsMaximalMatching validates that m is a matching of g and no edge of g
+// has both endpoints free.
+func IsMaximalMatching(g *Graph, m Matching) bool { return graph.IsMaximalMatching(g, m) }
 
 // IsVertexCover validates a vertex cover against g.
 func IsVertexCover(g *Graph, cover []bool) bool { return graph.IsVertexCover(g, cover) }

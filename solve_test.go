@@ -1,0 +1,316 @@
+package mpcgraph
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// parityGraphs returns the generator table shared by the wrapper-parity
+// tests: a sparse G(n,p), a dense G(n,p), and a structured ring.
+func parityGraphs(seed uint64) map[string]*Graph {
+	b := NewGraphBuilder(101)
+	for v := int32(0); v < 101; v++ {
+		b.AddEdge(v, (v+1)%101)
+	}
+	return map[string]*Graph{
+		"gnp-sparse": RandomGraph(300, 0.02, seed),
+		"gnp-dense":  RandomGraph(150, 0.15, seed+1),
+		"ring":       b.MustBuild(),
+	}
+}
+
+func sameBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMatching(a, b Matching) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reportStats(rep *Report) Stats {
+	return Stats{Rounds: rep.Rounds, MaxMachineWords: rep.MaxMachineWords, TotalWords: rep.TotalWords}
+}
+
+// TestDeprecatedWrapperParity is the API-parity acceptance test: every
+// deprecated per-problem wrapper must produce results bit-identical to
+// its Solve equivalent, with identical audited costs, across seeds,
+// generators and Workers settings.
+func TestDeprecatedWrapperParity(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []uint64{2, 17} {
+		for name, g := range parityGraphs(seed) {
+			for _, workers := range []int{1, 0} {
+				opts := Options{Seed: seed, Eps: 0.1, Workers: workers}
+				label := func(fn string) string {
+					return fn + "/" + name
+				}
+
+				t.Run(label("MIS"), func(t *testing.T) {
+					old, err := MIS(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := Solve(ctx, g, ProblemMIS, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameBools(old.InMIS, rep.InMIS) {
+						t.Error("MIS sets differ")
+					}
+					if old.Stats != reportStats(rep) || old.Phases != rep.Phases {
+						t.Errorf("MIS costs differ: %+v vs %+v", old.Stats, reportStats(rep))
+					}
+				})
+
+				t.Run(label("MISCongestedClique"), func(t *testing.T) {
+					old, err := MISCongestedClique(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cliqueOpts := opts
+					cliqueOpts.Model = ModelCongestedClique
+					rep, err := Solve(ctx, g, ProblemMIS, cliqueOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameBools(old.InMIS, rep.InMIS) {
+						t.Error("clique MIS sets differ")
+					}
+					if old.Stats != reportStats(rep) {
+						t.Errorf("clique MIS costs differ: %+v vs %+v", old.Stats, reportStats(rep))
+					}
+				})
+
+				t.Run(label("ApproxMaxMatching"), func(t *testing.T) {
+					old, err := ApproxMaxMatching(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := Solve(ctx, g, ProblemApproxMatching, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameMatching(old.M, rep.M) {
+						t.Error("matchings differ")
+					}
+					if old.Stats != reportStats(rep) {
+						t.Errorf("matching costs differ: %+v vs %+v", old.Stats, reportStats(rep))
+					}
+				})
+
+				t.Run(label("OnePlusEpsMatching"), func(t *testing.T) {
+					old, err := OnePlusEpsMatching(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := Solve(ctx, g, ProblemOnePlusEpsMatching, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameMatching(old.M, rep.M) {
+						t.Error("boosted matchings differ")
+					}
+					if old.Stats != reportStats(rep) {
+						t.Errorf("boosted costs differ: %+v vs %+v", old.Stats, reportStats(rep))
+					}
+				})
+
+				t.Run(label("ApproxMinVertexCover"), func(t *testing.T) {
+					old, err := ApproxMinVertexCover(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := Solve(ctx, g, ProblemVertexCover, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameBools(old.InCover, rep.InCover) {
+						t.Error("covers differ")
+					}
+					if old.FractionalWeight != rep.FractionalWeight {
+						t.Error("dual weights differ")
+					}
+					if old.Stats != reportStats(rep) {
+						t.Errorf("cover costs differ: %+v vs %+v", old.Stats, reportStats(rep))
+					}
+				})
+			}
+		}
+
+		t.Run("ApproxMaxWeightedMatching", func(t *testing.T) {
+			wg := RandomWeightedGraph(200, 0.05, 1, 10, seed)
+			opts := Options{Seed: seed, Eps: 0.1}
+			old := ApproxMaxWeightedMatching(wg, opts)
+			rep, err := Solve(ctx, wg, ProblemWeightedMatching, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMatching(old.M, rep.M) {
+				t.Error("weighted matchings differ")
+			}
+			if old.Value != rep.Value {
+				t.Errorf("weighted values differ: %v vs %v", old.Value, rep.Value)
+			}
+		})
+	}
+}
+
+// TestSolveWrapperStatsComplete pins the satellite fixes: the matching
+// wrappers must surface the full audited costs, not just Rounds.
+func TestSolveWrapperStatsComplete(t *testing.T) {
+	g := RandomGraph(400, 0.02, 5)
+	opts := Options{Seed: 6, Eps: 0.1}
+	m, err := ApproxMaxMatching(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.MaxMachineWords == 0 || m.Stats.TotalWords == 0 {
+		t.Errorf("ApproxMaxMatching stats still lossy: %+v", m.Stats)
+	}
+	b, err := OnePlusEpsMatching(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.MaxMachineWords == 0 || b.Stats.TotalWords == 0 {
+		t.Errorf("OnePlusEpsMatching stats still lossy: %+v", b.Stats)
+	}
+}
+
+// TestSolveCancellation asserts the cancellable-runs acceptance
+// criterion: cancelling mid-run surfaces context.Canceled promptly (the
+// simulators check the context at every metered round).
+func TestSolveCancellation(t *testing.T) {
+	g := RandomGraph(4000, 0.01, 7)
+	for _, p := range []Problem{ProblemMIS, ProblemApproxMatching} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			rounds := 0
+			_, err := Solve(ctx, g, p, Options{Seed: 8, Trace: func(ev TraceEvent) {
+				rounds++
+				if rounds == 2 {
+					cancel() // mid-run: the next round check must abort
+				}
+			}})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+		})
+	}
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Solve(ctx, g, ProblemVertexCover, Options{Seed: 9}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+}
+
+// TestSolveTrace asserts the observability contract: rounds are
+// non-decreasing, the last event matches the report's round total, and
+// the event volumes sum to the report's total words.
+func TestSolveTrace(t *testing.T) {
+	g := RandomGraph(600, 0.02, 10)
+	var events []TraceEvent
+	rep, err := Solve(context.Background(), g, ProblemMIS, Options{Seed: 11, Trace: func(ev TraceEvent) {
+		events = append(events, ev)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	var words int64
+	sawActive := false
+	for i, ev := range events {
+		if i > 0 && ev.Round < events[i-1].Round {
+			t.Fatal("trace rounds decreased")
+		}
+		if ev.ActiveVertices > 0 {
+			sawActive = true
+		}
+		words += ev.LiveWords
+	}
+	if last := events[len(events)-1].Round; last != rep.Rounds {
+		t.Errorf("last traced round %d != report rounds %d", last, rep.Rounds)
+	}
+	if words != rep.TotalWords {
+		t.Errorf("traced words %d != report total %d", words, rep.TotalWords)
+	}
+	if !sawActive {
+		t.Error("no trace event carried an active-vertex gauge")
+	}
+}
+
+func TestSolveDispatchErrors(t *testing.T) {
+	g := RandomGraph(50, 0.1, 12)
+	if _, err := Solve(context.Background(), g, ProblemWeightedMatching, Options{Seed: 1}); !errors.Is(err, ErrNeedWeightedGraph) {
+		t.Errorf("want ErrNeedWeightedGraph, got %v", err)
+	}
+	wg := RandomWeightedGraph(50, 0.1, 1, 2, 13)
+	opts := Options{Seed: 1, Model: ModelCongestedClique}
+	if _, err := Solve(context.Background(), wg, ProblemWeightedMatching, opts); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+	// A weighted instance is a valid input for unweighted problems.
+	rep, err := Solve(context.Background(), wg, ProblemMIS, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMaximalIndependentSet(wg.Graph, rep.InMIS) {
+		t.Error("MIS on weighted instance invalid")
+	}
+}
+
+func TestSolveAlgorithmsEnumeration(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) == 0 {
+		t.Fatal("no registered algorithms")
+	}
+	seen := map[Problem]bool{}
+	for _, a := range algos {
+		seen[a.Problem] = true
+	}
+	for _, p := range []Problem{ProblemMIS, ProblemMaximalMatching, ProblemApproxMatching,
+		ProblemOnePlusEpsMatching, ProblemVertexCover, ProblemWeightedMatching} {
+		if !seen[p] {
+			t.Errorf("problem %s missing from Algorithms()", p)
+		}
+	}
+}
+
+func TestSolveMaximalMatching(t *testing.T) {
+	g := RandomGraph(500, 0.02, 14)
+	for _, m := range []Model{ModelMPC, ModelCongestedClique} {
+		rep, err := Solve(context.Background(), g, ProblemMaximalMatching, Options{Seed: 15, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsMaximalMatching(g, rep.M) {
+			t.Errorf("model %s: not a maximal matching", m)
+		}
+		if rep.Rounds == 0 || rep.TotalWords == 0 {
+			t.Errorf("model %s: costs not audited: %+v", m, reportStats(rep))
+		}
+	}
+}
