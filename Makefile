@@ -2,13 +2,16 @@
 # it checks formatting, vets every package, runs the full test suite
 # under the race detector (the determinism tests in parallel_test.go
 # double as the parallel-engine oracle; the parity tests in
-# solve_test.go pin the deprecated wrappers to Solve), smoke-runs the
-# benchmarks, and proves the mpcbench CLI enumerates the algorithm
-# registry and that every registered (Problem, Model) pair has a
-# working benchmark entry.
+# solve_test.go pin the deprecated wrappers to Solve; the round-trip
+# tests in solvefile_test.go pin the file formats to bit-identical
+# reports), smoke-runs the benchmarks, proves the CLIs enumerate the
+# algorithm registry and that every registered (Problem, Model) pair has
+# a working benchmark entry, pipes `mpcgraph gen` into `mpcgraph solve`
+# for one scenario per problem, and builds every Go code block of
+# README.md against the current API.
 #
 # Targets:
-#   make ci         - fmt + vet + race tests + benchmark smoke + registry smoke
+#   make ci         - fmt + vet + race tests + benchmark/registry/CLI/docs smoke
 #   make fmt        - fail if any file needs gofmt
 #   make test       - fast test suite
 #   make race       - full test suite under -race
@@ -16,12 +19,19 @@
 #   make tables     - regenerate the experiment tables (text) at quick scale
 #   make json       - machine-readable experiment rows (BENCH_*.json input)
 #   make list-smoke - mpcbench -list + registry/benchmark coverage check
+#   make cli-smoke  - mpcgraph gen|solve pipe, one scenario per problem
+#   make docs-check - compile every ```go block of README.md
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-smoke list-smoke tables json
+# cli-smoke relies on gen|solve pipelines; without pipefail a failing
+# gen would be masked by solve accepting empty stdin as an empty graph.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-ci: fmt vet race bench-smoke list-smoke
+.PHONY: ci fmt vet test race bench bench-smoke list-smoke cli-smoke docs-check tables json
+
+ci: fmt vet race bench-smoke list-smoke cli-smoke docs-check
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -47,6 +57,23 @@ bench-smoke:
 list-smoke:
 	$(GO) run ./cmd/mpcbench -list
 	$(GO) run ./cmd/mpcbench -check
+
+# One gen|solve pipe per problem, each through a different scenario and
+# on-disk format, so the whole (catalog, format, registry) surface stays
+# wired. Weighted matching ships through the weighted edge list.
+cli-smoke:
+	$(GO) build -o /tmp/mpcgraph-ci ./cmd/mpcgraph
+	/tmp/mpcgraph-ci list > /dev/null
+	/tmp/mpcgraph-ci gen -scenario gnp -n 600 -seed 1 -format el -out - | /tmp/mpcgraph-ci solve -problem mis -in - -format el -json > /dev/null
+	/tmp/mpcgraph-ci gen -scenario rmat -n 600 -seed 2 -format dimacs -out - | /tmp/mpcgraph-ci solve -problem maximal-matching -in - -format dimacs -json > /dev/null
+	/tmp/mpcgraph-ci gen -scenario chung-lu -n 600 -seed 3 -format metis -out - | /tmp/mpcgraph-ci solve -problem approx-matching -in - -format metis -json > /dev/null
+	/tmp/mpcgraph-ci gen -scenario ring-of-cliques -n 600 -seed 4 -format mm -out - | /tmp/mpcgraph-ci solve -problem one-plus-eps-matching -in - -format mm -json > /dev/null
+	/tmp/mpcgraph-ci gen -scenario high-girth -n 600 -seed 5 -format el -out - | /tmp/mpcgraph-ci solve -problem vertex-cover -model congested-clique -in - -format el -json > /dev/null
+	/tmp/mpcgraph-ci gen -scenario weighted-gnp -n 400 -seed 6 -format wel -out - | /tmp/mpcgraph-ci solve -problem weighted-matching -in - -format wel -json > /dev/null
+	rm -f /tmp/mpcgraph-ci
+
+docs-check:
+	$(GO) run ./internal/tools/readmecheck README.md
 
 tables:
 	$(GO) run ./cmd/mpcbench -quick -trials 1

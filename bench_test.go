@@ -1,6 +1,6 @@
 package mpcgraph_test
 
-// One benchmark per experiment in the EXPERIMENTS.md index. Each
+// One benchmark per experiment in the E1–E18 index. Each
 // iteration regenerates the experiment's full table, so
 //
 //	go test -bench=E5 -benchmem

@@ -1,6 +1,7 @@
 // Command mpcbench regenerates the paper-reproduction experiment tables
-// (the E1–E18 index of DESIGN.md / EXPERIMENTS.md) and enumerates the
-// unified Solve algorithm registry.
+// (the E1–E18 index; run -list for the catalog) and enumerates the
+// unified Solve algorithm registry. It is kept as the dedicated
+// benchmarking entry point; `mpcgraph bench` accepts the same flags.
 //
 // Usage:
 //

@@ -1,0 +1,35 @@
+// Command mpcgraph is the unified CLI over the paper reproduction: it
+// materializes catalog scenarios to portable graph files, solves any
+// registered (problem, model) pair on instances from disk or from the
+// catalog, regenerates the experiment tables, and lists every registry
+// it dispatches on.
+//
+// Usage:
+//
+//	mpcgraph gen -scenario rmat -n 65536 -seed 1 -out web.mtx.gz
+//	mpcgraph solve -problem mis -model mpc -in web.mtx.gz -json
+//	mpcgraph solve -problem weighted-matching -scenario weighted-gnp -seed 7
+//	mpcgraph bench -experiment E5 -quick
+//	mpcgraph list
+//
+// Run "mpcgraph <command> -h" for per-command flags. The deprecated
+// mpcmis and mpcmatch commands are thin shims over this tool.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpcgraph/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	return cli.Run(args, cli.Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr})
+}

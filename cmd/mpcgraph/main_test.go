@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The subcommand logic is tested exhaustively in internal/cli; these
+// tests pin the binary's wiring: args pass through, errors surface.
+
+func TestRunGenSolve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := run([]string{"gen", "-scenario", "gnp", "-n", "200", "-seed", "1", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"solve", "-problem", "mis", "-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+}

@@ -1,6 +1,18 @@
 // Command mpcmatch computes approximate maximum matchings and minimum
 // vertex covers with the paper's O(log log n)-round algorithms.
 //
+// Deprecated: mpcmatch is a thin shim over the unified mpcgraph CLI; use
+//
+//	mpcgraph solve -problem approx-matching ...
+//	mpcgraph solve -problem vertex-cover ...
+//
+// which adds every on-disk format, the scenario catalog and JSON
+// reports. The shim translates its historical flags onto two `mpcgraph
+// solve` runs — note each run loads (or regenerates) the instance
+// independently, so large -input files parse twice; call mpcgraph
+// directly to avoid that. The shim will not gain new features (see
+// CHANGES.md for the deprecation policy).
+//
 // Usage:
 //
 //	mpcmatch -input graph.txt                 # (2+eps) matching + cover
@@ -9,13 +21,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
-	"mpcgraph"
-	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/cli"
 )
 
 func main() {
@@ -39,59 +50,47 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fmt.Fprintln(os.Stderr, "mpcmatch: deprecated; use `mpcgraph solve -problem approx-matching` and `-problem vertex-cover`")
 
-	g, err := loadOrGenerate(*input, *n, *p, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
-
-	// Both problems run through the unified Solve pipeline.
-	opts := mpcgraph.Options{Seed: *seed, Eps: *eps, Strict: *strict}
-	ctx := context.Background()
-
-	problem := mpcgraph.ProblemApproxMatching
-	kind := "(2+eps)"
+	problem := "approx-matching"
 	if *onePlus {
-		problem = mpcgraph.ProblemOnePlusEpsMatching
-		kind = "(1+eps)"
+		problem = "one-plus-eps-matching"
 	}
-	mrep, err := mpcgraph.Solve(ctx, g, problem, opts)
-	if err != nil {
-		return err
+	common := []string{
+		"-seed", strconv.FormatUint(*seed, 10),
+		"-eps", strconv.FormatFloat(*eps, 'g', -1, 64),
 	}
-	if !mpcgraph.IsMatching(g, mrep.M) {
-		return fmt.Errorf("internal error: matching failed validation")
-	}
-	fmt.Printf("matching %s: size=%d rounds=%d maxMachineLoad=%d words totalComm=%d words\n",
-		kind, mrep.M.Size(), mrep.Rounds, mrep.MaxMachineWords, mrep.TotalWords)
-
-	crep, err := mpcgraph.Solve(ctx, g, mpcgraph.ProblemVertexCover, opts)
-	if err != nil {
-		return err
-	}
-	if !mpcgraph.IsVertexCover(g, crep.InCover) {
-		return fmt.Errorf("internal error: cover failed validation")
-	}
-	size := 0
-	for _, in := range crep.InCover {
-		if in {
-			size++
+	if *input != "" {
+		common = append(common, "-in", *input, "-format", "el")
+	} else {
+		// The gnp scenario treats n <= 0 as "use the default size", which
+		// would silently swap the historical 0-vertex instance for a
+		// 4096-vertex one; fail loudly instead.
+		if *n < 1 {
+			return fmt.Errorf("-n %d: n must be positive", *n)
 		}
+		// Preserve the historical RandomGraph clamping: p >= 1 meant the
+		// complete graph and p <= 0 the empty one, both legitimate values
+		// of the gnp recipe's p parameter.
+		prob := *p
+		if prob > 1 {
+			prob = 1
+		}
+		if prob < 0 {
+			prob = 0
+		}
+		common = append(common,
+			"-scenario", "gnp",
+			"-n", strconv.Itoa(*n),
+			"-param", "p="+strconv.FormatFloat(prob, 'g', -1, 64),
+		)
 	}
-	fmt.Printf("vertex cover (2+eps): size=%d dualLowerBound=%.1f rounds=%d maxMachineLoad=%d words\n",
-		size, crep.FractionalWeight, crep.Rounds, crep.MaxMachineWords)
-	return nil
-}
-
-func loadOrGenerate(path string, n int, p float64, seed uint64) (*mpcgraph.Graph, error) {
-	if path == "" {
-		return mpcgraph.RandomGraph(n, p, seed), nil
+	if *strict {
+		common = append(common, "-strict")
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	env := cli.Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr}
+	if err := cli.Run(append([]string{"solve", "-problem", problem}, common...), env); err != nil {
+		return err
 	}
-	defer f.Close()
-	return graphio.ReadEdgeList(f)
+	return cli.Run(append([]string{"solve", "-problem", "vertex-cover"}, common...), env)
 }

@@ -35,6 +35,17 @@ func TestRunMissingFile(t *testing.T) {
 	}
 }
 
+// TestRunHistoricalPClamping: pre-shim RandomGraph semantics (p <= 0
+// empty, p >= 1 complete) must survive the translation onto the gnp
+// scenario.
+func TestRunHistoricalPClamping(t *testing.T) {
+	for _, p := range []string{"0", "1.5"} {
+		if err := run([]string{"-n", "40", "-p", p}); err != nil {
+			t.Errorf("-p %s: %v", p, err)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("bad flag accepted")

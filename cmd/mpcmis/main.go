@@ -1,6 +1,14 @@
 // Command mpcmis computes a maximal independent set with the paper's
-// O(log log Δ)-round algorithm, on either an edge-list file or a
-// generated random graph, and reports the audited model costs.
+// O(log log Δ)-round algorithm.
+//
+// Deprecated: mpcmis is a thin shim over the unified mpcgraph CLI; use
+//
+//	mpcgraph solve -problem mis [-model congested-clique] ...
+//
+// which adds every on-disk format, the scenario catalog and JSON
+// reports. The shim translates its historical flags onto `mpcgraph
+// solve` and will not gain new features (see CHANGES.md for the
+// deprecation policy).
 //
 // Usage:
 //
@@ -10,13 +18,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
-	"mpcgraph"
-	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/cli"
 )
 
 func main() {
@@ -40,74 +47,47 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	fmt.Fprintln(os.Stderr, "mpcmis: deprecated; use `mpcgraph solve -problem mis` (run `mpcgraph list` for the catalog)")
 
-	g, err := loadOrGenerate(*input, *n, *p, *seed)
-	if err != nil {
-		return err
+	// Translate the historical flags onto the unified CLI.
+	solve := []string{
+		"solve", "-problem", "mis",
+		"-seed", strconv.FormatUint(*seed, 10),
 	}
-	fmt.Printf("graph: n=%d m=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
-
-	// The model is an option of the unified Solve pipeline, not a
-	// separate entry point.
-	opts := mpcgraph.Options{Seed: *seed, Strict: *strict}
-	if *clique {
-		opts.Model = mpcgraph.ModelCongestedClique
-	}
-	rep, err := mpcgraph.Solve(context.Background(), g, mpcgraph.ProblemMIS, opts)
-	if err != nil {
-		return err
-	}
-	if !mpcgraph.IsMaximalIndependentSet(g, rep.InMIS) {
-		return fmt.Errorf("internal error: output failed validation")
-	}
-	size := 0
-	for _, in := range rep.InMIS {
-		if in {
-			size++
+	if *input != "" {
+		// The historical input dialect is the native edge list.
+		solve = append(solve, "-in", *input, "-format", "el")
+	} else {
+		// The gnp scenario treats n <= 0 as "use the default size", which
+		// would silently swap the historical 0-vertex instance for a
+		// 4096-vertex one; fail loudly instead.
+		if *n < 1 {
+			return fmt.Errorf("-n %d: n must be positive", *n)
 		}
+		// Preserve the historical RandomGraph clamping: p >= 1 meant the
+		// complete graph and p <= 0 the empty one, both legitimate values
+		// of the gnp recipe's p parameter.
+		prob := *p
+		if prob > 1 {
+			prob = 1
+		}
+		if prob < 0 {
+			prob = 0
+		}
+		solve = append(solve,
+			"-scenario", "gnp",
+			"-n", strconv.Itoa(*n),
+			"-param", "p="+strconv.FormatFloat(prob, 'g', -1, 64),
+		)
 	}
-	model := "MPC"
 	if *clique {
-		model = "CONGESTED-CLIQUE"
+		solve = append(solve, "-model", "congested-clique")
 	}
-	fmt.Printf("MIS: size=%d (validated maximal independent set)\n", size)
-	fmt.Printf("%s cost: rounds=%d phases=%d maxMachineLoad=%d words totalComm=%d words\n",
-		model, rep.Rounds, rep.Phases, rep.MaxMachineWords, rep.TotalWords)
-
+	if *strict {
+		solve = append(solve, "-strict")
+	}
 	if *out != "" {
-		return writeSet(*out, rep.InMIS)
+		solve = append(solve, "-solution", *out)
 	}
-	return nil
-}
-
-func loadOrGenerate(path string, n int, p float64, seed uint64) (*mpcgraph.Graph, error) {
-	if path == "" {
-		return mpcgraph.RandomGraph(n, p, seed), nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return graphio.ReadEdgeList(f)
-}
-
-func writeSet(path string, set []bool) error {
-	w := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	for v, in := range set {
-		if in {
-			if _, err := fmt.Fprintln(w, v); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return cli.Run(solve, cli.Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr})
 }

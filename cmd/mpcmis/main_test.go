@@ -25,6 +25,25 @@ func TestRunStrict(t *testing.T) {
 	}
 }
 
+// TestRunHistoricalPClamping: the pre-shim RandomGraph accepted any p,
+// treating p <= 0 as the empty graph and p >= 1 as the complete one;
+// the shim must keep those scripts working.
+func TestRunHistoricalPClamping(t *testing.T) {
+	for _, p := range []string{"0", "-0.5", "1.5"} {
+		if err := run([]string{"-n", "50", "-p", p}); err != nil {
+			t.Errorf("-p %s: %v", p, err)
+		}
+	}
+}
+
+// TestRunZeroN: n <= 0 must error loudly rather than silently pick up
+// the gnp scenario's default 4096-vertex size.
+func TestRunZeroN(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Error("-n 0 accepted")
+	}
+}
+
 func TestRunFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.txt")

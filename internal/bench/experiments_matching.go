@@ -241,7 +241,7 @@ func runE9(cfg Config) *Table {
 		Title:   "(1+eps) matching via short-augmenting-path boosting",
 		Claim:   "Corollary 1.3: (1+eps)-approximate matching in O(log log n)·(1/eps)^O(1/eps) rounds.",
 		Columns: []string{"graph", "eps", "|M*|", "base|M|", "baseRatio", "boosted|M|", "boostRatio", "1+eps", "passes"},
-		Notes:   "boosting is exact on bipartite inputs; on general graphs blossoms can hide augmenting paths (substitution documented in DESIGN.md).",
+		Notes:   "boosting is exact on bipartite inputs; on general graphs blossoms can hide augmenting paths (substitution documented in the OnePlusEpsMatching doc comment).",
 	}
 	half := 256
 	if cfg.Quick {

@@ -1,8 +1,9 @@
 // Package bench is the experiment harness: it regenerates, as printed
 // tables, every quantitative claim of the paper (the experiment index
-// E1–E17 in DESIGN.md). Each experiment is a pure function of a Config,
+// E1–E18; run `mpcbench -list` for the index). Each experiment is a pure
+// function of a Config,
 // so `go test -bench` targets and the mpcbench command share one
-// implementation and EXPERIMENTS.md can be reproduced verbatim.
+// implementation every published table can be reproduced verbatim.
 package bench
 
 import (
@@ -17,7 +18,7 @@ import (
 // Config controls experiment scale and randomness.
 type Config struct {
 	// Seed drives all experiment randomness (default 2018, the paper's
-	// publication year, so EXPERIMENTS.md is reproducible).
+	// publication year, so the recorded tables are reproducible).
 	Seed uint64
 	// Trials is the number of repetitions averaged per randomized cell
 	// (default 3).

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mpcgraph/internal/bench"
+	"mpcgraph/internal/registry"
+)
+
+// runBench regenerates the experiment tables through the same harness as
+// the mpcbench command; the flag set mirrors mpcbench so trajectories
+// migrate by replacing "mpcbench" with "mpcgraph bench".
+func runBench(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph bench", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		experiment = fs.String("experiment", "", "experiment id (E1..E18); empty runs all")
+		seed       = fs.Uint64("seed", 2018, "root random seed")
+		trials     = fs.Int("trials", 3, "trials per randomized cell")
+		quick      = fs.Bool("quick", false, "reduced instance sizes")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); tables are identical for every value")
+		jsonOut    = fs.Bool("json", false, "emit one JSON object per table instead of aligned text")
+		check      = fs.Bool("check", false, "fail unless every registered (Problem, Model) pair has a valid benchmark entry")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
+	if *check {
+		if err := bench.VerifyRegistryCoverage(bench.Config{Seed: *seed, Trials: 1, Quick: true, Workers: *workers}); err != nil {
+			return err
+		}
+		fmt.Fprintf(env.Stdout, "registry coverage ok: %d algorithms benchmarked\n", len(registry.Pairs()))
+		return nil
+	}
+	if *experiment == "" {
+		if *jsonOut {
+			return bench.RunAllJSON(cfg, env.Stdout)
+		}
+		bench.RunAll(cfg, env.Stdout)
+		return nil
+	}
+	for _, id := range strings.Split(*experiment, ",") {
+		tab, err := bench.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := tab.RenderJSON(env.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		tab.Render(env.Stdout)
+	}
+	return nil
+}

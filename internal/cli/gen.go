@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/scenario"
+)
+
+// runGen materializes a catalog scenario to a graph file (or stdout).
+func runGen(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph gen", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		name       = fs.String("scenario", "", "catalog scenario to materialize (see mpcgraph list)")
+		n          = fs.Int("n", 0, "vertex count (0 = the scenario's default)")
+		seed       = fs.Uint64("seed", 1, "generation seed; same (scenario, n, seed, params) = same instance")
+		out        = fs.String("out", "", "output path; extension selects the format, '.gz' compresses, '-' writes stdout")
+		formatName = fs.String("format", "", "output format override (el, wel, dimacs, metis, mm); required with -out -")
+		params     = paramFlag{}
+	)
+	fs.Var(params, "param", "scenario parameter key=value (repeatable, comma-separable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *name == "" {
+		return fmt.Errorf("gen requires -scenario (see mpcgraph list)")
+	}
+	if *out == "" {
+		return fmt.Errorf("gen requires -out (a path, or '-' with -format for stdout)")
+	}
+	in, err := scenario.Generate(*name, *n, *seed, params)
+	if err != nil {
+		return err
+	}
+	d := &graphio.Data{G: in.G, WG: in.WG}
+	if *out == "-" {
+		if *formatName == "" {
+			return fmt.Errorf("-out - (stdout) requires -format")
+		}
+		f, err := graphio.ParseFormat(*formatName)
+		if err != nil {
+			return err
+		}
+		return graphio.Write(env.Stdout, d, f)
+	}
+	if *formatName != "" {
+		f, err := graphio.ParseFormat(*formatName)
+		if err != nil {
+			return err
+		}
+		if err := graphio.WriteFileFormat(*out, d, f); err != nil {
+			return err
+		}
+	} else if err := graphio.WriteFile(*out, d); err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stderr, "wrote %s: n=%d m=%d\n", *out, d.G.NumVertices(), d.G.NumEdges())
+	return nil
+}

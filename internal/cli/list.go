@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"mpcgraph/internal/bench"
+	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/registry"
+	"mpcgraph/internal/scenario"
+)
+
+// runList enumerates everything the other subcommands accept. All four
+// sections are generated from their registries (the algorithm table, the
+// scenario catalog, the format table, the experiment index), so a new
+// registration appears here with no CLI change.
+func runList(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph list", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	w := env.Stdout
+
+	fmt.Fprintln(w, "algorithms (problem/model pairs accepted by solve):")
+	for _, pair := range registry.Pairs() {
+		fmt.Fprintf(w, "  %s\n", pair)
+	}
+
+	fmt.Fprintln(w, "scenarios (gen/solve -scenario):")
+	for _, name := range scenario.Names() {
+		s, _ := scenario.Lookup(name)
+		weighted := ""
+		if s.Weighted {
+			weighted = " [weighted]"
+		}
+		fmt.Fprintf(w, "  %-18s %s%s (default n=%d)\n", s.Name, s.Doc, weighted, s.DefaultN)
+		for _, p := range s.Params {
+			fmt.Fprintf(w, "      -param %s=%v  %s\n", p.Key, p.Default, p.Doc)
+		}
+	}
+
+	fmt.Fprintln(w, "formats (gen -out extension / solve -in, each optionally .gz):")
+	for _, f := range graphio.Formats() {
+		carries := "unweighted"
+		switch {
+		case f.Weighted() && f.Unweighted():
+			carries = "weighted or unweighted"
+		case f.Weighted():
+			carries = "weighted"
+		}
+		fmt.Fprintf(w, "  %-8s %v  (%s)\n", f, f.Extensions(), carries)
+	}
+
+	fmt.Fprintln(w, "experiments (bench -experiment):")
+	for _, id := range bench.IDs() {
+		fmt.Fprintf(w, "  %s\n", id)
+	}
+	return nil
+}

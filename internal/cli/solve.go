@@ -1,0 +1,262 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpcgraph"
+	"mpcgraph/internal/graphio"
+)
+
+// runSolve dispatches one problem through the unified Solve API and
+// reports the full audited Report.
+func runSolve(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph solve", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		problemName  = fs.String("problem", "", "problem to solve (see mpcgraph list)")
+		modelName    = fs.String("model", mpcgraph.ModelMPC.String(), "computation model: mpc or congested-clique")
+		inPath       = fs.String("in", "", "instance file in any supported format ('-' reads stdin)")
+		formatName   = fs.String("format", "", "input format override (el, wel, dimacs, metis, mm); required with -in -")
+		scenarioName = fs.String("scenario", "", "generate the instance from this catalog scenario instead of a file")
+		n            = fs.Int("n", 0, "scenario vertex count (0 = the scenario's default)")
+		seed         = fs.Uint64("seed", 1, "seed for scenario generation and the algorithm's random choices")
+		eps          = fs.Float64("eps", 0.1, "approximation slack where applicable")
+		memFactor    = fs.Float64("memory-factor", 0, "per-machine memory = factor*n words (0 = default 16)")
+		strict       = fs.Bool("strict", false, "fail on any simulated memory/bandwidth violation")
+		workers      = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); results identical for every value")
+		jsonOut      = fs.Bool("json", false, "emit the report as one JSON object on stdout")
+		solutionPath = fs.String("solution", "", "write the solution (vertex ids or matched pairs) to this file ('-' for stdout)")
+		trace        = fs.Bool("trace", false, "stream per-round progress to stderr")
+		params       = paramFlag{}
+	)
+	fs.Var(params, "param", "scenario parameter key=value (repeatable, comma-separable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *problemName == "" {
+		return fmt.Errorf("solve requires -problem (see mpcgraph list)")
+	}
+	if *jsonOut && *solutionPath == "-" {
+		return fmt.Errorf("-solution - would interleave with the -json report on stdout; write the solution to a file")
+	}
+	problem, err := parseProblem(*problemName)
+	if err != nil {
+		return err
+	}
+	model, err := parseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	d, source, err := loadInstance(env, *inPath, *formatName, *scenarioName, *n, *seed, params)
+	if err != nil {
+		return err
+	}
+
+	opts := mpcgraph.Options{
+		Seed:         *seed,
+		Eps:          *eps,
+		MemoryFactor: *memFactor,
+		Strict:       *strict,
+		Workers:      *workers,
+		Model:        model,
+	}
+	if *trace {
+		opts.Trace = func(ev mpcgraph.TraceEvent) {
+			fmt.Fprintf(env.Stderr, "round %d: words=%d active=%d\n", ev.Round, ev.LiveWords, ev.ActiveVertices)
+		}
+	}
+	var instance mpcgraph.Instance = d.G
+	if d.WG != nil {
+		instance = d.WG
+	}
+	if !*jsonOut {
+		fmt.Fprintf(env.Stdout, "instance: n=%d m=%d maxdeg=%d (%s)\n",
+			d.G.NumVertices(), d.G.NumEdges(), d.G.MaxDegree(), source)
+	}
+	rep, err := mpcgraph.Solve(context.Background(), instance, problem, opts)
+	if err != nil {
+		return err
+	}
+	valid, summary := validateReport(d, rep)
+	if !valid {
+		return fmt.Errorf("internal error: %s output failed validation", problem)
+	}
+	if *jsonOut {
+		if err := writeJSONReport(env.Stdout, d, rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(env.Stdout, "%s/%s: %s (validated)\n", rep.Problem, rep.Model, summary)
+		fmt.Fprintf(env.Stdout, "cost: rounds=%d phases=%d maxMachineLoad=%d words totalComm=%d words violations=%d\n",
+			rep.Rounds, rep.Phases, rep.MaxMachineWords, rep.TotalWords, rep.Violations)
+		for _, st := range rep.Stages {
+			fmt.Fprintf(env.Stdout, "  stage %-16s rounds=%-4d words=%d\n", st.Name, st.Rounds, st.Words)
+		}
+	}
+	if *solutionPath != "" {
+		return writeSolution(*solutionPath, env, rep)
+	}
+	return nil
+}
+
+// validateReport checks the payload against the instance and renders the
+// one-line text summary.
+func validateReport(d *graphio.Data, rep *mpcgraph.Report) (bool, string) {
+	g := d.G
+	switch rep.Problem {
+	case mpcgraph.ProblemMIS:
+		return mpcgraph.IsMaximalIndependentSet(g, rep.InMIS),
+			fmt.Sprintf("MIS size=%d", countTrue(rep.InMIS))
+	case mpcgraph.ProblemMaximalMatching:
+		return mpcgraph.IsMaximalMatching(g, rep.M),
+			fmt.Sprintf("maximal matching size=%d", rep.M.Size())
+	case mpcgraph.ProblemApproxMatching, mpcgraph.ProblemOnePlusEpsMatching:
+		return mpcgraph.IsMatching(g, rep.M),
+			fmt.Sprintf("matching size=%d", rep.M.Size())
+	case mpcgraph.ProblemVertexCover:
+		return mpcgraph.IsVertexCover(g, rep.InCover),
+			fmt.Sprintf("vertex cover size=%d dualLowerBound=%.1f", countTrue(rep.InCover), rep.FractionalWeight)
+	case mpcgraph.ProblemWeightedMatching:
+		return mpcgraph.IsMatching(g, rep.M),
+			fmt.Sprintf("weighted matching size=%d value=%.4g", rep.M.Size(), rep.Value)
+	default:
+		return false, fmt.Sprintf("unknown problem %v", rep.Problem)
+	}
+}
+
+func countTrue(set []bool) int {
+	n := 0
+	for _, in := range set {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// jsonReport is the machine-readable Report shape emitted by -json. The
+// cost fields are exactly the audited Report totals; wallMs is the only
+// field that varies between identical runs.
+type jsonReport struct {
+	Problem          string      `json:"problem"`
+	Model            string      `json:"model"`
+	N                int         `json:"n"`
+	M                int         `json:"m"`
+	Valid            bool        `json:"valid"`
+	MISSize          *int        `json:"misSize,omitempty"`
+	MatchingSize     *int        `json:"matchingSize,omitempty"`
+	CoverSize        *int        `json:"coverSize,omitempty"`
+	FractionalWeight *float64    `json:"dualLowerBound,omitempty"`
+	Value            *float64    `json:"value,omitempty"`
+	Rounds           int         `json:"rounds"`
+	Phases           int         `json:"phases"`
+	MaxMachineWords  int64       `json:"maxMachineWords"`
+	TotalWords       int64       `json:"totalWords"`
+	Violations       int         `json:"violations"`
+	WallMs           float64     `json:"wallMs"`
+	Stages           []jsonStage `json:"stages"`
+}
+
+type jsonStage struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+	Words  int64  `json:"words"`
+}
+
+func writeJSONReport(w io.Writer, d *graphio.Data, rep *mpcgraph.Report) error {
+	out := jsonReport{
+		Problem:         rep.Problem.String(),
+		Model:           rep.Model.String(),
+		N:               d.G.NumVertices(),
+		M:               d.G.NumEdges(),
+		Valid:           true,
+		Rounds:          rep.Rounds,
+		Phases:          rep.Phases,
+		MaxMachineWords: rep.MaxMachineWords,
+		TotalWords:      rep.TotalWords,
+		Violations:      rep.Violations,
+		WallMs:          float64(rep.Wall.Microseconds()) / 1000,
+		Stages:          make([]jsonStage, 0, len(rep.Stages)),
+	}
+	for _, st := range rep.Stages {
+		out.Stages = append(out.Stages, jsonStage{Name: st.Name, Rounds: st.Rounds, Words: st.Words})
+	}
+	switch rep.Problem {
+	case mpcgraph.ProblemMIS:
+		size := countTrue(rep.InMIS)
+		out.MISSize = &size
+	case mpcgraph.ProblemVertexCover:
+		size := countTrue(rep.InCover)
+		out.CoverSize = &size
+		out.FractionalWeight = &rep.FractionalWeight
+	case mpcgraph.ProblemWeightedMatching:
+		size := rep.M.Size()
+		out.MatchingSize = &size
+		out.Value = &rep.Value
+	default:
+		size := rep.M.Size()
+		out.MatchingSize = &size
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// writeSolution renders the solution payload: one vertex id per line for
+// vertex sets (MIS, vertex cover), one "u v" pair per line for
+// matchings.
+func writeSolution(path string, env Env, rep *mpcgraph.Report) error {
+	w := env.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	if err := renderSolution(w, rep); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return err
+	}
+	if f != nil {
+		// A failed flush on Close would otherwise report a truncated
+		// solution file as success.
+		return f.Close()
+	}
+	return nil
+}
+
+func renderSolution(w io.Writer, rep *mpcgraph.Report) error {
+	switch rep.Problem {
+	case mpcgraph.ProblemMIS, mpcgraph.ProblemVertexCover:
+		set := rep.InMIS
+		if rep.Problem == mpcgraph.ProblemVertexCover {
+			set = rep.InCover
+		}
+		for v, in := range set {
+			if in {
+				if _, err := fmt.Fprintln(w, v); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		for _, e := range rep.M.Edges() {
+			if _, err := fmt.Fprintf(w, "%d %d\n", e[0], e[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

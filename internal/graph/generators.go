@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 
 	"mpcgraph/internal/rng"
 )
@@ -211,6 +212,229 @@ func PlantedMatching(n int, p float64, src *rng.Source) (*Graph, [][2]int32) {
 	}
 	noise.ForEachEdge(func(u, v int32) { b.AddEdge(u, v) })
 	return b.MustBuild(), planted
+}
+
+// RMAT samples a recursive-matrix (R-MAT / stochastic Kronecker) graph
+// [Chakrabarti–Zhan–Faloutsos 2004]: the adjacency matrix is split into
+// quadrants with probabilities (a, b, c, d), a+b+c+d = 1, and each edge
+// drops through log2(N) recursion levels. The result has the skewed
+// degree distribution and community structure of web and social graphs.
+// edges counts sampling attempts; self-loops and duplicates are
+// discarded, so the final edge count is slightly lower. n is rounded up
+// to a power of two internally and out-of-range endpoints are resampled,
+// so any n is accepted.
+func RMAT(n, edges int, a, b, c float64, src *rng.Source) *Graph {
+	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
+		panic(fmt.Sprintf("graph: RMAT quadrant probabilities (%v, %v, %v) invalid", a, b, c))
+	}
+	bld := NewBuilder(n)
+	if n < 2 || edges <= 0 {
+		return bld.MustBuild()
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	for e := 0; e < edges; e++ {
+		var u, v int32
+		for attempt := 0; ; attempt++ {
+			u, v = 0, 0
+			for l := 0; l < levels; l++ {
+				r := src.Float64()
+				switch {
+				case r < a: // top-left: neither bit set
+				case r < a+b: // top-right: column bit set
+					v |= 1 << l
+				case r < a+b+c: // bottom-left: row bit set
+					u |= 1 << l
+				default: // bottom-right: both bits set
+					u |= 1 << l
+					v |= 1 << l
+				}
+			}
+			if u != v && int(u) < n && int(v) < n {
+				break
+			}
+			if attempt >= 64 {
+				// Degenerate quadrant weights (e.g. a = 1, or b = c = 0)
+				// can make every in-range off-diagonal pair unreachable;
+				// fall back to a uniform pair so the generator terminates
+				// on all parameters.
+				u = int32(src.Intn(n))
+				v = int32(src.Intn(n - 1))
+				if v >= u {
+					v++
+				}
+				break
+			}
+		}
+		bld.AddEdge(u, v)
+	}
+	return bld.MustBuild()
+}
+
+// ChungLu samples the Chung–Lu expected-degree model with a power-law
+// weight sequence: vertex v gets weight w_v proportional to
+// (v+1)^(-1/(beta-1)) scaled so the expected average degree is avgDeg,
+// and each pair {u, v} is an edge independently with probability
+// min(1, w_u·w_v / Σw). beta is the power-law exponent (2 < beta < 3 is
+// the social-network regime). The implementation is the Miller–Hagberg
+// skip-sampling algorithm, O(n + m) because the weights are generated in
+// non-increasing order.
+func ChungLu(n int, beta, avgDeg float64, src *rng.Source) *Graph {
+	if beta <= 1 {
+		panic(fmt.Sprintf("graph: ChungLu exponent beta=%v must exceed 1", beta))
+	}
+	b := NewBuilder(n)
+	if n < 2 || avgDeg <= 0 {
+		return b.MustBuild()
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	alpha := 1 / (beta - 1)
+	for v := 0; v < n; v++ {
+		w[v] = math.Pow(float64(v+1), -alpha)
+		sum += w[v]
+	}
+	scale := avgDeg * float64(n) / sum
+	total := 0.0
+	for v := range w {
+		w[v] *= scale
+		total += w[v]
+	}
+	// Miller–Hagberg: for each u, scan v > u with geometric skips at the
+	// bounding probability q = min(1, w_u·w_{u+1}/Σw) (valid because w is
+	// non-increasing), then thin each candidate to its exact probability.
+	for u := 0; u < n-1; u++ {
+		v := u + 1
+		q := w[u] * w[v] / total
+		if q > 1 {
+			q = 1
+		}
+		for v < n && q > 0 {
+			v += src.Geometric(q)
+			if v >= n {
+				break
+			}
+			p := w[u] * w[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if src.Float64() < p/q {
+				b.AddEdge(int32(u), int32(v))
+			}
+			v++
+			// Tighten the bound as the weights shrink.
+			if v < n {
+				if nq := w[u] * w[v] / total; nq < q {
+					q = nq
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RingOfCliques returns k cliques of size s arranged in a ring, with one
+// bridge edge between consecutive cliques (clique i's last vertex to
+// clique i+1's first). The graph is the classic locality adversary: the
+// maximum degree Δ = s is set entirely by dense local structure, while
+// the diameter grows with k — the regime where the paper's O(log log Δ)
+// phase schedule and a diameter-bound argument diverge. n = k·s.
+func RingOfCliques(k, s int) *Graph {
+	if k < 1 || s < 1 {
+		panic(fmt.Sprintf("graph: RingOfCliques(%d, %d) requires positive counts", k, s))
+	}
+	b := NewBuilder(k * s)
+	base := func(i int) int32 { return int32(i * s) }
+	for i := 0; i < k; i++ {
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				b.AddEdge(base(i)+int32(u), base(i)+int32(v))
+			}
+		}
+	}
+	if k > 1 {
+		for i := 0; i < k; i++ {
+			b.AddEdge(base(i)+int32(s-1), base((i+1)%k))
+		}
+	}
+	return b.MustBuild()
+}
+
+// HighGirth samples an (approximately) d-regular graph with no cycle
+// shorter than girth: random candidate edges are accepted only when both
+// endpoints have residual degree and lie at distance >= girth-1. The
+// locally tree-like result is the opposite adversary to RingOfCliques —
+// maximum degree at most d with no dense neighborhoods for the
+// vertex-centric phases to exploit. Construction cost is
+// O(attempts · d^(girth-2)); keep d·girth modest (d <= 16, girth <= 8)
+// for large n.
+func HighGirth(n, d, girth int, src *rng.Source) *Graph {
+	if d < 1 || d >= n {
+		panic(fmt.Sprintf("graph: HighGirth degree d=%d out of range for n=%d", d, n))
+	}
+	if girth < 3 {
+		panic(fmt.Sprintf("graph: HighGirth girth=%d below 3", girth))
+	}
+	b := NewBuilder(n)
+	deg := make([]int, n)
+	adj := make([][]int32, n)
+	// BFS scratch: dist[v] = -1 means unvisited this probe.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int32
+	tooClose := func(s, t int32) bool {
+		// Is dist(s, t) <= girth-2 in the graph built so far?
+		limit := girth - 2
+		queue = queue[:0]
+		queue = append(queue, s)
+		dist[s] = 0
+		found := false
+		for qi := 0; qi < len(queue) && !found; qi++ {
+			u := queue[qi]
+			if dist[u] == limit {
+				continue
+			}
+			for _, v := range adj[u] {
+				if dist[v] >= 0 {
+					continue
+				}
+				if v == t {
+					found = true
+					break
+				}
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+		dist[s] = -1
+		for _, v := range queue {
+			dist[v] = -1
+		}
+		return found
+	}
+	attempts := 20 * n * d
+	added := 0
+	for t := 0; t < attempts && 2*added < n*d; t++ {
+		u := int32(src.Intn(n))
+		v := int32(src.Intn(n))
+		if u == v || deg[u] >= d || deg[v] >= d {
+			continue
+		}
+		if tooClose(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		deg[u]++
+		deg[v]++
+		added++
+	}
+	return b.MustBuild()
 }
 
 // Complete returns the complete graph K_n.

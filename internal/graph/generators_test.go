@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"testing"
+
+	"mpcgraph/internal/rng"
+)
+
+// Structural sanity and determinism checks for the scenario-catalog
+// generators added alongside internal/scenario.
+
+// checkSimple asserts the simple-graph CSR invariants: sorted neighbor
+// lists, no self-loops, no parallel edges.
+func checkSimple(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if u == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				t.Fatalf("neighbor list of %d unsorted or duplicated at %d", v, u)
+			}
+		}
+	}
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	same := true
+	a.ForEachEdge(func(u, v int32) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	return same
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(1000, 4000, 0.57, 0.19, 0.19, rng.New(1))
+	checkSimple(t, g)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d, want 1000", g.NumVertices())
+	}
+	// Duplicates collapse, so m is below the attempt count but not tiny.
+	if g.NumEdges() == 0 || g.NumEdges() > 4000 {
+		t.Fatalf("m = %d out of (0, 4000]", g.NumEdges())
+	}
+	// The skew parameters must concentrate degree: the max degree of an
+	// R-MAT graph far exceeds the average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Errorf("maxdeg %d not skewed vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	if !sameGraph(g, RMAT(1000, 4000, 0.57, 0.19, 0.19, rng.New(1))) {
+		t.Error("RMAT not deterministic in the seed")
+	}
+	if sameGraph(g, RMAT(1000, 4000, 0.57, 0.19, 0.19, rng.New(2))) {
+		t.Error("RMAT ignored the seed")
+	}
+	// Non-power-of-two n stays in range by construction (checkSimple
+	// above); degenerate sizes build.
+	if RMAT(1, 10, 0.25, 0.25, 0.25, rng.New(1)).NumEdges() != 0 {
+		t.Error("RMAT on one vertex produced edges")
+	}
+}
+
+// TestRMATDegenerateQuadrants: parameters that make off-diagonal pairs
+// unreachable (all mass on a diagonal quadrant, or a deterministic
+// out-of-range corner) must terminate via the uniform fallback instead
+// of spinning forever.
+func TestRMATDegenerateQuadrants(t *testing.T) {
+	cases := [][3]float64{
+		{1, 0, 0},   // all mass top-left: u = v = 0 forever
+		{0, 0, 0},   // all mass bottom-right: u = v = 2^levels-1 forever
+		{0, 1, 0},   // u = 0, v = all-ones: out of range for n = 3
+		{0.5, 0, 0}, // mass split between the two diagonal quadrants
+	}
+	for _, c := range cases {
+		g := RMAT(3, 50, c[0], c[1], c[2], rng.New(9))
+		checkSimple(t, g)
+		if g.NumEdges() == 0 {
+			t.Errorf("RMAT(%v) produced no edges despite the fallback", c)
+		}
+	}
+}
+
+func TestChungLu(t *testing.T) {
+	g := ChungLu(2000, 2.5, 8, rng.New(3))
+	checkSimple(t, g)
+	// Average degree should land within a factor of two of the target.
+	if g.AvgDegree() < 4 || g.AvgDegree() > 16 {
+		t.Errorf("avg degree %.2f far from target 8", g.AvgDegree())
+	}
+	// Power-law weights put the heavy vertices at the low ids.
+	if g.Degree(0) <= g.MaxDegree()/4 {
+		t.Errorf("vertex 0 degree %d not heavy (max %d)", g.Degree(0), g.MaxDegree())
+	}
+	if !sameGraph(g, ChungLu(2000, 2.5, 8, rng.New(3))) {
+		t.Error("ChungLu not deterministic in the seed")
+	}
+	if ChungLu(1, 2.5, 8, rng.New(1)).NumEdges() != 0 {
+		t.Error("ChungLu on one vertex produced edges")
+	}
+}
+
+func TestRingOfCliques(t *testing.T) {
+	g := RingOfCliques(10, 6)
+	checkSimple(t, g)
+	if g.NumVertices() != 60 {
+		t.Fatalf("n = %d, want 60", g.NumVertices())
+	}
+	// 10 cliques of C(6,2) edges plus 10 bridges.
+	if want := 10*15 + 10; g.NumEdges() != want {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want)
+	}
+	// Δ = clique size: bridge endpoints have degree s-1+1 = s.
+	if g.MaxDegree() != 6 {
+		t.Errorf("maxdeg = %d, want 6", g.MaxDegree())
+	}
+	// Degenerate shapes still build.
+	if RingOfCliques(1, 1).NumEdges() != 0 {
+		t.Error("single vertex ring produced edges")
+	}
+	if g := RingOfCliques(2, 3); g.NumEdges() != 2*3+2 {
+		t.Errorf("two-clique ring m = %d, want 8", g.NumEdges())
+	}
+}
+
+func TestHighGirth(t *testing.T) {
+	const n, d, girth = 400, 4, 6
+	g := HighGirth(n, d, girth, rng.New(7))
+	checkSimple(t, g)
+	if g.MaxDegree() > d {
+		t.Fatalf("maxdeg %d exceeds cap %d", g.MaxDegree(), d)
+	}
+	// The rejection sampler should still land most of the d-regular mass.
+	if 2*g.NumEdges() < n*d/2 {
+		t.Errorf("m = %d, too sparse for target %d half-edges", g.NumEdges(), n*d)
+	}
+	// No cycle shorter than girth: a BFS from every vertex must not see a
+	// cross edge before depth girth/2.
+	for s := int32(0); int(s) < n; s++ {
+		dist := make([]int, n)
+		parent := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue := []int32{s}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if 2*(dist[u]+1) > girth {
+				break
+			}
+			for _, v := range g.Neighbors(u) {
+				if v == parent[u] {
+					continue
+				}
+				if dist[v] >= 0 {
+					// Cycle length <= dist[u] + dist[v] + 1 < girth.
+					if dist[u]+dist[v]+1 < girth {
+						t.Fatalf("cycle of length <= %d through %d", dist[u]+dist[v]+1, u)
+					}
+					continue
+				}
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if !sameGraph(g, HighGirth(n, d, girth, rng.New(7))) {
+		t.Error("HighGirth not deterministic in the seed")
+	}
+}

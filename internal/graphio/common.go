@@ -1,0 +1,122 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mpcgraph/internal/graph"
+)
+
+// maxLine bounds a single input line; adjacency formats (METIS) put a
+// whole vertex neighborhood on one line, so the cap is generous.
+const maxLine = 1 << 26
+
+// MaxVertices caps declared or inferred vertex counts. Graph
+// construction allocates O(n) memory even for an edgeless graph, so a
+// tiny malicious file declaring n = 2^31 would otherwise force a
+// multi-gigabyte allocation; 2^27 (~134M vertices) is far beyond any
+// instance the simulators can process while keeping the worst-case
+// header allocation around half a gigabyte.
+const MaxVertices = 1 << 27
+
+// newScanner returns a line scanner sized for graph files.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), maxLine)
+	return sc
+}
+
+// parseVertex parses a vertex id with the given base (0 or 1) and range
+// bound n (n < 0 means bounded only by MaxVertices), returning the
+// 0-based id.
+func parseVertex(tok string, base, n int, line int) (int32, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil || v < int64(base) {
+		return 0, fmt.Errorf("graphio: line %d: bad vertex %q", line, tok)
+	}
+	v -= int64(base)
+	if v >= MaxVertices || (n >= 0 && v >= int64(n)) {
+		return 0, fmt.Errorf("graphio: line %d: vertex %s out of range", line, tok)
+	}
+	return int32(v), nil
+}
+
+// parseVertexCount parses a declared vertex count against MaxVertices.
+func parseVertexCount(tok string, line int) (int, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil || v < 0 || v > MaxVertices {
+		return 0, fmt.Errorf("graphio: line %d: bad vertex count %q (limit %d)", line, tok, MaxVertices)
+	}
+	return int(v), nil
+}
+
+// parseWeight parses a positive finite edge weight.
+func parseWeight(tok string, line int) (float64, error) {
+	w, err := strconv.ParseFloat(tok, 64)
+	if err != nil || !(w > 0) || w > 1e308 {
+		return 0, fmt.Errorf("graphio: line %d: edge weight %q must be a positive finite number", line, tok)
+	}
+	return w, nil
+}
+
+// formatWeight renders a weight so that parsing it back yields the exact
+// same float64 (shortest round-trip form).
+func formatWeight(w float64) string {
+	return strconv.FormatFloat(w, 'g', -1, 64)
+}
+
+// edgeKey canonicalizes an undirected edge for map lookups.
+func edgeKey(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// assembleWeighted builds a weighted Data from parallel edge and weight
+// slices. Duplicate mentions of an edge are collapsed but must agree on
+// the weight; a conflict is an input error, not a silent overwrite.
+func assembleWeighted(n int, edges [][2]int32, weights []float64) (*Data, error) {
+	seen := make(map[[2]int32]float64, len(edges))
+	b := graph.NewBuilder(n)
+	for i, e := range edges {
+		key := edgeKey(e[0], e[1])
+		if prev, dup := seen[key]; dup {
+			if prev != weights[i] {
+				return nil, fmt.Errorf("graphio: conflicting weights %v and %v for edge {%d,%d}",
+					prev, weights[i], e[0], e[1])
+			}
+			continue
+		}
+		seen[key] = weights[i]
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	ix := graph.NewEdgeIndex(g)
+	w := make([]float64, ix.NumEdges())
+	for key, weight := range seen {
+		w[ix.ID(key[0], key[1])] = weight
+	}
+	wg, err := graph.NewWeighted(g, w)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return FromWeighted(wg), nil
+}
+
+// forEachWeightedEdge iterates the undirected edges of wg with u < v in
+// lexicographic order together with their weights.
+func forEachWeightedEdge(wg *graph.Weighted, fn func(u, v int32, w float64) error) error {
+	var err error
+	wg.ForEachEdge(func(u, v int32) {
+		if err == nil {
+			err = fn(u, v, wg.EdgeWeight(u, v))
+		}
+	})
+	return err
+}

@@ -1,0 +1,117 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpcgraph/internal/graph"
+)
+
+// DIMACS edge format (the clique/coloring challenge dialect):
+//
+//	c <comment>
+//	p edge <n> <m>
+//	e <u> <v>          (1-based endpoints)
+//
+// The problem line must precede every edge line; exactly m edge lines
+// are required (a mismatch indicates a truncated or concatenated file);
+// duplicate edges and both orientations are tolerated and collapsed;
+// self-loops are rejected. "p col ..." is accepted as a problem-name
+// synonym found in older instances. See docs/formats.md.
+
+func readDIMACS(r io.Reader) (*Data, error) {
+	sc := newScanner(r)
+	var (
+		b        *graph.Builder
+		n        int
+		declared int64 = -1
+		edges    int64
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'c':
+			continue
+		case 'p':
+			if b != nil {
+				return nil, fmt.Errorf("graphio: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col") {
+				return nil, fmt.Errorf("graphio: line %d: want 'p edge <n> <m>', got %q", lineNo, line)
+			}
+			nn, err := parseVertexCount(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			mm, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || mm < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad edge count %q", lineNo, fields[3])
+			}
+			n, declared = nn, mm
+			b = graph.NewBuilder(n)
+		case 'e':
+			if b == nil {
+				return nil, fmt.Errorf("graphio: line %d: edge before problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graphio: line %d: want 'e <u> <v>', got %q", lineNo, line)
+			}
+			u, err := parseVertex(fields[1], 1, n, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseVertex(fields[2], 1, n, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if u == v {
+				return nil, fmt.Errorf("graphio: line %d: self-loop at %d", lineNo, u+1)
+			}
+			b.AddEdge(u, v)
+			edges++
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown DIMACS line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graphio: missing DIMACS problem line")
+	}
+	if edges != declared {
+		return nil, fmt.Errorf("graphio: %d edge lines but problem line declared %d", edges, declared)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return Unweighted(g), nil
+}
+
+func writeDIMACS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int32) {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,285 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// sameData reports structural equality of two parsed instances,
+// including exact weight equality for weighted ones.
+func sameData(a, b *Data) bool {
+	if a.G.NumVertices() != b.G.NumVertices() || a.G.NumEdges() != b.G.NumEdges() {
+		return false
+	}
+	if (a.WG == nil) != (b.WG == nil) {
+		return false
+	}
+	same := true
+	a.G.ForEachEdge(func(u, v int32) {
+		if !b.G.HasEdge(u, v) {
+			same = false
+			return
+		}
+		if a.WG != nil && a.WG.EdgeWeight(u, v) != b.WG.EdgeWeight(u, v) {
+			same = false
+		}
+	})
+	return same
+}
+
+// corpus returns a spread of instances exercising isolated vertices,
+// empty graphs, dense blocks, heavy tails and weights.
+func corpus(t *testing.T) map[string]*Data {
+	t.Helper()
+	src := rng.New(9)
+	withIsolated := graph.NewBuilder(12)
+	withIsolated.AddEdge(3, 7)
+	withIsolated.AddEdge(0, 11)
+	wg := graph.RandomWeights(graph.GNP(60, 0.08, src), 0.5, 4.5, src)
+	tiny := graph.NewBuilder(2)
+	tiny.AddEdge(0, 1)
+	return map[string]*Data{
+		"empty":    Unweighted(graph.Empty(0)),
+		"edgeless": Unweighted(graph.Empty(5)),
+		"tiny":     Unweighted(tiny.MustBuild()),
+		"isolated": Unweighted(withIsolated.MustBuild()),
+		"gnp":      Unweighted(graph.GNP(80, 0.06, src)),
+		"rmat":     Unweighted(graph.RMAT(64, 300, 0.57, 0.19, 0.19, src)),
+		"clique":   Unweighted(graph.Complete(9)),
+		"weighted": FromWeighted(wg),
+	}
+}
+
+// TestRoundTripEveryFormat: read∘write = id for every format on every
+// corpus instance the format can represent.
+func TestRoundTripEveryFormat(t *testing.T) {
+	for name, d := range corpus(t) {
+		for _, f := range Formats() {
+			t.Run(name+"/"+f.String(), func(t *testing.T) {
+				var buf bytes.Buffer
+				err := Write(&buf, d, f)
+				if (d.WG != nil && !f.Weighted()) || (d.WG == nil && !f.Unweighted()) {
+					if err == nil {
+						t.Fatal("weight-incompatible write accepted")
+					}
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Read(bytes.NewReader(buf.Bytes()), f)
+				if err != nil {
+					t.Fatalf("re-read: %v\ninput:\n%s", err, buf.String())
+				}
+				if !sameData(d, got) {
+					t.Fatalf("round trip changed the instance:\n%s", buf.String())
+				}
+			})
+		}
+	}
+}
+
+// TestFileRoundTrip covers the path-based API: extension-derived format,
+// gzip compression, and magic-byte detection on read.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, d := range corpus(t) {
+		for _, f := range Formats() {
+			if (d.WG != nil && !f.Weighted()) || (d.WG == nil && !f.Unweighted()) {
+				continue
+			}
+			for _, gz := range []string{"", ".gz"} {
+				path := filepath.Join(dir, name+f.Extensions()[0]+gz)
+				if err := WriteFile(path, d); err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				if gz == ".gz" {
+					raw, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(raw) >= 2 && (raw[0] != 0x1f || raw[1] != 0x8b) {
+						t.Fatalf("%s: not gzip-compressed", path)
+					}
+				}
+				got, err := ReadFile(path)
+				if err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				if !sameData(d, got) {
+					t.Fatalf("%s: file round trip changed the instance", path)
+				}
+			}
+		}
+	}
+}
+
+// TestReadFileSniffing: unknown extensions fall back to content
+// sniffing for MatrixMarket and DIMACS, and to the edge list otherwise.
+func TestReadFileSniffing(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"mm.data":     "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n",
+		"dimacs.data": "c hello\np edge 3 2\ne 1 2\ne 2 3\n",
+		"el.data":     "n 3\n0 1\n1 2\n",
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.G.NumVertices() != 3 || d.G.NumEdges() != 2 {
+			t.Errorf("%s: got %v", name, d.G)
+		}
+	}
+}
+
+// TestReadFileGzipSniff: gzip is recognized by magic bytes even without
+// a .gz extension.
+func TestReadFileGzipSniff(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte("n 4\n0 1\n2 3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plain.el")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.NumVertices() != 4 || d.G.NumEdges() != 2 {
+		t.Errorf("got %v", d.G)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"a/b/web.mtx":    FormatMatrixMarket,
+		"web.mtx.gz":     FormatMatrixMarket,
+		"g.el":           FormatEdgeList,
+		"g.txt":          FormatEdgeList,
+		"g.edges.gz":     FormatEdgeList,
+		"w.wel":          FormatWeightedEdgeList,
+		"inst.col":       FormatDIMACS,
+		"inst.dimacs.gz": FormatDIMACS,
+		"part.graph":     FormatMETIS,
+		"part.metis":     FormatMETIS,
+		"mystery.bin":    FormatUnknown,
+		"noext":          FormatUnknown,
+	}
+	for path, want := range cases {
+		if got := DetectFormat(path); got != want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, f := range Formats() {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFormat("csv"); err == nil {
+		t.Error("unknown format name accepted")
+	}
+}
+
+// TestReaderErrors: each dialect rejects its documented malformations
+// with an error instead of panicking or silently misreading.
+func TestReaderErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		in     string
+	}{
+		{"dimacs-no-problem", FormatDIMACS, "e 1 2\n"},
+		{"dimacs-double-problem", FormatDIMACS, "p edge 2 1\np edge 2 1\ne 1 2\n"},
+		{"dimacs-count-short", FormatDIMACS, "p edge 3 2\ne 1 2\n"},
+		{"dimacs-count-long", FormatDIMACS, "p edge 3 1\ne 1 2\ne 2 3\n"},
+		{"dimacs-self-loop", FormatDIMACS, "p edge 3 1\ne 2 2\n"},
+		{"dimacs-zero-vertex", FormatDIMACS, "p edge 3 1\ne 0 1\n"},
+		{"dimacs-n-over-cap", FormatDIMACS, "p edge 999999999 0\n"},
+		{"metis-n-over-cap", FormatMETIS, "999999999 0\n"},
+		{"mm-n-over-cap", FormatMatrixMarket, "%%MatrixMarket matrix coordinate pattern symmetric\n999999999 999999999 0\n"},
+		{"el-n-over-cap", FormatEdgeList, "n 999999999\n"},
+		{"el-id-over-cap", FormatEdgeList, "0 999999999\n"},
+		{"wel-n-over-cap", FormatWeightedEdgeList, "n 999999999\n"},
+		{"dimacs-out-of-range", FormatDIMACS, "p edge 3 1\ne 1 4\n"},
+		{"dimacs-junk-line", FormatDIMACS, "p edge 2 1\nx 1 2\ne 1 2\n"},
+		{"metis-missing-header", FormatMETIS, ""},
+		{"metis-truncated", FormatMETIS, "3 2\n2\n"},
+		{"metis-extra-lines", FormatMETIS, "2 1\n2\n1\n3\n"},
+		{"metis-entry-mismatch", FormatMETIS, "3 2\n2\n1\n\n"},
+		{"metis-self-loop", FormatMETIS, "2 1\n1\n1\n"},
+		{"metis-vertex-weights", FormatMETIS, "2 1 011\n1 2\n1 1\n"},
+		{"metis-odd-weight-tokens", FormatMETIS, "2 1 001\n2 1.5\n1\n"},
+		{"metis-nonpositive-weight", FormatMETIS, "2 1 001\n2 0\n1 0\n"},
+		{"mm-no-banner", FormatMatrixMarket, "3 3 1\n1 2\n"},
+		{"mm-array", FormatMatrixMarket, "%%MatrixMarket matrix array real general\n2 2\n1\n0\n0\n1\n"},
+		{"mm-complex", FormatMatrixMarket, "%%MatrixMarket matrix coordinate complex symmetric\n2 2 1\n2 1 1 0\n"},
+		{"mm-not-square", FormatMatrixMarket, "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"},
+		{"mm-diagonal", FormatMatrixMarket, "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 2\n"},
+		{"mm-count-short", FormatMatrixMarket, "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n"},
+		{"mm-conflicting-weights", FormatMatrixMarket, "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.5\n2 1 2.5\n"},
+		{"wel-two-fields", FormatWeightedEdgeList, "0 1\n"},
+		{"wel-negative-weight", FormatWeightedEdgeList, "0 1 -2\n"},
+		{"wel-nan-weight", FormatWeightedEdgeList, "0 1 NaN\n"},
+		{"wel-conflict", FormatWeightedEdgeList, "0 1 2\n1 0 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in), tc.format); err == nil {
+				t.Errorf("input %q accepted", tc.in)
+			}
+		})
+	}
+}
+
+// TestReaderLeniency: documented tolerances must keep working.
+func TestReaderLeniency(t *testing.T) {
+	cases := []struct {
+		name   string
+		format Format
+		in     string
+		n, m   int
+	}{
+		{"dimacs-dup-edges", FormatDIMACS, "p edge 3 3\ne 1 2\ne 2 1\ne 1 2\n", 3, 1},
+		{"dimacs-p-col", FormatDIMACS, "p col 3 1\ne 1 3\n", 3, 1},
+		{"metis-comment-between", FormatMETIS, "2 1\n% hi\n2\n1\n", 2, 1},
+		{"metis-isolated-blank", FormatMETIS, "3 1\n2\n1\n\n", 3, 1},
+		{"metis-fmt-000", FormatMETIS, "2 1 000\n2\n1\n", 2, 1},
+		{"mm-general-both-orients", FormatMatrixMarket, "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n", 2, 1},
+		{"mm-integer-weights", FormatMatrixMarket, "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 3\n", 2, 1},
+		{"wel-dup-agreeing", FormatWeightedEdgeList, "0 1 2.5\n1 0 2.5\n", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Read(strings.NewReader(tc.in), tc.format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.G.NumVertices() != tc.n || d.G.NumEdges() != tc.m {
+				t.Errorf("got n=%d m=%d, want n=%d m=%d", d.G.NumVertices(), d.G.NumEdges(), tc.n, tc.m)
+			}
+		})
+	}
+}

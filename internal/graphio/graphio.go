@@ -1,14 +1,25 @@
-// Package graphio reads and writes the plain-text edge-list format used
-// by the command-line tools: an optional header line "n <count>", then
-// one "u v" pair per line (0-based vertex ids); '#' starts a comment.
-// Without a header, n is one plus the largest vertex id seen.
+// Package graphio reads and writes graph instances in the portable
+// on-disk formats understood by the mpcgraph CLI: the repository's
+// native edge list, a weighted edge list, DIMACS edge format, the
+// METIS/Chaco adjacency format, and MatrixMarket coordinate files —
+// each optionally gzip-compressed, detected from the stream's magic
+// bytes. Read/Write take an explicit Format; ReadFile/WriteFile resolve
+// the format from the file extension (with a content sniff as the read
+// fallback) and handle compression. Readers stream line-by-line into
+// the parallel graph.Builder, so a parsed instance is bit-identical to
+// one constructed in-process from the same edge set. The full grammar,
+// limits and error behavior of every format are documented in
+// docs/formats.md.
+//
+// The native edge-list dialect is: an optional header line "n <count>",
+// then one "u v" pair per line (0-based vertex ids); '#' starts a
+// comment. Without a header, n is one plus the largest vertex id seen.
 package graphio
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"mpcgraph/internal/graph"
@@ -35,9 +46,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("graphio: line %d: header must be 'n <count>'", lineNo)
 			}
-			v, err := strconv.Atoi(fields[1])
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
+			v, err := parseVertexCount(fields[1], lineNo)
+			if err != nil {
+				return nil, err
 			}
 			n = v
 			continue
@@ -45,24 +56,24 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("graphio: line %d: want 'u v', got %q", lineNo, line)
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil || u < 0 {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[0])
+		u, err := parseVertex(fields[0], 0, -1, lineNo)
+		if err != nil {
+			return nil, err
 		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", lineNo, fields[1])
+		v, err := parseVertex(fields[1], 0, -1, lineNo)
+		if err != nil {
+			return nil, err
 		}
 		if u == v {
 			return nil, fmt.Errorf("graphio: line %d: self-loop at %d", lineNo, u)
 		}
-		if int32(u) > maxSeen {
-			maxSeen = int32(u)
+		if u > maxSeen {
+			maxSeen = u
 		}
-		if int32(v) > maxSeen {
-			maxSeen = int32(v)
+		if v > maxSeen {
+			maxSeen = v
 		}
-		edges = append(edges, [2]int32{int32(u), int32(v)})
+		edges = append(edges, [2]int32{u, v})
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("graphio: %w", err)

@@ -1,0 +1,187 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpcgraph/internal/graph"
+)
+
+// MatrixMarket coordinate format, reading a square sparse matrix as the
+// adjacency matrix of an undirected graph:
+//
+//	%%MatrixMarket matrix coordinate <field> <symmetry>
+//	% <comment>
+//	<rows> <cols> <nnz>
+//	<i> <j> [<value>]     (1-based; nnz entry lines)
+//
+// field must be pattern (unweighted), real or integer (weighted;
+// values must be positive); symmetry must be symmetric or general. The
+// matrix must be square; diagonal entries (self-loops) are rejected;
+// under general symmetry the two orientations of an edge are collapsed
+// and must agree on the value. Exactly nnz entry lines are required.
+// See docs/formats.md.
+
+func readMatrixMarket(r io.Reader) (*Data, error) {
+	sc := newScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+		return nil, fmt.Errorf("graphio: missing MatrixMarket banner")
+	}
+	lineNo := 1
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) != 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" || banner[2] != "coordinate" {
+		return nil, fmt.Errorf("graphio: line 1: want '%%%%MatrixMarket matrix coordinate <field> <symmetry>', got %q", sc.Text())
+	}
+	var weighted bool
+	switch banner[3] {
+	case "pattern":
+	case "real", "integer":
+		weighted = true
+	default:
+		return nil, fmt.Errorf("graphio: line 1: unsupported MatrixMarket field %q (want pattern, real or integer)", banner[3])
+	}
+	switch banner[4] {
+	case "symmetric", "general":
+	default:
+		return nil, fmt.Errorf("graphio: line 1: unsupported MatrixMarket symmetry %q (want symmetric or general)", banner[4])
+	}
+
+	// Size line: first non-comment, non-blank line after the banner.
+	var size []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		size = strings.Fields(line)
+		break
+	}
+	if size == nil {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+		return nil, fmt.Errorf("graphio: missing MatrixMarket size line")
+	}
+	if len(size) != 3 {
+		return nil, fmt.Errorf("graphio: line %d: want '<rows> <cols> <nnz>', got %q", lineNo, strings.Join(size, " "))
+	}
+	n, err := parseVertexCount(size[0], lineNo)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := strconv.ParseInt(size[1], 10, 64)
+	if err != nil || cols < 0 {
+		return nil, fmt.Errorf("graphio: line %d: bad column count %q", lineNo, size[1])
+	}
+	if int64(n) != cols {
+		return nil, fmt.Errorf("graphio: line %d: adjacency matrix must be square, got %dx%d", lineNo, n, cols)
+	}
+	nnz, err := strconv.ParseInt(size[2], 10, 64)
+	if err != nil || nnz < 0 {
+		return nil, fmt.Errorf("graphio: line %d: bad entry count %q", lineNo, size[2])
+	}
+
+	var (
+		edges   [][2]int32
+		weights []float64
+		b       *graph.Builder
+		entries int64
+	)
+	if !weighted {
+		b = graph.NewBuilder(n)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 2
+		if weighted {
+			want = 3
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("graphio: line %d: want %d fields, got %q", lineNo, want, line)
+		}
+		i, err := parseVertex(fields[0], 1, n, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		j, err := parseVertex(fields[1], 1, n, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if i == j {
+			return nil, fmt.Errorf("graphio: line %d: diagonal entry (self-loop) at %d", lineNo, i+1)
+		}
+		entries++
+		if entries > nnz {
+			return nil, fmt.Errorf("graphio: line %d: more than the declared %d entries", lineNo, nnz)
+		}
+		if weighted {
+			wt, err := parseWeight(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, [2]int32{i, j})
+			weights = append(weights, wt)
+		} else {
+			b.AddEdge(i, j)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if entries != nnz {
+		return nil, fmt.Errorf("graphio: %d entries but size line declared %d", entries, nnz)
+	}
+	if weighted {
+		return assembleWeighted(n, edges, weights)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return Unweighted(g), nil
+}
+
+// writeMatrixMarket writes the lower triangle of the symmetric adjacency
+// matrix: pattern for plain graphs, real for weighted ones.
+func writeMatrixMarket(w io.Writer, d *Data) error {
+	g := d.G
+	bw := bufio.NewWriter(w)
+	field := "pattern"
+	if d.WG != nil {
+		field = "real"
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s symmetric\n", field); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.NumVertices(), g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int32) {
+		if writeErr != nil {
+			return
+		}
+		// Lower triangle: row > column, so the larger endpoint leads.
+		if d.WG != nil {
+			_, writeErr = fmt.Fprintf(bw, "%d %d %s\n", v+1, u+1, formatWeight(d.WG.EdgeWeight(u, v)))
+		} else {
+			_, writeErr = fmt.Fprintf(bw, "%d %d\n", v+1, u+1)
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,186 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpcgraph/internal/graph"
+)
+
+// METIS/Chaco adjacency format:
+//
+//	% <comment>
+//	<n> <m> [<fmt>]
+//	<neighbors of vertex 1>
+//	...
+//	<neighbors of vertex n>
+//
+// Vertices are 1-based; each undirected edge appears in both endpoint
+// lines; a blank line is a vertex with no neighbors, so blank lines are
+// significant after the header. The fmt flag is the standard 3-digit
+// code: only 0 (plain) and 1 (edge weights, "v1 w1 v2 w2 ...") are
+// supported — vertex weights and sizes are rejected. Deviating from the
+// integer-weight METIS spec, weights are parsed and written as positive
+// reals so weighted instances round-trip exactly. The total number of
+// adjacency entries must be 2m and the two mentions of an edge must
+// agree on the weight. See docs/formats.md.
+
+func readMETIS(r io.Reader) (*Data, error) {
+	sc := newScanner(r)
+	lineNo := 0
+	// Header: the first non-comment line. Comments are only skipped
+	// before the header and between vertex lines would change vertex
+	// numbering, so after the header only '%'-prefixed lines are skipped.
+	var header []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		if line == "" {
+			return nil, fmt.Errorf("graphio: line %d: blank line before METIS header", lineNo)
+		}
+		header = strings.Fields(line)
+		break
+	}
+	if header == nil {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+		return nil, fmt.Errorf("graphio: missing METIS header")
+	}
+	if len(header) < 2 || len(header) > 3 {
+		return nil, fmt.Errorf("graphio: line %d: METIS header wants '<n> <m> [<fmt>]', got %d fields", lineNo, len(header))
+	}
+	n, err := parseVertexCount(header[0], lineNo)
+	if err != nil {
+		return nil, err
+	}
+	m64, err := strconv.ParseInt(header[1], 10, 64)
+	if err != nil || m64 < 0 {
+		return nil, fmt.Errorf("graphio: line %d: bad edge count %q", lineNo, header[1])
+	}
+	weighted := false
+	if len(header) == 3 {
+		switch strings.TrimLeft(header[2], "0") {
+		case "":
+			// fmt 0/00/000: plain.
+		case "1":
+			weighted = true
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unsupported METIS fmt %q (only edge weights, fmt 001, are supported)", lineNo, header[2])
+		}
+	}
+
+	var (
+		edges   [][2]int32
+		weights []float64
+		b       *graph.Builder
+		entries int64
+	)
+	if !weighted {
+		b = graph.NewBuilder(n)
+	}
+	for v := 0; v < n; {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("graphio: %w", err)
+			}
+			return nil, fmt.Errorf("graphio: METIS file ends after %d of %d vertex lines", v, n)
+		}
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "%") {
+			continue
+		}
+		u := int32(v)
+		fields := strings.Fields(line)
+		if weighted && len(fields)%2 != 0 {
+			return nil, fmt.Errorf("graphio: line %d: odd token count %d on weighted METIS vertex line", lineNo, len(fields))
+		}
+		step := 1
+		if weighted {
+			step = 2
+		}
+		for i := 0; i < len(fields); i += step {
+			t, err := parseVertex(fields[i], 1, n, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if t == u {
+				return nil, fmt.Errorf("graphio: line %d: self-loop at %d", lineNo, u+1)
+			}
+			entries++
+			if weighted {
+				wt, err := parseWeight(fields[i+1], lineNo)
+				if err != nil {
+					return nil, err
+				}
+				edges = append(edges, [2]int32{u, t})
+				weights = append(weights, wt)
+			} else {
+				b.AddEdge(u, t) // both mentions collapse at Build
+			}
+		}
+		v++
+	}
+	// Only comments and trailing whitespace may follow the last vertex.
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "%") {
+			return nil, fmt.Errorf("graphio: line %d: content after %d METIS vertex lines", lineNo, n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if entries != 2*m64 {
+		return nil, fmt.Errorf("graphio: %d adjacency entries but METIS header declared m=%d (want %d entries)", entries, m64, 2*m64)
+	}
+	if weighted {
+		return assembleWeighted(n, edges, weights)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return Unweighted(g), nil
+}
+
+func writeMETIS(w io.Writer, d *Data) error {
+	g := d.G
+	bw := bufio.NewWriter(w)
+	format := ""
+	if d.WG != nil {
+		format = " 001"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", g.NumVertices(), g.NumEdges(), format); err != nil {
+		return err
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for i, u := range g.Neighbors(v) {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(u) + 1)); err != nil {
+				return err
+			}
+			if d.WG != nil {
+				if _, err := fmt.Fprintf(bw, " %s", formatWeight(d.WG.EdgeWeight(v, u))); err != nil {
+					return err
+				}
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -26,7 +26,7 @@ type SimOptions struct {
 	MemoryFactor float64
 	// DCut is the degree bound at which the simulation switches to
 	// direct iteration — the paper's log^20 n, which exceeds n at any
-	// feasible scale; default max(16, log2(n)^2). See DESIGN.md.
+	// feasible scale; default max(16, log2(n)^2).
 	DCut func(n int) float64
 	// PhaseIterBeta controls iterations per phase:
 	// I = max(1, β·log m / log(1/(1-ε))), so d drops to d^(1-β/2) per

@@ -22,8 +22,8 @@ import (
 // within O(log Δ) iterations w.h.p.; [Gha17] compresses those iterations
 // into O(log log Δ) CONGESTED-CLIQUE rounds via neighborhood doubling.
 // The simulations here execute the iterations directly (each one model
-// round) and gather the shattered residue to a leader; see DESIGN.md for
-// why the direct count upper-bounds the paper's at simulation scale.
+// round) and gather the shattered residue to a leader; the direct
+// iteration count upper-bounds the paper's at simulation scale.
 type dynamics struct {
 	g       *graph.Graph
 	seed    uint64

@@ -30,8 +30,8 @@ type Options struct {
 	// PolylogDegree is the degree threshold D(n) at which the simulation
 	// hands over to the sparsified algorithm. The paper uses log^10 n,
 	// which exceeds n at any feasible simulation scale; the default
-	// max(8, ⌈log2 n⌉) keeps the asymptotic regime observable. See
-	// DESIGN.md "Scaling honesty".
+	// max(8, ⌈log2 n⌉) keeps the asymptotic regime observable (every
+	// such substitution is recorded where it is made, not hidden).
 	PolylogDegree func(n int) int
 	// MemoryFactor sets the per-machine memory S = MemoryFactor·n words.
 	// Default 16. The paper's claim is S = O(n log n) bits = O(n) words.

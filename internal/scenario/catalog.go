@@ -1,0 +1,338 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// The catalog. Ordering in `mpcgraph list` is alphabetical (see Names);
+// registration order here groups recipes by family. Every recipe targets
+// a distinct stress regime of the paper's algorithms: sparse and dense
+// Erdős–Rényi mass, heavy-tailed degree skew (R-MAT, Chung–Lu,
+// preferential attachment), the Δ-adversaries (ring-of-cliques packs the
+// maximum degree into cliques, high-girth removes all local density),
+// structured meshes, and weighted variants for Corollary 1.4.
+
+func init() {
+	register(Scenario{
+		Name:     "gnp",
+		Doc:      "Erdős–Rényi G(n,p); p defaults to avg-deg/(n-1)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "avg-deg", Default: 8, Doc: "target average degree (used when p < 0)"},
+			{Key: "p", Default: -1, Doc: "edge probability in [0, 1]; negative derives it from avg-deg (0 is the legitimate empty graph)"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			prob := p["p"]
+			if prob > 1 {
+				return nil, nil, fmt.Errorf("parameter \"p\" = %v above 1", prob)
+			}
+			if prob < 0 && n > 1 {
+				prob = p["avg-deg"] / float64(n-1)
+			}
+			return graph.GNP(n, prob, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "gnm",
+		Doc:      "uniform random graph with exactly m = density·n edges",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "density", Default: 4, Doc: "edges per vertex"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if p["density"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"density\" = %v negative", p["density"])
+			}
+			m := int(p["density"] * float64(n))
+			if max := n * (n - 1) / 2; m > max {
+				m = max
+			}
+			return graph.GNM(n, m, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "rmat",
+		Doc:      "R-MAT/Kronecker power-law graph (web/social degree skew)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "edge-factor", Default: 8, Doc: "edge sampling attempts per vertex"},
+			{Key: "a", Default: 0.57, Doc: "top-left quadrant probability"},
+			{Key: "b", Default: 0.19, Doc: "top-right quadrant probability"},
+			{Key: "c", Default: 0.19, Doc: "bottom-left quadrant probability"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			a, b, c := p["a"], p["b"], p["c"]
+			if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
+				return nil, nil, fmt.Errorf("quadrant probabilities (%v, %v, %v) must be non-negative with a+b+c <= 1", a, b, c)
+			}
+			if p["edge-factor"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"edge-factor\" = %v negative", p["edge-factor"])
+			}
+			return graph.RMAT(n, int(p["edge-factor"]*float64(n)), a, b, c, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "chung-lu",
+		Doc:      "Chung–Lu expected-degree power law with exponent beta",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "beta", Default: 2.5, Doc: "power-law exponent (2 < beta < 3 typical)"},
+			{Key: "avg-deg", Default: 8, Doc: "target average degree"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if p["beta"] <= 1 {
+				return nil, nil, fmt.Errorf("parameter \"beta\" = %v must exceed 1", p["beta"])
+			}
+			if p["avg-deg"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"avg-deg\" = %v negative", p["avg-deg"])
+			}
+			return graph.ChungLu(n, p["beta"], p["avg-deg"], src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "preferential",
+		Doc:      "Barabási–Albert preferential attachment, k edges per arrival",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "k", Default: 3, Doc: "edges attached per arriving vertex"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			k, err := posInt("k", p["k"])
+			if err != nil {
+				return nil, nil, err
+			}
+			return graph.PreferentialAttachment(n, k, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "regular",
+		Doc:      "random d-regular graph (configuration model)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "d", Default: 4, Doc: "vertex degree; n·d must be even"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			d, err := posInt("d", p["d"])
+			if err != nil {
+				return nil, nil, err
+			}
+			if d >= n {
+				return nil, nil, fmt.Errorf("degree d=%d must be below n=%d", d, n)
+			}
+			if n*d%2 != 0 {
+				return nil, nil, fmt.Errorf("n·d = %d·%d is odd; choose an even product", n, d)
+			}
+			return graph.RandomRegular(n, d, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "ring-of-cliques",
+		Doc:      "n/s cliques of size s bridged in a ring (Δ from local density)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "clique", Default: 8, Doc: "clique size s; n is rounded to a multiple of s"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			s, err := posInt("clique", p["clique"])
+			if err != nil {
+				return nil, nil, err
+			}
+			// The instance never exceeds the requested n: an oversized
+			// clique parameter is clamped to one n-sized clique instead
+			// of inflating the vertex (and O(s^2) edge) count.
+			if s > n {
+				s = n
+			}
+			k := n / s
+			if k < 1 {
+				k = 1
+			}
+			return graph.RingOfCliques(k, s), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "high-girth",
+		Doc:      "near-d-regular graph with no cycle shorter than girth (locally tree-like)",
+		DefaultN: 2048,
+		Params: []Param{
+			{Key: "d", Default: 4, Doc: "degree cap"},
+			{Key: "girth", Default: 6, Doc: "minimum cycle length, 3..12"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			d, err := posInt("d", p["d"])
+			if err != nil {
+				return nil, nil, err
+			}
+			girth, err := posInt("girth", p["girth"])
+			if err != nil {
+				return nil, nil, err
+			}
+			if d >= n {
+				return nil, nil, fmt.Errorf("degree d=%d must be below n=%d", d, n)
+			}
+			if girth < 3 || girth > 12 {
+				return nil, nil, fmt.Errorf("girth %d outside the supported range [3, 12]", girth)
+			}
+			return graph.HighGirth(n, d, girth, src), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "bipartite",
+		Doc:      "random bipartite graph (exact regime of the Corollary 1.3 boosting)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "avg-deg", Default: 6, Doc: "target average degree"},
+			{Key: "left-frac", Default: 0.5, Doc: "fraction of vertices on the left side"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			frac := p["left-frac"]
+			if frac <= 0 || frac >= 1 {
+				return nil, nil, fmt.Errorf("parameter \"left-frac\" = %v outside (0, 1)", frac)
+			}
+			if p["avg-deg"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"avg-deg\" = %v negative", p["avg-deg"])
+			}
+			nl := int(math.Round(float64(n) * frac))
+			if nl < 1 {
+				nl = 1
+			}
+			if nl >= n {
+				nl = n - 1
+			}
+			nr := n - nl
+			prob := p["avg-deg"] * float64(n) / (2 * float64(nl) * float64(nr))
+			if prob > 1 {
+				prob = 1
+			}
+			return graph.RandomBipartite(nl, nr, prob, src).Graph, nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "grid",
+		Doc:      "2D mesh (bounded degree, large diameter)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "aspect", Default: 1, Doc: "rows/cols ratio; n is rounded to rows·cols"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if p["aspect"] <= 0 {
+				return nil, nil, fmt.Errorf("parameter \"aspect\" = %v must be positive", p["aspect"])
+			}
+			rows := int(math.Round(math.Sqrt(float64(n) * p["aspect"])))
+			if rows < 1 {
+				rows = 1
+			}
+			// Extreme aspect values must not inflate the instance past
+			// the requested n.
+			if rows > n {
+				rows = n
+			}
+			cols := n / rows
+			if cols < 1 {
+				cols = 1
+			}
+			return graph.Grid(rows, cols), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "ring",
+		Doc:      "the n-cycle (Δ = 2 extreme of the degree spectrum)",
+		DefaultN: 4096,
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			return graph.Ring(n), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "complete",
+		Doc:      "the complete graph K_n (maximum density; keep n modest)",
+		DefaultN: 64,
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if n > 1<<14 {
+				return nil, nil, fmt.Errorf("K_%d has %d edges; cap n at %d", n, n*(n-1)/2, 1<<14)
+			}
+			return graph.Complete(n), nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "planted-matching",
+		Doc:      "perfect matching plus G(n,p) noise (known-optimum quality probe)",
+		DefaultN: 4096,
+		Params: []Param{
+			{Key: "noise-deg", Default: 2, Doc: "average degree of the noise overlay"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if p["noise-deg"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"noise-deg\" = %v negative", p["noise-deg"])
+			}
+			if n%2 != 0 {
+				n-- // the planted matching needs an even vertex count
+			}
+			if n < 2 {
+				return nil, nil, fmt.Errorf("n = %d below the minimum of 2", n)
+			}
+			g, _ := graph.PlantedMatching(n, p["noise-deg"]/float64(n), src)
+			return g, nil, nil
+		},
+	})
+	register(Scenario{
+		Name:     "weighted-gnp",
+		Doc:      "G(n,p) with uniform edge weights in [w-lo, w-hi) (Corollary 1.4 input)",
+		Weighted: true,
+		DefaultN: 2048,
+		Params: []Param{
+			{Key: "avg-deg", Default: 8, Doc: "target average degree"},
+			{Key: "w-lo", Default: 0.5, Doc: "weight range lower bound (exclusive of 0)"},
+			{Key: "w-hi", Default: 4.5, Doc: "weight range upper bound"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if err := checkWeightRange(p["w-lo"], p["w-hi"]); err != nil {
+				return nil, nil, err
+			}
+			if p["avg-deg"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"avg-deg\" = %v negative", p["avg-deg"])
+			}
+			prob := 0.0
+			if n > 1 {
+				prob = p["avg-deg"] / float64(n-1)
+			}
+			return nil, graph.RandomWeights(graph.GNP(n, prob, src), p["w-lo"], p["w-hi"], src), nil
+		},
+	})
+	register(Scenario{
+		Name:     "weighted-powerlaw",
+		Doc:      "Chung–Lu power law with uniform edge weights (skewed weighted input)",
+		Weighted: true,
+		DefaultN: 2048,
+		Params: []Param{
+			{Key: "beta", Default: 2.5, Doc: "power-law exponent"},
+			{Key: "avg-deg", Default: 8, Doc: "target average degree"},
+			{Key: "w-lo", Default: 0.5, Doc: "weight range lower bound (exclusive of 0)"},
+			{Key: "w-hi", Default: 4.5, Doc: "weight range upper bound"},
+		},
+		generate: func(n int, src *rng.Source, p map[string]float64) (*graph.Graph, *graph.Weighted, error) {
+			if err := checkWeightRange(p["w-lo"], p["w-hi"]); err != nil {
+				return nil, nil, err
+			}
+			if p["beta"] <= 1 {
+				return nil, nil, fmt.Errorf("parameter \"beta\" = %v must exceed 1", p["beta"])
+			}
+			if p["avg-deg"] < 0 {
+				return nil, nil, fmt.Errorf("parameter \"avg-deg\" = %v negative", p["avg-deg"])
+			}
+			return nil, graph.RandomWeights(graph.ChungLu(n, p["beta"], p["avg-deg"], src), p["w-lo"], p["w-hi"], src), nil
+		},
+	})
+}
+
+// checkWeightRange validates a [lo, hi) uniform weight range against the
+// positive-weight contract of graph.NewWeighted.
+func checkWeightRange(lo, hi float64) error {
+	if lo <= 0 || hi < lo {
+		return fmt.Errorf("weight range [%v, %v) must satisfy 0 < w-lo <= w-hi", lo, hi)
+	}
+	return nil
+}

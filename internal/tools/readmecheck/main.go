@@ -1,0 +1,180 @@
+// Command readmecheck compiles every ```go fence of a markdown file, so
+// documentation code blocks cannot drift from the API. It is the docs
+// half of `make ci` (the docs-check target).
+//
+// Contract: each ```go block must be a complete, self-contained program
+// (package clause, imports, func main) — the same text a reader would
+// paste into a file and `go run`. Blocks fenced with any other info
+// string (```bash, ```text, ...) are ignored. A block whose first line
+// is "// readmecheck:ignore" is skipped (for deliberately elided
+// sketches).
+//
+// Implementation: blocks are written to a throwaway module that
+// `replace`s the mpcgraph module onto this repository, then built with
+// `go build ./...` (GOPROXY=off — the check must work offline).
+//
+// Usage:
+//
+//	go run ./internal/tools/readmecheck README.md [more.md ...]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: readmecheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "readmecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string) error {
+	repoRoot, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		blocks, err := goBlocks(path)
+		if err != nil {
+			return err
+		}
+		if len(blocks) == 0 {
+			fmt.Printf("%s: no go blocks\n", path)
+			continue
+		}
+		if err := buildBlocks(repoRoot, path, blocks); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d go block(s) build\n", path, len(blocks))
+	}
+	return nil
+}
+
+// moduleRoot resolves the directory of the enclosing module so the
+// throwaway module can replace onto it by absolute path.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// block is one fenced code block with its source location.
+type block struct {
+	startLine int
+	text      string
+}
+
+// goBlocks extracts the ```go fences from a markdown file.
+func goBlocks(path string) ([]block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var (
+		blocks  []block
+		current []string
+		start   int
+		inGo    bool
+		inOther bool
+		lineNo  int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case inGo:
+			if trimmed == "```" {
+				text := strings.Join(current, "\n") + "\n"
+				if !strings.HasPrefix(text, "// readmecheck:ignore") {
+					blocks = append(blocks, block{startLine: start, text: text})
+				}
+				inGo, current = false, nil
+				continue
+			}
+			current = append(current, line)
+		case inOther:
+			if trimmed == "```" {
+				inOther = false
+			}
+		case strings.HasPrefix(trimmed, "```"):
+			info := strings.TrimPrefix(trimmed, "```")
+			if info == "go" {
+				inGo, start = true, lineNo+1
+			} else {
+				inOther = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inGo || inOther {
+		return nil, fmt.Errorf("%s: unterminated code fence", path)
+	}
+	return blocks, nil
+}
+
+// buildBlocks writes each block as its own main package in a throwaway
+// module and builds them all in one `go build ./...`.
+func buildBlocks(repoRoot, source string, blocks []block) error {
+	dir, err := os.MkdirTemp("", "readmecheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gomod := fmt.Sprintf("module readmecheck\n\ngo 1.24\n\nrequire mpcgraph v0.0.0\n\nreplace mpcgraph => %s\n", repoRoot)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return err
+	}
+	for i, b := range blocks {
+		text := b.text
+		if !strings.Contains(text, "package ") {
+			return fmt.Errorf("%s: go block at line %d has no package clause; documentation blocks must be complete programs", source, b.startLine)
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("block%02d", i))
+		if err := os.Mkdir(sub, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(sub, "main.go"), []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod", "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%s: go block failed to build:\n%s", source, annotate(string(out), blocks))
+	}
+	return nil
+}
+
+// annotate maps temp-dir paths in compiler output back to README block
+// line numbers so failures are actionable.
+func annotate(out string, blocks []block) string {
+	for i, b := range blocks {
+		needle := fmt.Sprintf("block%02d%cmain.go", i, os.PathSeparator)
+		out = strings.ReplaceAll(out, needle, fmt.Sprintf("<block starting at markdown line %d>", b.startLine))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package mpcgraph
+
+import (
+	"fmt"
+
+	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/scenario"
+)
+
+// This file is the public face of the scenario engine: portable graph
+// file IO (backed by internal/graphio) and the named workload catalog
+// (backed by internal/scenario). The mpcgraph CLI's gen and solve
+// subcommands are thin wrappers over these functions, so anything the
+// CLI can do a Go program can do directly.
+
+// ReadInstanceFile reads a graph instance from any supported on-disk
+// format — edge list (.el/.txt/.edges), weighted edge list (.wel),
+// DIMACS (.dimacs/.col), METIS (.metis/.graph), or MatrixMarket
+// (.mtx/.mm), each optionally gzip-compressed (".gz", detected from the
+// file's magic bytes). The format follows from the extension, with a
+// content sniff as fallback; see docs/formats.md for every grammar. The
+// result is a *WeightedGraph when the file carries edge weights and a
+// *Graph otherwise, and can be passed straight to Solve. Instances are
+// reconstructed through the same deterministic builder as in-process
+// construction, so solving a round-tripped instance reports
+// bit-identical costs.
+func ReadInstanceFile(path string) (Instance, error) {
+	d, err := graphio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if d.WG != nil {
+		return d.WG, nil
+	}
+	return d.G, nil
+}
+
+// WriteInstanceFile writes a *Graph or *WeightedGraph to path. The
+// extension selects the format (see ReadInstanceFile) and a trailing
+// ".gz" compresses. Weighted instances require a weight-capable format
+// (wel, metis, mm); unweighted instances any format but wel — mismatches
+// error rather than silently dropping or inventing weights.
+func WriteInstanceFile(path string, in Instance) error {
+	d, err := toData(in)
+	if err != nil {
+		return err
+	}
+	return graphio.WriteFile(path, d)
+}
+
+func toData(in Instance) (*graphio.Data, error) {
+	switch g := in.(type) {
+	case *WeightedGraph:
+		if g == nil {
+			return nil, fmt.Errorf("mpcgraph: write of nil instance")
+		}
+		return graphio.FromWeighted(g), nil
+	case *Graph:
+		if g == nil {
+			return nil, fmt.Errorf("mpcgraph: write of nil instance")
+		}
+		return graphio.Unweighted(g), nil
+	case nil:
+		return nil, fmt.Errorf("mpcgraph: write of nil instance")
+	default:
+		return nil, fmt.Errorf("mpcgraph: unsupported instance type %T (want *Graph or *WeightedGraph)", in)
+	}
+}
+
+// Scenarios enumerates the workload catalog in stable (sorted) order —
+// the same table `mpcgraph list` prints and the round-trip tests
+// iterate. Each name is accepted by GenerateScenario and by the CLI's
+// -scenario flag.
+func Scenarios() []string { return scenario.Names() }
+
+// GenerateScenario materializes a named catalog scenario: a *Graph, or
+// a *WeightedGraph for weighted recipes, ready to pass to Solve. n <= 0
+// selects the scenario's default size; params may override the
+// scenario's documented parameters (unknown keys error). Generation is
+// deterministic: the same (name, n, seed, params) always yields the
+// bit-identical instance.
+func GenerateScenario(name string, n int, seed uint64, params map[string]float64) (Instance, error) {
+	in, err := scenario.Generate(name, n, seed, params)
+	if err != nil {
+		return nil, err
+	}
+	if in.WG != nil {
+		return in.WG, nil
+	}
+	return in.G, nil
+}

@@ -33,6 +33,17 @@
 // ProblemWeightedMatching. All algorithms are deterministic given
 // Options.Seed.
 //
+// Instances also come from the scenario engine: GenerateScenario
+// materializes any recipe of the named workload catalog (Scenarios
+// enumerates it), and ReadInstanceFile/WriteInstanceFile round-trip
+// instances through the portable on-disk formats — edge list, weighted
+// edge list, DIMACS, METIS, MatrixMarket, each optionally gzipped (see
+// docs/formats.md). Both paths feed Solve interchangeably: generation
+// and parsing are deterministic, so the same (scenario, n, seed,
+// params) yields bit-identical Reports whether the instance stayed
+// in-process or was round-tripped through any format. The cmd/mpcgraph
+// CLI (gen, solve, bench, list) is a thin shell over exactly this API.
+//
 // The original per-problem functions (MIS, MISCongestedClique,
 // ApproxMaxMatching, OnePlusEpsMatching, ApproxMinVertexCover,
 // ApproxMaxWeightedMatching) remain as deprecated thin wrappers over
@@ -191,7 +202,7 @@ func ApproxMaxMatching(g *Graph, opts Options) (*MatchingResult, error) {
 // OnePlusEpsMatching computes a (1+ε)-approximate maximum matching
 // (Corollary 1.3): the (2+ε) pipeline followed by short augmenting-path
 // boosting. Exact on bipartite inputs; a measured heuristic on general
-// graphs (see EXPERIMENTS.md, E9).
+// graphs (see experiment E9: `mpcgraph bench -experiment E9`).
 //
 // Deprecated: use Solve with ProblemOnePlusEpsMatching. The wrapper now
 // surfaces the full audited costs (historically it reported only
@@ -211,9 +222,9 @@ type VertexCoverResult struct {
 	InCover []bool
 	// FractionalWeight is the weight of the dual fractional matching, a
 	// lower bound on the optimum cover size. It can be loose on dense
-	// inputs with small Eps (see EXPERIMENTS.md, caveat 6); for a robust
-	// per-run certificate compare the cover against any maximal matching
-	// instead.
+	// inputs with small Eps (measured in experiment E6, `mpcgraph bench
+	// -experiment E6`); for a robust per-run certificate compare the
+	// cover against any maximal matching instead.
 	FractionalWeight float64
 	// Stats carries the audited model costs.
 	Stats Stats

@@ -57,7 +57,7 @@ func TestScaleLargeInstance(t *testing.T) {
 	// lower-bounds the optimum cover, so cover/|M| bounds the true ratio
 	// from above. (The fractional dual itself can go loose at this scale
 	// in dense regimes under the compressed phase schedule — a measured
-	// finding documented in EXPERIMENTS.md.)
+	// finding measured by experiment E6.)
 	m := baseline.GreedyMaximalMatching(g, g.EdgeList())
 	if m.Size() == 0 {
 		t.Fatal("no matching on a dense graph")

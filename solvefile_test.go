@@ -1,0 +1,188 @@
+package mpcgraph_test
+
+// The scenario engine's reproducibility contract (the PR-3 acceptance
+// criterion): Solve produces bit-identical Report costs and payloads for
+// the same (scenario, seed, problem, model) whether the instance was
+// generated in-process or round-tripped through each on-disk format.
+// The property decomposes into (a) read∘write = id for every format on
+// every catalog scenario — asserted here structurally — and (b) Solve
+// being a pure function of the instance and options, pinned by
+// comparing full reports field by field.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpcgraph"
+)
+
+// formatExts maps each format name to a representative extension,
+// including a gzip variant.
+var formatExts = map[string]string{
+	"el":     ".el",
+	"wel":    ".wel",
+	"dimacs": ".col",
+	"metis":  ".graph",
+	"mm":     ".mtx.gz",
+}
+
+// compatibleExts returns the extensions whose format can represent in.
+func compatibleExts(in mpcgraph.Instance) []string {
+	if _, weighted := in.(*mpcgraph.WeightedGraph); weighted {
+		return []string{formatExts["wel"], formatExts["metis"], formatExts["mm"]}
+	}
+	return []string{formatExts["el"], formatExts["dimacs"], formatExts["metis"], formatExts["mm"]}
+}
+
+// stripWall zeroes the only field allowed to differ between two
+// identical runs.
+func stripWall(rep *mpcgraph.Report) *mpcgraph.Report {
+	c := *rep
+	c.Wall = 0
+	return &c
+}
+
+// roundTrip writes in to path and reads it back as an instance.
+func roundTrip(t *testing.T, in mpcgraph.Instance, path string) mpcgraph.Instance {
+	t.Helper()
+	if err := mpcgraph.WriteInstanceFile(path, in); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	loaded, err := mpcgraph.ReadInstanceFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return loaded
+}
+
+// checkSameInstance asserts structural identity (n, edge set, weights).
+func checkSameInstance(t *testing.T, want, got mpcgraph.Instance) {
+	t.Helper()
+	wg, wWeighted := want.(*mpcgraph.WeightedGraph)
+	gg, gWeighted := got.(*mpcgraph.WeightedGraph)
+	if wWeighted != gWeighted {
+		t.Fatalf("weightedness changed: %T -> %T", want, got)
+	}
+	var a, b *mpcgraph.Graph
+	if wWeighted {
+		a, b = wg.Graph, gg.Graph
+	} else {
+		a, b = want.(*mpcgraph.Graph), got.(*mpcgraph.Graph)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape changed: (%d,%d) -> (%d,%d)", a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	a.ForEachEdge(func(u, v int32) {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("edge {%d,%d} lost", u, v)
+		}
+		if wWeighted && wg.EdgeWeight(u, v) != gg.EdgeWeight(u, v) {
+			t.Fatalf("weight of {%d,%d} changed: %v -> %v", u, v, wg.EdgeWeight(u, v), gg.EdgeWeight(u, v))
+		}
+	})
+}
+
+// TestEveryScenarioRoundTripsEveryFormat is the satellite property test:
+// read∘write = id for every compatible format on every catalog scenario.
+func TestEveryScenarioRoundTripsEveryFormat(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range mpcgraph.Scenarios() {
+		in, err := mpcgraph.GenerateScenario(name, 200, 31, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, ext := range compatibleExts(in) {
+			t.Run(name+"/"+ext, func(t *testing.T) {
+				loaded := roundTrip(t, in, filepath.Join(dir, name+ext))
+				checkSameInstance(t, in, loaded)
+			})
+		}
+	}
+}
+
+// TestSolveCostParityAcrossFormats is the acceptance criterion: for
+// every catalog scenario and every compatible format, a representative
+// (problem, model) pair reports bit-identical costs and payloads for the
+// in-process and round-tripped instance.
+func TestSolveCostParityAcrossFormats(t *testing.T) {
+	// Rotate problems and models across scenarios so the whole matrix is
+	// covered without solving every cell.
+	problems := []mpcgraph.Problem{
+		mpcgraph.ProblemMIS,
+		mpcgraph.ProblemMaximalMatching,
+		mpcgraph.ProblemApproxMatching,
+		mpcgraph.ProblemOnePlusEpsMatching,
+		mpcgraph.ProblemVertexCover,
+	}
+	models := []mpcgraph.Model{mpcgraph.ModelMPC, mpcgraph.ModelCongestedClique}
+	dir := t.TempDir()
+	ctx := context.Background()
+	for i, name := range mpcgraph.Scenarios() {
+		in, err := mpcgraph.GenerateScenario(name, 180, 17, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		problem := problems[i%len(problems)]
+		model := models[i%len(models)]
+		if _, weighted := in.(*mpcgraph.WeightedGraph); weighted {
+			// Corollary 1.4 is registered for MPC only.
+			problem, model = mpcgraph.ProblemWeightedMatching, mpcgraph.ModelMPC
+		}
+		opts := mpcgraph.Options{Seed: 17, Eps: 0.2, Model: model}
+		direct, err := mpcgraph.Solve(ctx, in, problem, opts)
+		if err != nil {
+			t.Fatalf("%s: direct solve: %v", name, err)
+		}
+		for _, ext := range compatibleExts(in) {
+			t.Run(fmt.Sprintf("%s/%s/%s%s", name, problem, model, ext), func(t *testing.T) {
+				loaded := roundTrip(t, in, filepath.Join(dir, name+ext))
+				viaFile, err := mpcgraph.Solve(ctx, loaded, problem, opts)
+				if err != nil {
+					t.Fatalf("solve after round trip: %v", err)
+				}
+				if !reflect.DeepEqual(stripWall(direct), stripWall(viaFile)) {
+					t.Errorf("report differs after %s round trip:\n direct: %+v\n file:   %+v",
+						ext, stripWall(direct), stripWall(viaFile))
+				}
+			})
+		}
+	}
+}
+
+// TestSolveCostParityAllPairsOneScenario densifies the matrix on one
+// scenario: every registered (problem, model) pair, every compatible
+// format.
+func TestSolveCostParityAllPairsOneScenario(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	for _, alg := range mpcgraph.Algorithms() {
+		scen := "rmat"
+		if alg.Problem == mpcgraph.ProblemWeightedMatching {
+			scen = "weighted-gnp"
+		}
+		in, err := mpcgraph.GenerateScenario(scen, 160, 23, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := mpcgraph.Options{Seed: 23, Eps: 0.25, Model: alg.Model}
+		direct, err := mpcgraph.Solve(ctx, in, alg.Problem, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for _, ext := range compatibleExts(in) {
+			t.Run(alg.String()+ext, func(t *testing.T) {
+				loaded := roundTrip(t, in, filepath.Join(dir, fmt.Sprintf("%s-%s%s", scen, alg.Problem, ext)))
+				viaFile, err := mpcgraph.Solve(ctx, loaded, alg.Problem, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(stripWall(direct), stripWall(viaFile)) {
+					t.Errorf("%s: report differs after %s round trip", alg, ext)
+				}
+			})
+		}
+	}
+}
