@@ -11,13 +11,16 @@
 # README.md against the current API.
 #
 # Targets:
-#   make ci         - fmt + vet + race tests + benchmark/registry/CLI/docs smoke
+#   make ci         - fmt + vet + lint + race tests + fuzz/benchmark/registry/CLI/docs smoke
 #   make fmt        - fail if any file needs gofmt
+#   make lint       - repo linter (internal/tools/lint): determinism + hygiene rules
+#   make fuzz-smoke - short -fuzz run of every graphio structured-reader fuzzer
 #   make test       - fast test suite
 #   make race       - full test suite under -race
 #   make bench      - full benchmark pass with allocation counts
 #   make tables     - regenerate the experiment tables (text) at quick scale
 #   make json       - machine-readable experiment rows (BENCH_*.json input)
+#   make bench-json - run the smoke sweep with -json and write BENCH_PR4.json
 #   make list-smoke - mpcbench -list + registry/benchmark coverage check
 #   make cli-smoke  - mpcgraph gen|solve pipe, one scenario per problem
 #   make docs-check - compile every ```go block of README.md
@@ -29,9 +32,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet test race bench bench-smoke list-smoke cli-smoke docs-check tables json
+.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke docs-check tables json
 
-ci: fmt vet race bench-smoke list-smoke cli-smoke docs-check
+ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke docs-check
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -41,6 +44,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./internal/tools/lint .
 
 test:
 	$(GO) test ./...
@@ -53,6 +59,20 @@ bench:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/graph/ ./internal/mpc/ ./internal/mis/
+
+# The perf trajectory artifact: the E1..E18 smoke sweep in machine-
+# readable form, committed as BENCH_PR4.json so successive PRs can diff
+# audited costs. Regenerate after any intentional cost change.
+bench-json:
+	$(GO) run ./cmd/mpcbench -quick -trials 1 -json > BENCH_PR4.json
+
+# Short-run fuzz smoke of the structured graph readers, so the strict
+# parse/error grammars of docs/formats.md stay exercised pre-merge
+# (each fuzzer also runs its corpus as ordinary seed tests in `race`).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadDIMACS -fuzztime=3s ./internal/graphio/
+	$(GO) test -run=NONE -fuzz=FuzzReadMETIS -fuzztime=3s ./internal/graphio/
+	$(GO) test -run=NONE -fuzz=FuzzReadMatrixMarket -fuzztime=3s ./internal/graphio/
 
 list-smoke:
 	$(GO) run ./cmd/mpcbench -list

@@ -14,22 +14,57 @@
 //
 // Run "mpcgraph <command> -h" for per-command flags. The deprecated
 // mpcmis and mpcmatch commands are thin shims over this tool.
+//
+// # Exit codes
+//
+// Dispatch failures are sentinel errors (errors.Is-able through the
+// public mpcgraph package), each mapped to its own exit code so scripts
+// can distinguish "you typo'd the problem" from "that pair has no
+// algorithm":
+//
+//	0  success
+//	1  generic failure (I/O, malformed input, flag errors, strict-mode
+//	   capacity/budget violations)
+//	2  unknown problem or model name (mpcgraph.ErrUnknownProblem,
+//	   mpcgraph.ErrUnknownModel)
+//	3  no algorithm registered for the requested (problem, model) pair
+//	   (mpcgraph.ErrUnsupported — e.g. weighted-matching on
+//	   congested-clique, which Corollary 1.4 does not state)
+//	4  the problem requires a weighted instance
+//	   (mpcgraph.ErrNeedWeightedGraph)
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
+	"mpcgraph"
 	"mpcgraph/internal/cli"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mpcgraph:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
 func run(args []string) error {
 	return cli.Run(args, cli.Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr})
+}
+
+// exitCode maps the dispatch sentinels onto the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, mpcgraph.ErrUnknownProblem), errors.Is(err, mpcgraph.ErrUnknownModel):
+		return 2
+	case errors.Is(err, mpcgraph.ErrUnsupported):
+		return 3
+	case errors.Is(err, mpcgraph.ErrNeedWeightedGraph):
+		return 4
+	}
+	return 1
 }

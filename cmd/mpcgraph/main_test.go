@@ -33,3 +33,27 @@ func TestRunUnknownCommand(t *testing.T) {
 		t.Error("unknown command accepted")
 	}
 }
+
+// TestExitCodes pins the documented sentinel-to-exit-code mapping by
+// driving real invocations through run and classifying their errors.
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"list"}, 0},
+		{"unknown command", []string{"frobnicate"}, 1},
+		{"missing instance", []string{"solve", "-problem", "mis"}, 1},
+		{"unknown problem", []string{"solve", "-problem", "shortest-path", "-scenario", "gnp", "-n", "50"}, 2},
+		{"unknown model", []string{"solve", "-problem", "mis", "-model", "pram", "-scenario", "gnp", "-n", "50"}, 2},
+		{"unsupported pair", []string{"solve", "-problem", "weighted-matching", "-model", "congested-clique", "-scenario", "weighted-gnp", "-n", "50"}, 3},
+		{"needs weighted instance", []string{"solve", "-problem", "weighted-matching", "-scenario", "gnp", "-n", "50"}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(run(tc.args)); got != tc.want {
+				t.Errorf("exit code = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"mpcgraph"
 	"mpcgraph/internal/graphio"
+	"mpcgraph/internal/model"
 	"mpcgraph/internal/registry"
 	"mpcgraph/internal/scenario"
 )
@@ -119,30 +120,16 @@ func (p paramFlag) Set(s string) error {
 }
 
 // parseProblem resolves a kebab-case problem name against the registry's
-// problem enumeration.
+// problem enumeration. The error wraps mpcgraph.ErrUnknownProblem, which
+// the mpcgraph binary maps to its own exit code.
 func parseProblem(name string) (mpcgraph.Problem, error) {
-	for _, p := range registry.Problems() {
-		if p.String() == name {
-			return p, nil
-		}
-	}
-	names := make([]string, 0, len(registry.Problems()))
-	for _, p := range registry.Problems() {
-		names = append(names, p.String())
-	}
-	return 0, fmt.Errorf("unknown problem %q (want one of %s)", name, strings.Join(names, ", "))
+	return registry.ParseProblem(name)
 }
 
-// parseModel resolves a model name.
+// parseModel resolves a model name. The error wraps
+// mpcgraph.ErrUnknownModel.
 func parseModel(name string) (mpcgraph.Model, error) {
-	switch name {
-	case mpcgraph.ModelMPC.String():
-		return mpcgraph.ModelMPC, nil
-	case mpcgraph.ModelCongestedClique.String():
-		return mpcgraph.ModelCongestedClique, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q (want %s or %s)", name, mpcgraph.ModelMPC, mpcgraph.ModelCongestedClique)
-	}
+	return model.ParseModel(name)
 }
 
 // loadInstance materializes the instance a subcommand operates on: a

@@ -7,6 +7,12 @@
 // Lenzen's routing scheme [Len13] as a constant-round primitive with its
 // precondition (no player sends or receives more than n words) validated,
 // exactly as the paper invokes it in Section 2.
+//
+// The round loop, routing and accounting live in internal/machine; this
+// package is the clique charge policy over that core: self-sends are
+// illegal, plain rounds audit every ordered pair against the per-round
+// word budget, and Lenzen routings audit per-player volumes against the
+// scheme's n-word limit.
 package congest
 
 import (
@@ -14,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpcgraph/internal/machine"
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/par"
 )
@@ -58,12 +65,7 @@ type Metrics struct {
 }
 
 // Message is one unit of communication between players.
-type Message struct {
-	From    int
-	To      int
-	Words   int
-	Payload any
-}
+type Message = machine.Message
 
 // BudgetError reports a violated bandwidth constraint.
 type BudgetError struct {
@@ -78,9 +80,8 @@ func (e *BudgetError) Error() string {
 
 // Clique is a simulated CONGESTED-CLIQUE network.
 type Clique struct {
-	cfg    Config
-	met    Metrics
-	active int // algorithm-reported undecided-vertex gauge (SetActive)
+	cfg  Config
+	core *machine.Core
 }
 
 // New validates cfg and returns a fresh clique.
@@ -91,31 +92,63 @@ func New(cfg Config) (*Clique, error) {
 	if cfg.PairBudgetWords <= 0 {
 		return nil, errors.New("congest: pair budget must be positive")
 	}
-	return &Clique{cfg: cfg}, nil
+	core := machine.NewCore(machine.Config{
+		Nodes:   cfg.Players,
+		Workers: cfg.Workers,
+		Strict:  cfg.Strict,
+		Ctx:     cfg.Ctx,
+		Trace:   cfg.Trace,
+		Name:    "congest",
+		Unit:    "player",
+	})
+	return &Clique{cfg: cfg, core: core}, nil
 }
 
 // Players returns n.
 func (q *Clique) Players() int { return q.cfg.Players }
 
 // Metrics returns a snapshot of the accumulated metrics.
-func (q *Clique) Metrics() Metrics { return q.met }
+func (q *Clique) Metrics() Metrics {
+	m := q.core.Metrics()
+	return Metrics{
+		Rounds:       m.Rounds,
+		MaxPlayerIn:  m.MaxInWords,
+		MaxPlayerOut: m.MaxOutWords,
+		TotalWords:   m.TotalWords,
+		Violations:   m.Violations,
+	}
+}
 
 // SetActive records the algorithm's current count of undecided vertices,
 // reported on subsequent TraceEvents. Observational only.
-func (q *Clique) SetActive(vertices int) { q.active = vertices }
+func (q *Clique) SetActive(vertices int) { q.core.SetActive(vertices) }
 
-// interrupted returns the configured context's error, if any.
-func (q *Clique) interrupted() error {
-	if q.cfg.Ctx == nil {
-		return nil
+// pairErr builds the per-pair budget violation for Round.
+func (q *Clique) pairErr(round, from, to int, words, budget int64) error {
+	return &BudgetError{
+		Round:  round,
+		Detail: fmt.Sprintf("pair (%d,%d) carries %d words, budget %d", from, to, words, budget),
 	}
-	return q.cfg.Ctx.Err()
 }
 
-// emit delivers one trace event for a step that moved words of volume.
-func (q *Clique) emit(words int64) {
-	if q.cfg.Trace != nil {
-		q.cfg.Trace(model.TraceEvent{Round: q.met.Rounds, LiveWords: words, ActiveVertices: q.active})
+// lenzenLimit is the per-player volume Lenzen's scheme can route.
+func (q *Clique) lenzenLimit() int64 {
+	return int64(q.cfg.Players) * int64(q.cfg.PairBudgetWords)
+}
+
+// lenzenAudit validates the routing precondition per player.
+func (q *Clique) lenzenAudit(round, player int, words int64, in bool) error {
+	limit := q.lenzenLimit()
+	if words <= limit {
+		return nil
+	}
+	verb := "sends"
+	if in {
+		verb = "receives"
+	}
+	return &BudgetError{
+		Round:  round,
+		Detail: fmt.Sprintf("player %d %s %d words, Lenzen limit %d", player, verb, words, limit),
 	}
 }
 
@@ -127,252 +160,29 @@ func (q *Clique) Round(out [][]Message) ([][]Message, error) {
 	if len(out) != q.cfg.Players {
 		return nil, fmt.Errorf("congest: Round got %d outboxes for %d players", len(out), q.cfg.Players)
 	}
-	if err := q.interrupted(); err != nil {
-		return nil, err
-	}
-	q.met.Rounds++
-	n := q.cfg.Players
-	shards := par.ShardCount(q.cfg.Workers, n)
-	outWords := make([]int64, n)
-	shardIn := make([][]int64, shards)
-	shardCnt := make([][]int32, shards)
-	shardTotal := make([]int64, shards)
-	shardViol := make([]int, shards)
-	shardErr := make([]error, shards)       // malformed messages: abort the round
-	shardBudgetErr := make([]error, shards) // first budget violation, by sender order
-	for w := 0; w < shards; w++ {
-		shardIn[w] = make([]int64, n)
-		shardCnt[w] = make([]int32, n)
-	}
-	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
-		iw, cw := shardIn[w], shardCnt[w]
-		// The pair budget only aggregates within one sender's box, so a
-		// worker-local tally with per-sender reset suffices.
-		pw := make([]int, n)
-		touched := make([]int, 0, 16)
-		for i := lo; i < hi; i++ {
-			var ow int64
-			for k := range out[i] {
-				msg := &out[i][k]
-				if msg.To < 0 || msg.To >= n {
-					shardErr[w] = fmt.Errorf("congest: player %d sent to invalid player %d", i, msg.To)
-					return
-				}
-				if msg.To == i {
-					shardErr[w] = fmt.Errorf("congest: player %d sent to itself", i)
-					return
-				}
-				if msg.Words < 0 {
-					shardErr[w] = fmt.Errorf("congest: player %d sent negative-size message", i)
-					return
-				}
-				if pw[msg.To] == 0 {
-					touched = append(touched, msg.To)
-				}
-				pw[msg.To] += msg.Words
-				if pw[msg.To] > q.cfg.PairBudgetWords {
-					shardViol[w]++
-					if shardBudgetErr[w] == nil {
-						shardBudgetErr[w] = &BudgetError{
-							Round:  q.met.Rounds,
-							Detail: fmt.Sprintf("pair (%d,%d) carries %d words, budget %d", i, msg.To, pw[msg.To], q.cfg.PairBudgetWords),
-						}
-					}
-				}
-				ow += int64(msg.Words)
-				iw[msg.To] += int64(msg.Words)
-				cw[msg.To]++
-				shardTotal[w] += int64(msg.Words)
-			}
-			outWords[i] = ow
-			for _, t := range touched {
-				pw[t] = 0
-			}
-			touched = touched[:0]
-		}
+	return q.core.Route(out, machine.RouteSpec{
+		Rounds:     1,
+		Verb:       "sent",
+		ForbidSelf: true,
+		PairBudget: int64(q.cfg.PairBudgetWords),
+		PairErr:    q.pairErr,
 	})
-	for _, err := range shardErr {
-		if err != nil {
-			return nil, err
-		}
-	}
-	var firstErr error
-	var roundWords int64
-	for w := 0; w < shards; w++ {
-		q.met.TotalWords += shardTotal[w]
-		roundWords += shardTotal[w]
-		q.met.Violations += shardViol[w]
-		if firstErr == nil {
-			firstErr = shardBudgetErr[w]
-		}
-	}
-	q.emit(roundWords)
-	in := make([][]Message, n)
-	inWords := make([]int64, n)
-	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
-		for j := lo; j < hi; j++ {
-			var words int64
-			var cnt int32
-			for w := 0; w < shards; w++ {
-				words += shardIn[w][j]
-				base := cnt
-				cnt += shardCnt[w][j]
-				shardCnt[w][j] = base
-			}
-			inWords[j] = words
-			if cnt > 0 {
-				in[j] = make([]Message, cnt)
-			}
-		}
-	})
-	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
-		cur := shardCnt[w]
-		for i := lo; i < hi; i++ {
-			for k := range out[i] {
-				msg := out[i][k]
-				msg.From = i
-				in[msg.To][cur[msg.To]] = msg
-				cur[msg.To]++
-			}
-		}
-	})
-	for _, ow := range outWords {
-		if ow > q.met.MaxPlayerOut {
-			q.met.MaxPlayerOut = ow
-		}
-	}
-	for _, w := range inWords {
-		if w > q.met.MaxPlayerIn {
-			q.met.MaxPlayerIn = w
-		}
-	}
-	if firstErr != nil && q.cfg.Strict {
-		return nil, firstErr
-	}
-	return in, nil
 }
 
 // LenzenRoute routes an arbitrary multiset of messages in O(1) rounds
-// (charged as lenzenRounds) provided no player sends more than n words and
-// no player is the destination of more than n words — the guarantee of
+// (charged as two) provided no player sends more than n words and no
+// player is the destination of more than n words — the guarantee of
 // Lenzen's deterministic routing scheme [Len13]. The precondition is
 // validated; violations are findings about the calling algorithm.
 func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
-	const lenzenRounds = 2
 	if len(out) != q.cfg.Players {
 		return nil, fmt.Errorf("congest: LenzenRoute got %d outboxes for %d players", len(out), q.cfg.Players)
 	}
-	if err := q.interrupted(); err != nil {
-		return nil, err
-	}
-	n := q.cfg.Players
-	limit := int64(n) * int64(q.cfg.PairBudgetWords)
-	q.met.Rounds += lenzenRounds
-	shards := par.ShardCount(q.cfg.Workers, n)
-	outWords := make([]int64, n)
-	shardIn := make([][]int64, shards)
-	shardCnt := make([][]int32, shards)
-	shardTotal := make([]int64, shards)
-	shardErr := make([]error, shards)
-	for w := 0; w < shards; w++ {
-		shardIn[w] = make([]int64, n)
-		shardCnt[w] = make([]int32, n)
-	}
-	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
-		iw, cw := shardIn[w], shardCnt[w]
-		for i := lo; i < hi; i++ {
-			var ow int64
-			for k := range out[i] {
-				msg := &out[i][k]
-				if msg.To < 0 || msg.To >= n {
-					shardErr[w] = fmt.Errorf("congest: player %d routes to invalid player %d", i, msg.To)
-					return
-				}
-				if msg.Words < 0 {
-					shardErr[w] = fmt.Errorf("congest: player %d routes negative-size message", i)
-					return
-				}
-				ow += int64(msg.Words)
-				iw[msg.To] += int64(msg.Words)
-				cw[msg.To]++
-				shardTotal[w] += int64(msg.Words)
-			}
-			outWords[i] = ow
-		}
+	return q.core.Route(out, machine.RouteSpec{
+		Rounds: 2,
+		Verb:   "routes",
+		Audit:  q.lenzenAudit,
 	})
-	for _, err := range shardErr {
-		if err != nil {
-			return nil, err
-		}
-	}
-	var routeWords int64
-	for _, t := range shardTotal {
-		q.met.TotalWords += t
-		routeWords += t
-	}
-	q.emit(routeWords)
-	in := make([][]Message, n)
-	inWords := make([]int64, n)
-	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
-		for j := lo; j < hi; j++ {
-			var words int64
-			var cnt int32
-			for w := 0; w < shards; w++ {
-				words += shardIn[w][j]
-				base := cnt
-				cnt += shardCnt[w][j]
-				shardCnt[w][j] = base
-			}
-			inWords[j] = words
-			if cnt > 0 {
-				in[j] = make([]Message, cnt)
-			}
-		}
-	})
-	par.For(q.cfg.Workers, n, func(lo, hi, w int) {
-		cur := shardCnt[w]
-		for i := lo; i < hi; i++ {
-			for k := range out[i] {
-				msg := out[i][k]
-				msg.From = i
-				in[msg.To][cur[msg.To]] = msg
-				cur[msg.To]++
-			}
-		}
-	})
-	var firstErr error
-	for i, ow := range outWords {
-		if ow > limit {
-			q.met.Violations++
-			if firstErr == nil {
-				firstErr = &BudgetError{
-					Round:  q.met.Rounds,
-					Detail: fmt.Sprintf("player %d sends %d words, Lenzen limit %d", i, ow, limit),
-				}
-			}
-		}
-		if ow > q.met.MaxPlayerOut {
-			q.met.MaxPlayerOut = ow
-		}
-	}
-	for j, w := range inWords {
-		if w > limit {
-			q.met.Violations++
-			if firstErr == nil {
-				firstErr = &BudgetError{
-					Round:  q.met.Rounds,
-					Detail: fmt.Sprintf("player %d receives %d words, Lenzen limit %d", j, w, limit),
-				}
-			}
-		}
-		if w > q.met.MaxPlayerIn {
-			q.met.MaxPlayerIn = w
-		}
-	}
-	if firstErr != nil && q.cfg.Strict {
-		return nil, firstErr
-	}
-	return in, nil
 }
 
 // ChargeRound records one synchronous round with the given volume profile
@@ -382,23 +192,19 @@ func (q *Clique) LenzenRoute(out [][]Message) ([][]Message, error) {
 // ordered pair carries; maxOut/maxIn are the largest per-player send and
 // receive volumes; total is the overall volume.
 func (q *Clique) ChargeRound(maxPairWords int, maxOut, maxIn, total int64) error {
-	if err := q.interrupted(); err != nil {
+	if err := q.core.Interrupted(); err != nil {
 		return err
 	}
-	q.met.Rounds++
-	q.met.TotalWords += total
-	q.emit(total)
-	if maxOut > q.met.MaxPlayerOut {
-		q.met.MaxPlayerOut = maxOut
-	}
-	if maxIn > q.met.MaxPlayerIn {
-		q.met.MaxPlayerIn = maxIn
-	}
+	q.core.AddRounds(1)
+	q.core.AddTotal(total)
+	q.core.Emit(total)
+	q.core.ObserveOut(maxOut)
+	q.core.ObserveIn(maxIn)
 	if maxPairWords > q.cfg.PairBudgetWords {
-		q.met.Violations++
+		q.core.Violation()
 		if q.cfg.Strict {
 			return &BudgetError{
-				Round:  q.met.Rounds,
+				Round:  q.core.Rounds(),
 				Detail: fmt.Sprintf("some pair carries %d words, budget %d", maxPairWords, q.cfg.PairBudgetWords),
 			}
 		}
@@ -410,25 +216,20 @@ func (q *Clique) ChargeRound(maxPairWords int, maxOut, maxIn, total int64) error
 // rounds) with the given volume profile, validating the scheme's
 // precondition that no player sends or receives more than n·budget words.
 func (q *Clique) ChargeLenzen(maxOut, maxIn, total int64) error {
-	const lenzenRounds = 2
-	if err := q.interrupted(); err != nil {
+	if err := q.core.Interrupted(); err != nil {
 		return err
 	}
-	q.met.Rounds += lenzenRounds
-	q.met.TotalWords += total
-	q.emit(total)
-	if maxOut > q.met.MaxPlayerOut {
-		q.met.MaxPlayerOut = maxOut
-	}
-	if maxIn > q.met.MaxPlayerIn {
-		q.met.MaxPlayerIn = maxIn
-	}
-	limit := int64(q.cfg.Players) * int64(q.cfg.PairBudgetWords)
+	q.core.AddRounds(2)
+	q.core.AddTotal(total)
+	q.core.Emit(total)
+	q.core.ObserveOut(maxOut)
+	q.core.ObserveIn(maxIn)
+	limit := q.lenzenLimit()
 	if maxOut > limit || maxIn > limit {
-		q.met.Violations++
+		q.core.Violation()
 		if q.cfg.Strict {
 			return &BudgetError{
-				Round:  q.met.Rounds,
+				Round:  q.core.Rounds(),
 				Detail: fmt.Sprintf("Lenzen volume out=%d in=%d exceeds limit %d", maxOut, maxIn, limit),
 			}
 		}
@@ -445,25 +246,24 @@ func (q *Clique) AllBroadcast(wordsEach int, payloads []any) ([][]any, error) {
 	if len(payloads) != n {
 		return nil, fmt.Errorf("congest: AllBroadcast got %d payloads for %d players", len(payloads), n)
 	}
-	if err := q.interrupted(); err != nil {
+	if err := q.core.Interrupted(); err != nil {
 		return nil, err
 	}
 	if wordsEach > q.cfg.PairBudgetWords {
-		q.met.Violations++
+		q.core.Violation()
 		if q.cfg.Strict {
-			return nil, &BudgetError{Round: q.met.Rounds + 1, Detail: fmt.Sprintf("broadcast of %d words exceeds pair budget %d", wordsEach, q.cfg.PairBudgetWords)}
+			return nil, &BudgetError{
+				Round:  q.core.Rounds() + 1,
+				Detail: fmt.Sprintf("broadcast of %d words exceeds pair budget %d", wordsEach, q.cfg.PairBudgetWords),
+			}
 		}
 	}
-	q.met.Rounds++
+	q.core.AddRounds(1)
 	per := int64(wordsEach) * int64(n-1)
-	q.met.TotalWords += per * int64(n)
-	q.emit(per * int64(n))
-	if per > q.met.MaxPlayerOut {
-		q.met.MaxPlayerOut = per
-	}
-	if per > q.met.MaxPlayerIn {
-		q.met.MaxPlayerIn = per
-	}
+	q.core.AddTotal(per * int64(n))
+	q.core.Emit(per * int64(n))
+	q.core.ObserveOut(per)
+	q.core.ObserveIn(per)
 	received := make([][]any, n)
 	par.For(q.cfg.Workers, n, func(lo, hi, _ int) {
 		for j := lo; j < hi; j++ {

@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func testCore(nodes, workers int, strict bool) *Core {
+	return NewCore(Config{Nodes: nodes, Workers: workers, Strict: strict, Name: "test", Unit: "node"})
+}
+
+func pairSpec(budget int64) RouteSpec {
+	return RouteSpec{
+		Rounds:     1,
+		Verb:       "sent",
+		ForbidSelf: true,
+		PairBudget: budget,
+		PairErr: func(round, from, to int, words, budget int64) error {
+			return fmt.Errorf("round %d: pair (%d,%d) carries %d words, budget %d", round, from, to, words, budget)
+		},
+	}
+}
+
+// TestRoutePairTalliesSurviveAbortedRound is the regression test for the
+// pooled pair-budget scratch: a round aborted mid-sender by a malformed
+// message must not leak its partial tallies into later rounds — the
+// pre-substrate congest.Round allocated the tally fresh per round, and
+// the pooled Core must behave identically.
+func TestRoutePairTalliesSurviveAbortedRound(t *testing.T) {
+	c := testCore(4, 1, false)
+	// Sender 0 tallies one word to node 3, then aborts the round on an
+	// invalid destination.
+	bad := make([][]Message, 4)
+	bad[0] = []Message{{To: 3, Words: 1}, {To: 99, Words: 1}}
+	if _, err := c.Route(bad, pairSpec(1)); err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+	// A budget-compliant round must now pass cleanly: one word on the
+	// same ordered pair is within budget 1.
+	good := make([][]Message, 4)
+	good[0] = []Message{{To: 3, Words: 1}}
+	if _, err := c.Route(good, pairSpec(1)); err != nil {
+		t.Fatalf("clean round failed after aborted round: %v", err)
+	}
+	if v := c.Metrics().Violations; v != 0 {
+		t.Errorf("spurious violations recorded: %d", v)
+	}
+}
+
+// TestRoutePairBudgetStillEnforced: the per-round zeroing must not relax
+// the budget within one round.
+func TestRoutePairBudgetStillEnforced(t *testing.T) {
+	c := testCore(3, 1, true)
+	out := make([][]Message, 3)
+	out[0] = []Message{{To: 1, Words: 1}, {To: 1, Words: 1}}
+	if _, err := c.Route(out, pairSpec(1)); err == nil {
+		t.Fatal("pair budget violation accepted")
+	}
+	if v := c.Metrics().Violations; v != 1 {
+		t.Errorf("violations = %d, want 1", v)
+	}
+}
+
+// TestRouteDeliveryOrderAndMetrics pins the routing contract: delivery
+// ordered by sender then submission order, From stamped, loads audited.
+func TestRouteDeliveryOrderAndMetrics(t *testing.T) {
+	c := testCore(3, 1, false)
+	out := make([][]Message, 3)
+	out[2] = []Message{{To: 1, Words: 2, Payload: "late"}}
+	out[0] = []Message{{To: 1, Words: 1, Payload: "early"}, {To: 0, Words: 3}}
+	in, err := c.Route(out, RouteSpec{Rounds: 1, Verb: "sent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in[1]) != 2 || in[1][0].Payload != "early" || in[1][1].Payload != "late" {
+		t.Fatalf("delivery order wrong: %+v", in[1])
+	}
+	if in[1][0].From != 0 || in[1][1].From != 2 {
+		t.Fatalf("From not stamped: %+v", in[1])
+	}
+	m := c.Metrics()
+	if m.Rounds != 1 || m.TotalWords != 6 || m.MaxOutWords != 4 || m.MaxInWords != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+// TestRouteAuditViolations: the per-node audit counts one violation per
+// violating direction and returns the first error in strict mode while
+// completing the metrics.
+func TestRouteAuditViolations(t *testing.T) {
+	audit := func(round, node int, words int64, in bool) error {
+		if words > 2 {
+			return fmt.Errorf("node %d over", node)
+		}
+		return nil
+	}
+	c := testCore(2, 1, true)
+	out := make([][]Message, 2)
+	out[0] = []Message{{To: 1, Words: 5}}
+	_, err := c.Route(out, RouteSpec{Rounds: 1, Verb: "sent", Audit: audit})
+	if err == nil {
+		t.Fatal("audit violation accepted in strict mode")
+	}
+	m := c.Metrics()
+	if m.Violations != 2 { // outbox of 0 and inbox of 1
+		t.Errorf("violations = %d, want 2", m.Violations)
+	}
+	if m.Rounds != 1 || m.TotalWords != 5 {
+		t.Errorf("metrics not committed before strict failure: %+v", m)
+	}
+}
+
+// TestRouteCancellation: a cancelled context aborts before charging.
+func TestRouteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCore(Config{Nodes: 2, Workers: 1, Ctx: ctx, Name: "test", Unit: "node"})
+	if _, err := c.Route(make([][]Message, 2), RouteSpec{Rounds: 1, Verb: "sent"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Metrics().Rounds != 0 {
+		t.Error("round charged despite cancellation")
+	}
+}

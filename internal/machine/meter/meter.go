@@ -1,4 +1,18 @@
-package matching
+// Package meter is the model-agnostic charging layer of the machine
+// substrate: one algorithm trajectory charges its communication against
+// a Meter, and the Meter's backend — an MPC cluster or a
+// CONGESTED-CLIQUE — translates each charge into that model's rounds,
+// loads and budgets on the shared internal/machine core.
+//
+// The algorithm state never reads anything back from the meter, so one
+// algorithm run produces bit-identical outputs under every backend —
+// only the audited costs differ, which is exactly the paper's claim
+// that the same technique runs in the Õ(n)-memory MPC model and (via
+// Lenzen routing) in the CONGESTED-CLIQUE. The matching family charges
+// through this package; adding a further model (e.g. the
+// strongly-sublinear regime of Behnezhad–Hajiaghayi–Harris 2019) means
+// adding one backend here, not a new simulator.
+package meter
 
 import (
 	"context"
@@ -22,13 +36,11 @@ type Costs struct {
 	Violations int
 }
 
-// meter abstracts the simulator backend the matching algorithms charge
-// their communication against. The algorithm state never reads anything
-// back from the meter, so one algorithm run produces bit-identical
-// outputs under every backend — only the audited costs differ, which is
-// exactly the paper's claim that the same technique runs in the MPC
-// model and (via Lenzen routing) in the CONGESTED-CLIQUE.
-type meter interface {
+// Meter abstracts the simulator backend an algorithm charges its
+// communication against. The primitives are the communication shapes of
+// the paper's Section 4 simulation; each backend charges them in its
+// own currency.
+type Meter interface {
 	// Shuffle charges the phase-start repartitioning: machine class j of
 	// the m classes receives its induced subgraph of inducedWords[j]
 	// words (the Lemma 4.7 audit).
@@ -48,37 +60,58 @@ type meter interface {
 	Costs() Costs
 }
 
-// meterConfig carries everything needed to stand up either backend.
-type meterConfig struct {
-	n            int // vertices of the input graph
-	machines     int // MPC machine count (also the phase-m cap)
-	memoryFactor float64
-	strict       bool
-	workers      int
-	ctx          context.Context
-	trace        model.TraceFunc
+// Config carries everything needed to stand up either backend.
+type Config struct {
+	// N is the vertex count of the input graph.
+	N int
+	// Machines is the MPC machine count (also the phase-m cap); 0 means
+	// SimMachines(N).
+	Machines int
+	// MemoryFactor sets per-machine memory to MemoryFactor·N words.
+	MemoryFactor float64
+	// Strict makes capacity/budget violations fail the charge.
+	Strict bool
+	// Workers bounds goroutine fan-out in the backend.
+	Workers int
+	// Ctx, when non-nil, cancels charges between rounds.
+	Ctx context.Context
+	// Trace, when non-nil, observes every metered round.
+	Trace model.TraceFunc
 }
 
-// resolveMemoryFactor applies the package-wide per-machine memory
+// ResolveMemoryFactor applies the repository-wide per-machine memory
 // default of 16·n words (the constant behind the paper's Õ(n)).
-func resolveMemoryFactor(f float64) float64 {
+func ResolveMemoryFactor(f float64) float64 {
 	if f == 0 {
 		return 16
 	}
 	return f
 }
 
-// simMachines returns the MPC machine count used by the simulation and
-// as the per-phase partition cap: ⌈√n⌉+1. The cap is shared by every
-// backend so the algorithm trajectory is identical across models.
-func simMachines(n int) int {
+// SimMachines returns the MPC machine count used by the matching
+// simulation and as the per-phase partition cap: ⌈√n⌉+1. The cap is
+// shared by every backend so the algorithm trajectory is identical
+// across models.
+func SimMachines(n int) int {
 	return int(math.Ceil(math.Sqrt(float64(n)))) + 1
 }
 
-// newMeter builds the backend for the selected model.
-func newMeter(m model.Model, cfg meterConfig) (meter, error) {
-	if cfg.machines == 0 {
-		cfg.machines = simMachines(cfg.n)
+// FoldCosts builds a Costs snapshot from the shared metric fields of
+// either backend: the reported per-round maximum is the larger of the
+// in/out maxima.
+func FoldCosts(rounds int, maxIn, maxOut, total int64, violations int) Costs {
+	return Costs{
+		Rounds:          rounds,
+		MaxMachineWords: max(maxIn, maxOut),
+		TotalWords:      total,
+		Violations:      violations,
+	}
+}
+
+// New builds the backend for the selected model.
+func New(m model.Model, cfg Config) (Meter, error) {
+	if cfg.Machines == 0 {
+		cfg.Machines = SimMachines(cfg.N)
 	}
 	if m == model.CongestedClique {
 		return newCliqueMeter(cfg)
@@ -92,14 +125,14 @@ type mpcMeter struct {
 	cluster *mpc.Cluster
 }
 
-func newMPCMeter(cfg meterConfig) (*mpcMeter, error) {
+func newMPCMeter(cfg Config) (*mpcMeter, error) {
 	cluster, err := mpc.NewCluster(mpc.Config{
-		Machines:      cfg.machines,
-		CapacityWords: int64(cfg.memoryFactor * float64(cfg.n)),
-		Strict:        cfg.strict,
-		Workers:       cfg.workers,
-		Ctx:           cfg.ctx,
-		Trace:         cfg.trace,
+		Machines:      cfg.Machines,
+		CapacityWords: int64(cfg.MemoryFactor * float64(cfg.N)),
+		Strict:        cfg.Strict,
+		Workers:       cfg.Workers,
+		Ctx:           cfg.Ctx,
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -107,16 +140,73 @@ func newMPCMeter(cfg meterConfig) (*mpcMeter, error) {
 	return &mpcMeter{cluster: cluster}, nil
 }
 
+// Shuffle meters the phase-start repartitioning: machine i's inbox is
+// its induced subgraph, delivered from the edges' previous homes. The
+// senders are modeled as the m previous holders contributing equal
+// shares; the audited quantity is the receiving machine's load.
 func (mm *mpcMeter) Shuffle(m int, inducedWords []int64) error {
-	return chargeShuffle(mm.cluster, m, inducedWords)
+	out := mm.cluster.Outboxes()
+	for j := 0; j < m; j++ {
+		w := inducedWords[j]
+		if w == 0 {
+			continue
+		}
+		share := w / int64(m)
+		rem := w % int64(m)
+		for i := 0; i < m; i++ {
+			words := share
+			if int64(i) < rem {
+				words++
+			}
+			if words > 0 {
+				out[i] = append(out[i], mpc.Message{To: j, Words: words})
+			}
+		}
+	}
+	_, err := mm.cluster.Exchange(out)
+	return err
 }
 
+// ResultSync meters the end-of-phase freeze synchronization: a gather
+// of the frozen list followed by a broadcast.
 func (mm *mpcMeter) ResultSync(m int, frozenWords int64) error {
-	return chargeResultSync(mm.cluster, m, frozenWords)
+	parts := make([]mpc.Message, mm.cluster.Machines())
+	share := frozenWords / int64(m)
+	rem := frozenWords % int64(m)
+	for i := 0; i < m; i++ {
+		w := share
+		if int64(i) < rem {
+			w++
+		}
+		parts[i] = mpc.Message{Words: w}
+	}
+	if _, err := mm.cluster.GatherTo(0, parts); err != nil {
+		return err
+	}
+	_, err := mm.cluster.BroadcastFrom(0, frozenWords, nil)
+	return err
 }
 
+// DirectRound meters one direct Central-Rand iteration: every active
+// edge carries one word each way between the machines hosting its
+// endpoints, as 2·activeEdges words spread evenly across machine pairs.
 func (mm *mpcMeter) DirectRound(activeEdges int64) error {
-	return chargeDirectRound(mm.cluster, activeEdges)
+	m := mm.cluster.Machines()
+	out := mm.cluster.Outboxes()
+	words := 2 * activeEdges
+	per := words / int64(m)
+	rem := words % int64(m)
+	for i := 0; i < m; i++ {
+		w := per
+		if int64(i) < rem {
+			w++
+		}
+		if w > 0 {
+			out[i] = append(out[i], mpc.Message{To: (i + 1) % m, Words: w})
+		}
+	}
+	_, err := mm.cluster.Exchange(out)
+	return err
 }
 
 func (mm *mpcMeter) Gather(words int64) error {
@@ -138,16 +228,7 @@ func (mm *mpcMeter) SetActive(vertices int) { mm.cluster.SetActive(vertices) }
 
 func (mm *mpcMeter) Costs() Costs {
 	met := mm.cluster.Metrics()
-	maxWords := met.MaxInWords
-	if met.MaxOutWords > maxWords {
-		maxWords = met.MaxOutWords
-	}
-	return Costs{
-		Rounds:          met.Rounds,
-		MaxMachineWords: maxWords,
-		TotalWords:      met.TotalWords,
-		Violations:      met.Violations,
-	}
+	return FoldCosts(met.Rounds, met.MaxInWords, met.MaxOutWords, met.TotalWords, met.Violations)
 }
 
 // cliqueMeter charges a CONGESTED-CLIQUE of n players with the standard
@@ -159,18 +240,18 @@ type cliqueMeter struct {
 	q *congest.Clique
 }
 
-func newCliqueMeter(cfg meterConfig) (*cliqueMeter, error) {
-	players := cfg.n
+func newCliqueMeter(cfg Config) (*cliqueMeter, error) {
+	players := cfg.N
 	if players < 2 {
 		players = 2
 	}
 	q, err := congest.New(congest.Config{
 		Players:         players,
 		PairBudgetWords: 1,
-		Strict:          cfg.strict,
-		Workers:         cfg.workers,
-		Ctx:             cfg.ctx,
-		Trace:           cfg.trace,
+		Strict:          cfg.Strict,
+		Workers:         cfg.Workers,
+		Ctx:             cfg.Ctx,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -197,7 +278,7 @@ func (cm *cliqueMeter) lenzenDeliver(total, maxIn int64) error {
 		if i < rem {
 			t++
 		}
-		if err := cm.q.ChargeLenzen(minWords(t, n), minWords(inShare, t), t); err != nil {
+		if err := cm.q.ChargeLenzen(min(t, n), min(inShare, t), t); err != nil {
 			return err
 		}
 	}
@@ -209,7 +290,7 @@ func (cm *cliqueMeter) lenzenDeliver(total, maxIn int64) error {
 func (cm *cliqueMeter) broadcast(words int64) error {
 	n := int64(cm.q.Players())
 	for remaining := words; ; {
-		chunk := minWords(remaining, n-1)
+		chunk := min(remaining, n-1)
 		if chunk < 0 {
 			chunk = 0
 		}
@@ -256,21 +337,5 @@ func (cm *cliqueMeter) SetActive(vertices int) { cm.q.SetActive(vertices) }
 
 func (cm *cliqueMeter) Costs() Costs {
 	met := cm.q.Metrics()
-	maxWords := met.MaxPlayerIn
-	if met.MaxPlayerOut > maxWords {
-		maxWords = met.MaxPlayerOut
-	}
-	return Costs{
-		Rounds:          met.Rounds,
-		MaxMachineWords: maxWords,
-		TotalWords:      met.TotalWords,
-		Violations:      met.Violations,
-	}
-}
-
-func minWords(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	return FoldCosts(met.Rounds, met.MaxPlayerIn, met.MaxPlayerOut, met.TotalWords, met.Violations)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/machine/meter"
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/rng"
 )
@@ -50,15 +51,15 @@ type MaximalResult struct {
 // problem rides the registry next to the paper's O(log log n)
 // algorithms.
 func MaximalMatching(g *graph.Graph, opts MaximalOptions) (*MaximalResult, error) {
-	opts.MemoryFactor = resolveMemoryFactor(opts.MemoryFactor)
+	opts.MemoryFactor = meter.ResolveMemoryFactor(opts.MemoryFactor)
 	n := g.NumVertices()
-	mt, err := newMeter(opts.Model, meterConfig{
-		n:            n,
-		memoryFactor: opts.MemoryFactor,
-		strict:       opts.Strict,
-		workers:      opts.Workers,
-		ctx:          opts.Ctx,
-		trace:        opts.Trace,
+	mt, err := meter.New(opts.Model, meter.Config{
+		N:            n,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+		Workers:      opts.Workers,
+		Ctx:          opts.Ctx,
+		Trace:        opts.Trace,
 	})
 	if err != nil {
 		return nil, err

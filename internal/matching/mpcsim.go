@@ -6,8 +6,8 @@ import (
 	"math"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/machine/meter"
 	"mpcgraph/internal/model"
-	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
 )
@@ -71,7 +71,7 @@ func (o SimOptions) withDefaults() SimOptions {
 	if o.Eps > 0.25 {
 		o.Eps = 0.25
 	}
-	o.MemoryFactor = resolveMemoryFactor(o.MemoryFactor)
+	o.MemoryFactor = meter.ResolveMemoryFactor(o.MemoryFactor)
 	if o.DCut == nil {
 		o.DCut = DefaultDCut
 	}
@@ -161,13 +161,13 @@ type DeviationProbe struct {
 // the backend selected by opts.Model.
 func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 	opts = opts.withDefaults()
-	mt, err := newMeter(opts.Model, meterConfig{
-		n:            g.NumVertices(),
-		memoryFactor: opts.MemoryFactor,
-		strict:       opts.Strict,
-		workers:      opts.Workers,
-		ctx:          opts.Ctx,
-		trace:        opts.Trace,
+	mt, err := meter.New(opts.Model, meter.Config{
+		N:            g.NumVertices(),
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+		Workers:      opts.Workers,
+		Ctx:          opts.Ctx,
+		Trace:        opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -180,7 +180,7 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 // invocations on one backend. Rounds, TotalWords and Violations in the
 // result are deltas relative to the meter state at entry;
 // MaxMachineWords is the meter's cumulative per-round maximum.
-func simulateOn(g *graph.Graph, opts SimOptions, mt meter) (*SimResult, error) {
+func simulateOn(g *graph.Graph, opts SimOptions, mt meter.Meter) (*SimResult, error) {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	eps := opts.Eps
@@ -196,7 +196,7 @@ func simulateOn(g *graph.Graph, opts SimOptions, mt meter) (*SimResult, error) {
 	res := &SimResult{}
 	base := mt.Costs()
 
-	machines := simMachines(n)
+	machines := meter.SimMachines(n)
 	dCut := opts.DCut(n)
 	d := float64(n)
 	for d > dCut && res.Phases < 64 {
@@ -341,7 +341,7 @@ func (st *simState) frozen(v int32) bool { return st.freezeIter[v] >= 0 }
 // I iterations, end-of-phase weight reconciliation, heavy removal and
 // late freezing (Lines (a)-(j) of the pseudocode).
 func (st *simState) runPhase(
-	mt meter,
+	mt meter.Meter,
 	oracle rng.ThresholdOracle,
 	partSrc *rng.Source,
 	m, iters int,
@@ -599,7 +599,7 @@ func (st *simState) runPhase(
 // runDirect executes Central-Rand directly from the current state until
 // no active edge remains, one MPC round per iteration. Returns the number
 // of iterations.
-func (st *simState) runDirect(mt meter, oracle rng.ThresholdOracle) (int, error) {
+func (st *simState) runDirect(mt meter.Meter, oracle rng.ThresholdOracle) (int, error) {
 	g := st.g
 	n := int32(g.NumVertices())
 	// Initialize exact incremental state. Each vertex gathers its own
@@ -778,76 +778,4 @@ func countFrozen(st *simState) int {
 		}
 	}
 	return c
-}
-
-// chargeShuffle meters the phase-start repartitioning: machine i's inbox
-// is its induced subgraph, delivered from the edges' previous homes.
-func chargeShuffle(cluster *mpc.Cluster, m int, inducedWords []int64) error {
-	total := cluster.Machines()
-	out := make([][]mpc.Message, total)
-	// Model the senders as the m previous holders contributing equal
-	// shares; the audited quantity is the receiving machine's load.
-	for j := 0; j < m; j++ {
-		w := inducedWords[j]
-		if w == 0 {
-			continue
-		}
-		share := w / int64(m)
-		rem := w % int64(m)
-		for i := 0; i < m; i++ {
-			words := share
-			if int64(i) < rem {
-				words++
-			}
-			if words > 0 {
-				out[i] = append(out[i], mpc.Message{To: j, Words: words})
-			}
-		}
-	}
-	_, err := cluster.Exchange(out)
-	return err
-}
-
-// chargeResultSync meters the end-of-phase freeze synchronization: a
-// gather of the frozen list followed by a broadcast.
-func chargeResultSync(cluster *mpc.Cluster, m int, frozenWords int64) error {
-	parts := make([]mpc.Message, cluster.Machines())
-	share := frozenWords / int64(m)
-	rem := frozenWords % int64(m)
-	for i := 0; i < m; i++ {
-		w := share
-		if int64(i) < rem {
-			w++
-		}
-		parts[i] = mpc.Message{Words: w}
-	}
-	if _, err := cluster.GatherTo(0, parts); err != nil {
-		return err
-	}
-	_, err := cluster.BroadcastFrom(0, frozenWords, nil)
-	return err
-}
-
-// chargeDirectRound meters one direct Central-Rand iteration: every
-// active edge carries one word each way between the machines hosting its
-// endpoints (vertices distributed round-robin).
-func chargeDirectRound(cluster *mpc.Cluster, activeEdges int64) error {
-	m := cluster.Machines()
-	out := make([][]mpc.Message, m)
-	// Aggregate volume model: 2·activeEdges words spread evenly across
-	// machine pairs.
-	words := 2 * activeEdges
-	per := words / int64(m)
-	rem := words % int64(m)
-	for i := 0; i < m; i++ {
-		w := per
-		if int64(i) < rem {
-			w++
-		}
-		if w > 0 {
-			out[i] = append(out[i], mpc.Message{To: (i + 1) % m, Words: w})
-		}
-	}
-	_, err := cluster.Exchange(out)
-	return err
 }

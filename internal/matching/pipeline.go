@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/machine/meter"
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/rng"
 )
@@ -113,13 +114,13 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 	// Every invocation of algorithm A charges the same backend, so the
 	// pipeline's Report-level costs (max load, total volume) aggregate
 	// exactly as one deployment would observe them.
-	mt, err := newMeter(opts.Model, meterConfig{
-		n:            n,
-		memoryFactor: resolveMemoryFactor(opts.MemoryFactor),
-		strict:       opts.Strict,
-		workers:      opts.Workers,
-		ctx:          opts.Ctx,
-		trace:        opts.Trace,
+	mt, err := meter.New(opts.Model, meter.Config{
+		N:            n,
+		MemoryFactor: meter.ResolveMemoryFactor(opts.MemoryFactor),
+		Strict:       opts.Strict,
+		Workers:      opts.Workers,
+		Ctx:          opts.Ctx,
+		Trace:        opts.Trace,
 	})
 	if err != nil {
 		return nil, err

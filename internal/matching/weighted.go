@@ -8,6 +8,7 @@ import (
 
 	"mpcgraph/internal/baseline"
 	"mpcgraph/internal/graph"
+	"mpcgraph/internal/machine/meter"
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/rng"
@@ -157,7 +158,7 @@ func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, opts WeightedMPCOptions) (
 	if eps <= 0 {
 		eps = 0.1
 	}
-	opts.MemoryFactor = resolveMemoryFactor(opts.MemoryFactor)
+	opts.MemoryFactor = meter.ResolveMemoryFactor(opts.MemoryFactor)
 	n := wg.NumVertices()
 	cluster, err := mpc.NewCluster(mpc.Config{
 		Machines:      int(math.Sqrt(float64(n))) + 1,

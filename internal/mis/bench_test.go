@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"mpcgraph/internal/graph"
-	"mpcgraph/internal/mpc"
 	"mpcgraph/internal/rng"
 )
 
@@ -23,11 +22,6 @@ func BenchmarkPrefixPhase(b *testing.B) {
 	for i, v := range perm {
 		rank[v] = int32(i)
 	}
-	capacity := int64(opts.MemoryFactor * float64(n))
-	machines := int(2*int64(g.NumEdges())/capacity) + 2
-	homeOf := func(u, v int32) int {
-		return int(rng.Hash(opts.Seed, 0xed6e, uint64(uint32(u)), uint64(uint32(v))) % uint64(machines))
-	}
 	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
 	if len(ranks) == 0 {
 		b.Fatal("no prefix phases at this scale")
@@ -39,7 +33,9 @@ func BenchmarkPrefixPhase(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				cluster, err := mpc.NewCluster(mpc.Config{Machines: machines, CapacityWords: capacity, Workers: workers})
+				o := opts
+				o.Workers = workers
+				mt, err := newMPCMISMeter(g, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -49,7 +45,7 @@ func BenchmarkPrefixPhase(b *testing.B) {
 				}
 				inMIS := make([]bool, n)
 				b.StartTimer()
-				if _, err := runPrefixPhase(cluster, g, perm, rank, alive, inMIS, 0, r, homeOf, workers); err != nil {
+				if _, err := runPrefixPhase(g, perm, rank, alive, inMIS, 0, r, mt, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

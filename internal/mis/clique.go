@@ -1,337 +1,22 @@
 package mis
 
 import (
-	"fmt"
-
-	"mpcgraph/internal/congest"
 	"mpcgraph/internal/graph"
-	"mpcgraph/internal/par"
-	"mpcgraph/internal/rng"
+	"mpcgraph/internal/model"
 )
 
 // RandGreedyCongestedClique computes a maximal independent set in the
-// CONGESTED-CLIQUE model, following Section 3.2 of the paper:
+// CONGESTED-CLIQUE model, following Section 3.2 of the paper: the
+// unified randGreedy trajectory charged through the clique deployment
+// (permutation scatter + position broadcast, chunked Lenzen phase
+// gathers, verdict scatter + neighbor notification, one round per
+// dynamics iteration, final Lenzen gather + scatter). All bandwidth is
+// metered by the congest simulator; the result reports rounds, loads,
+// and any budget violations.
 //
-//  1. the lowest-id player draws the permutation and scatters positions
-//     (one round), then every player broadcasts its position (one round);
-//  2. per rank-prefix phase, in-range alive vertices ship their in-range
-//     edges to the leader with Lenzen's routing (O(1) rounds; chunked when
-//     the O(n) total exceeds one invocation's n-word limit), the leader
-//     extends the greedy MIS, scatters verdicts (one round), and new MIS
-//     members notify their neighbors (one round);
-//  3. the sparsified [Gha17] stage runs Ghaffari's dynamics, one round per
-//     iteration (desire level and mark fit one word per neighbor);
-//  4. the shattered residue is Lenzen-routed to the leader and finished.
-//
-// All bandwidth is metered by the congest simulator; the result reports
-// rounds, loads, and any budget violations.
+// The independent set is bit-identical to RandGreedyMPC on the same
+// seed — the model only changes the meter, which is the paper's claim
+// that one technique serves both models.
 func RandGreedyCongestedClique(g *graph.Graph, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	n := g.NumVertices()
-	res := &Result{InMIS: make([]bool, n)}
-	if n == 0 {
-		return res, nil
-	}
-
-	clique, err := congest.New(congest.Config{
-		Players:         n,
-		PairBudgetWords: 1,
-		Strict:          opts.Strict,
-		Workers:         opts.Workers,
-		Ctx:             opts.Ctx,
-		Trace:           opts.Trace,
-	})
-	if err != nil {
-		return nil, err
-	}
-	clique.SetActive(n)
-
-	src := rng.New(opts.Seed)
-	perm := src.SplitString("mis-perm").Perm(n)
-	rank := make([]int32, n)
-	for i, v := range perm {
-		rank[v] = int32(i)
-	}
-
-	// Permutation setup: leader scatters positions, everyone broadcasts.
-	if err := clique.ChargeRound(1, int64(n-1), 1, int64(n-1)); err != nil {
-		return nil, fmt.Errorf("scatter permutation: %w", err)
-	}
-	if err := clique.ChargeRound(1, int64(n-1), int64(n-1), int64(n)*int64(n-1)); err != nil {
-		return nil, fmt.Errorf("broadcast positions: %w", err)
-	}
-	setup := clique.Metrics()
-	res.Stages = append(res.Stages, stageCost("setup", 0, setup.Rounds, 0, setup.TotalWords))
-
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-
-	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
-	prev := 0
-	for _, r := range ranks {
-		before := clique.Metrics()
-		info, err := cliquePrefixPhase(clique, g, perm, rank, alive, res.InMIS, prev, r, opts.Workers)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases++
-		res.PhaseInfos = append(res.PhaseInfos, info)
-		after := clique.Metrics()
-		res.Stages = append(res.Stages, stageCost(fmt.Sprintf("prefix@%d", r), before.Rounds, after.Rounds, before.TotalWords, after.TotalWords))
-		clique.SetActive(graph.CountMarked(alive))
-		prev = r
-	}
-
-	// Sparsified stage: one round per dynamics iteration.
-	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
-	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
-	residualLimit := int64(n) // one Lenzen invocation's receive budget
-	beforeDyn := clique.Metrics()
-	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > residualLimit/2 && iter < maxIter; iter++ {
-		clique.SetActive(d.undecided())
-		maxDeg, edges := aliveDegreeProfile(g, d.alive, opts.Workers)
-		if err := clique.ChargeRound(1, int64(maxDeg), int64(maxDeg), 2*edges); err != nil {
-			return nil, fmt.Errorf("dynamics round: %w", err)
-		}
-		d.step(iter)
-		res.SparsifiedIterations++
-	}
-	if res.SparsifiedIterations > 0 {
-		afterDyn := clique.Metrics()
-		res.Stages = append(res.Stages, stageCost("sparsified", beforeDyn.Rounds, afterDyn.Rounds, beforeDyn.TotalWords, afterDyn.TotalWords))
-	}
-	if d.undecided() > 0 {
-		clique.SetActive(d.undecided())
-		beforeGather := clique.Metrics()
-		if err := chunkedLenzenGather(clique, g, d.alive, opts.Workers); err != nil {
-			return nil, err
-		}
-		d.finishGreedy(perm)
-		// Leader scatters final verdicts.
-		if err := clique.ChargeRound(1, int64(n-1), 1, int64(n-1)); err != nil {
-			return nil, fmt.Errorf("final scatter: %w", err)
-		}
-		afterGather := clique.Metrics()
-		res.Stages = append(res.Stages, stageCost("final-gather", beforeGather.Rounds, afterGather.Rounds, beforeGather.TotalWords, afterGather.TotalWords))
-	}
-	clique.SetActive(0)
-
-	m := clique.Metrics()
-	res.Rounds = m.Rounds
-	res.MaxMachineWords = m.MaxPlayerIn
-	if m.MaxPlayerOut > res.MaxMachineWords {
-		res.MaxMachineWords = m.MaxPlayerOut
-	}
-	res.TotalWords = m.TotalWords
-	res.Violations = m.Violations
-	return res, nil
-}
-
-// cliquePrefixPhase runs one rank-prefix phase in the clique model.
-func cliquePrefixPhase(
-	clique *congest.Clique,
-	g *graph.Graph,
-	perm []int32,
-	rank []int32,
-	alive, inMIS []bool,
-	prev, r int,
-	workers int,
-) (PhaseInfo, error) {
-	n := g.NumVertices()
-	info := PhaseInfo{Rank: r}
-	inRange := func(v int32) bool {
-		return alive[v] && int(rank[v]) >= prev && int(rank[v]) < r
-	}
-	// Gather volume: every in-range vertex ships its in-range incident
-	// edges (2 words each, counted once for the smaller endpoint). The
-	// scan is read-only, so it fans out with integer accumulators merged
-	// in shard order.
-	type volAcc struct {
-		total, maxOut, edgeWords int64
-		vertices                 int
-	}
-	acc := par.Reduce(workers, n, func(lo, hi, _ int) volAcc {
-		var a volAcc
-		for u := int32(lo); u < int32(hi); u++ {
-			if !inRange(u) {
-				continue
-			}
-			a.vertices++
-			var out int64 = 1 // its own id
-			for _, v := range g.Neighbors(u) {
-				if u < v && inRange(v) {
-					out += 2
-				}
-			}
-			a.total += out
-			a.edgeWords += out - 1
-			if out > a.maxOut {
-				a.maxOut = out
-			}
-		}
-		return a
-	}, func(a, b volAcc) volAcc {
-		a.total += b.total
-		a.edgeWords += b.edgeWords
-		a.vertices += b.vertices
-		if b.maxOut > a.maxOut {
-			a.maxOut = b.maxOut
-		}
-		return a
-	})
-	total, maxOut := acc.total, acc.maxOut
-	info.GatheredVertices = acc.vertices
-	info.GatheredEdgeWords = acc.edgeWords
-	// Lenzen-route to the leader in chunks of at most n words.
-	for remaining := total; ; {
-		chunk := remaining
-		if chunk > int64(n) {
-			chunk = int64(n)
-		}
-		if err := clique.ChargeLenzen(min64(maxOut, chunk), chunk, chunk); err != nil {
-			return info, fmt.Errorf("phase Lenzen gather at rank %d: %w", r, err)
-		}
-		remaining -= chunk
-		if remaining <= 0 {
-			break
-		}
-	}
-
-	// Leader extends the greedy MIS.
-	var newMIS []int32
-	for i := prev; i < r && i < len(perm); i++ {
-		v := perm[i]
-		if !alive[v] {
-			continue
-		}
-		blocked := false
-		for _, u := range g.Neighbors(v) {
-			if inMIS[u] {
-				blocked = true
-				break
-			}
-		}
-		if !blocked {
-			inMIS[v] = true
-			newMIS = append(newMIS, v)
-		}
-	}
-	info.NewMISVertices = len(newMIS)
-
-	// Leader scatters verdicts: one word to each player.
-	if err := clique.ChargeRound(1, int64(n-1), 1, int64(n-1)); err != nil {
-		return info, fmt.Errorf("phase scatter at rank %d: %w", r, err)
-	}
-	// New MIS members notify neighbors: one word per incident pair.
-	var notifyMax, notifyTotal int64
-	for _, v := range newMIS {
-		deg := int64(g.Degree(v))
-		notifyTotal += deg
-		if deg > notifyMax {
-			notifyMax = deg
-		}
-	}
-	if err := clique.ChargeRound(1, notifyMax, notifyMax, notifyTotal); err != nil {
-		return info, fmt.Errorf("phase notify at rank %d: %w", r, err)
-	}
-	for _, v := range newMIS {
-		alive[v] = false
-		for _, u := range g.Neighbors(v) {
-			alive[u] = false
-		}
-	}
-	info.ResidualMaxDegree = residualMaxDegree(g, alive, workers)
-	return info, nil
-}
-
-// chunkedLenzenGather routes the alive-induced residue to the leader in
-// n-word chunks.
-func chunkedLenzenGather(clique *congest.Clique, g *graph.Graph, alive []bool, workers int) error {
-	n := int64(g.NumVertices())
-	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) [2]int64 {
-		var a [2]int64
-		for u := int32(lo); u < int32(hi); u++ {
-			if !alive[u] {
-				continue
-			}
-			var out int64 = 1
-			for _, v := range g.Neighbors(u) {
-				if u < v && alive[v] {
-					out += 2
-				}
-			}
-			a[0] += out
-			if out > a[1] {
-				a[1] = out
-			}
-		}
-		return a
-	}, func(a, b [2]int64) [2]int64 {
-		a[0] += b[0]
-		if b[1] > a[1] {
-			a[1] = b[1]
-		}
-		return a
-	})
-	total, maxOut := acc[0], acc[1]
-	for remaining := total; ; {
-		chunk := remaining
-		if chunk > n {
-			chunk = n
-		}
-		if err := clique.ChargeLenzen(min64(maxOut, chunk), chunk, chunk); err != nil {
-			return fmt.Errorf("residual Lenzen gather: %w", err)
-		}
-		remaining -= chunk
-		if remaining <= 0 {
-			break
-		}
-	}
-	return nil
-}
-
-// aliveDegreeProfile returns the maximum alive-induced degree and the
-// number of alive-induced edges.
-func aliveDegreeProfile(g *graph.Graph, alive []bool, workers int) (maxDeg int, edges int64) {
-	type profAcc struct {
-		maxDeg int
-		edges  int64
-	}
-	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) profAcc {
-		var a profAcc
-		for u := int32(lo); u < int32(hi); u++ {
-			if !alive[u] {
-				continue
-			}
-			deg := 0
-			for _, v := range g.Neighbors(u) {
-				if alive[v] {
-					deg++
-					if u < v {
-						a.edges++
-					}
-				}
-			}
-			if deg > a.maxDeg {
-				a.maxDeg = deg
-			}
-		}
-		return a
-	}, func(a, b profAcc) profAcc {
-		if b.maxDeg > a.maxDeg {
-			a.maxDeg = b.maxDeg
-		}
-		a.edges += b.edges
-		return a
-	})
-	return acc.maxDeg, acc.edges
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	return randGreedy(g, opts, model.CongestedClique)
 }

@@ -1,0 +1,222 @@
+package mis
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// The cross-model parity suite mirrors the matching family's invariance
+// tests on the unified randGreedy trajectory: for the same seeds,
+// generators and Workers grid, both models must compute bit-identical
+// independent sets with identical phase structure, every model's
+// audited costs must be bit-identical across every Workers setting, and
+// each per-stage breakdown must sum to the run totals. Run under -race
+// (make ci), this doubles as the race check on the machine substrate.
+
+// misParityGraphs is the generator grid shared with the matching suite:
+// a sparse random graph, a skewed-degree graph, and a bounded-degree
+// structured graph.
+func misParityGraphs(seed uint64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		// Sized so 2m+n exceeds the 16n tiny-input threshold on the two
+		// random families (the grid stays small: with max degree 4 it
+		// exercises the no-phase sparsified path instead).
+		"gnp":          graph.GNP(500, 0.04, rng.New(seed)),
+		"preferential": graph.PreferentialAttachment(600, 10, rng.New(seed+1)),
+		"grid":         graph.Grid(20, 20),
+	}
+}
+
+// misRun captures everything the parity assertions compare.
+type misRun struct {
+	res *Result
+}
+
+func (r misRun) costs() string {
+	return fmt.Sprintf("rounds=%d phases=%d max=%d total=%d viol=%d spars=%d",
+		r.res.Rounds, r.res.Phases, r.res.MaxMachineWords, r.res.TotalWords,
+		r.res.Violations, r.res.SparsifiedIterations)
+}
+
+// TestMISCrossModelParity is the headline invariance on the default
+// configuration: each model's output and audited costs are bit-identical
+// across the Workers grid, every output is a valid maximal independent
+// set bit-identical to its own pre-refactor behavior (pinned by the
+// golden suite), and the rank-prefix phase structure — everything the
+// trajectory decides before the deployment-specific residue handover —
+// is bit-identical across models.
+func TestMISCrossModelParity(t *testing.T) {
+	workersGrid := []int{1, 2, 0}
+	for _, seed := range []uint64{3, 17, 88} {
+		for name, g := range misParityGraphs(seed) {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				ref := make(map[string]misRun) // per model, workers=1 reference
+				for _, workers := range workersGrid {
+					mpcRun, err := RandGreedyMPC(g, Options{Seed: seed, Workers: workers})
+					if err != nil {
+						t.Fatalf("mpc workers=%d: %v", workers, err)
+					}
+					cliqueRun, err := RandGreedyCongestedClique(g, Options{Seed: seed, Workers: workers})
+					if err != nil {
+						t.Fatalf("clique workers=%d: %v", workers, err)
+					}
+					for model, run := range map[string]misRun{"mpc": {mpcRun}, "clique": {cliqueRun}} {
+						if !graph.IsMaximalIndependentSet(g, run.res.InMIS) {
+							t.Fatalf("%s workers=%d: output is not a maximal independent set", model, workers)
+						}
+						base, ok := ref[model]
+						if !ok {
+							ref[model] = run
+							continue
+						}
+						for v := range run.res.InMIS {
+							if run.res.InMIS[v] != base.res.InMIS[v] {
+								t.Fatalf("%s workers=%d: vertex %d differs across Workers", model, workers, v)
+							}
+						}
+						if got, want := run.costs(), base.costs(); got != want {
+							t.Errorf("%s workers=%d: costs diverged across Workers\n got: %s\nwant: %s", model, workers, got, want)
+						}
+						if len(run.res.Stages) != len(base.res.Stages) {
+							t.Fatalf("%s workers=%d: stage count diverged", model, workers)
+						}
+						for i, st := range run.res.Stages {
+							if st != base.res.Stages[i] {
+								t.Errorf("%s workers=%d: stage %d = %+v, want %+v", model, workers, i, st, base.res.Stages[i])
+							}
+						}
+					}
+				}
+
+				// Cross-model: the prefix phases are meter-independent, so
+				// their count and instrumentation must agree exactly. (The
+				// residue handover threshold is deployment-specific, so the
+				// sparsified stage may differ; see
+				// TestMISPrefixOnlyCrossModelBitIdentical for the regime
+				// where the whole output is provably shared.)
+				mpcRef, cliqueRef := ref["mpc"].res, ref["clique"].res
+				if mpcRef.Phases != cliqueRef.Phases {
+					t.Fatalf("phase count differs across models: mpc %d, clique %d", mpcRef.Phases, cliqueRef.Phases)
+				}
+				for i := range mpcRef.PhaseInfos {
+					if mpcRef.PhaseInfos[i] != cliqueRef.PhaseInfos[i] {
+						t.Errorf("phase %d instrumentation differs across models:\n  mpc %+v\n  clique %+v",
+							i, mpcRef.PhaseInfos[i], cliqueRef.PhaseInfos[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMISStagesSumToTotals pins the Report invariant on the unified
+// trajectory: the per-stage breakdown accounts for every charged round
+// and word in both models.
+func TestMISStagesSumToTotals(t *testing.T) {
+	g := graph.GNP(700, 0.05, rng.New(23))
+	for model, run := range map[string]func() (*Result, error){
+		"mpc":    func() (*Result, error) { return RandGreedyMPC(g, Options{Seed: 23}) },
+		"clique": func() (*Result, error) { return RandGreedyCongestedClique(g, Options{Seed: 23}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		var rounds int
+		var words int64
+		for _, st := range res.Stages {
+			rounds += st.Rounds
+			words += st.Words
+		}
+		if rounds != res.Rounds || words != res.TotalWords {
+			t.Errorf("%s: stages sum to rounds=%d words=%d, totals rounds=%d words=%d",
+				model, rounds, words, res.Rounds, res.TotalWords)
+		}
+	}
+}
+
+// TestMISPrefixOnlyCrossModelBitIdentical is the strongest form of the
+// cross-model claim: forcing the polylog cutoff to 1 makes the prefix
+// phases cover every rank, and there the trajectory is fully
+// model-independent — both deployments must output exactly the
+// sequential randomized greedy set on the whole grid. (In the default
+// configuration the sparsified handover threshold is a deployment
+// parameter — leader memory S for MPC, the Lenzen budget n for the
+// clique — so on instances whose residue straddles the two thresholds
+// the models legitimately run different dynamics iteration counts.)
+func TestMISPrefixOnlyCrossModelBitIdentical(t *testing.T) {
+	prefixOnly := func(int) int { return 1 }
+	for _, seed := range []uint64{3, 17, 88} {
+		for name, g := range misParityGraphs(seed) {
+			perm := rng.New(seed).SplitString("mis-perm").Perm(g.NumVertices())
+			want := SequentialRandGreedy(g, perm)
+			for _, workers := range []int{1, 0} {
+				opts := Options{Seed: seed, Workers: workers, PolylogDegree: prefixOnly}
+				mpcRun, err := RandGreedyMPC(g, opts)
+				if err != nil {
+					t.Fatalf("%s/seed=%d mpc: %v", name, seed, err)
+				}
+				cliqueRun, err := RandGreedyCongestedClique(g, opts)
+				if err != nil {
+					t.Fatalf("%s/seed=%d clique: %v", name, seed, err)
+				}
+				for v := range want {
+					if mpcRun.InMIS[v] != want[v] || cliqueRun.InMIS[v] != want[v] {
+						t.Fatalf("%s/seed=%d workers=%d: models diverge from sequential greedy at vertex %d",
+							name, seed, workers, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMISTinyFastPathParity: the MPC gather-all shortcut for inputs
+// that fit one machine must not change the computed set — it equals the
+// sequential reference, and the clique trajectory agrees whenever its
+// own (prefix-only) path covers every rank.
+func TestMISTinyFastPathParity(t *testing.T) {
+	g := graph.GNP(60, 0.1, rng.New(31)) // 2m+n well under 16n
+	mpcRun, err := RandGreedyMPC(g, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mpcRun.Stages) != 1 || mpcRun.Stages[0].Name != "gather-all" {
+		t.Fatalf("expected the gather-all fast path, got stages %+v", mpcRun.Stages)
+	}
+	perm := rng.New(31).SplitString("mis-perm").Perm(g.NumVertices())
+	want := SequentialRandGreedy(g, perm)
+	for v := range want {
+		if mpcRun.InMIS[v] != want[v] {
+			t.Fatalf("fast path diverged from sequential greedy at vertex %d", v)
+		}
+	}
+	cliqueRun, err := RandGreedyCongestedClique(g, Options{Seed: 31, PolylogDegree: func(int) int { return 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if cliqueRun.InMIS[v] != want[v] {
+			t.Fatalf("prefix-only clique trajectory diverged from the fast path at vertex %d", v)
+		}
+	}
+}
+
+// TestMISStrictCleanAcrossModels: at the default memory factor neither
+// deployment may violate its budget on the parity grid — the Theorem
+// 1.1 space claim as a test.
+func TestMISStrictCleanAcrossModels(t *testing.T) {
+	for _, seed := range []uint64{5, 41} {
+		for name, g := range misParityGraphs(seed) {
+			if _, err := RandGreedyMPC(g, Options{Seed: seed, Strict: true}); err != nil {
+				t.Errorf("mpc strict on %s/seed=%d: %v", name, seed, err)
+			}
+			if _, err := RandGreedyCongestedClique(g, Options{Seed: seed, Strict: true}); err != nil {
+				t.Errorf("clique strict on %s/seed=%d: %v", name, seed, err)
+			}
+		}
+	}
+}

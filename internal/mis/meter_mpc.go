@@ -1,0 +1,215 @@
+package mis
+
+import (
+	"fmt"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/machine/meter"
+	"mpcgraph/internal/mpc"
+	"mpcgraph/internal/par"
+	"mpcgraph/internal/rng"
+)
+
+// mpcMISMeter charges the Section 3.1 MPC deployment: edges live on
+// hash-home machines, each phase gathers the newly exposed induced
+// subgraph to the leader and broadcasts the additions, the sparsified
+// dynamics exchange one word per live edge direction between the
+// endpoint home machines, and the shattered residue ships to the leader
+// once. The per-phase inbox audit is the memory claim of Theorem 1.1.
+type mpcMISMeter struct {
+	cluster  *mpc.Cluster
+	g        *graph.Graph
+	seed     uint64
+	workers  int
+	machines int
+	capacity int64
+}
+
+func newMPCMISMeter(g *graph.Graph, opts Options) (*mpcMISMeter, error) {
+	n := g.NumVertices()
+	capacity := int64(opts.MemoryFactor * float64(n))
+	machines := opts.Machines
+	if machines == 0 {
+		machines = int(2*int64(g.NumEdges())/max(capacity, 1)) + 2
+	}
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Machines:      machines,
+		CapacityWords: capacity,
+		Strict:        opts.Strict,
+		Workers:       opts.Workers,
+		Ctx:           opts.Ctx,
+		Trace:         opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &mpcMISMeter{
+		cluster:  cluster,
+		g:        g,
+		seed:     opts.Seed,
+		workers:  opts.Workers,
+		machines: machines,
+		capacity: capacity,
+	}, nil
+}
+
+// homeOf is the initial data layout of the model: edge {u,v} is stored
+// on the machine its hash selects.
+func (mm *mpcMISMeter) homeOf(u, v int32) int {
+	return int(rng.Hash(mm.seed, 0xed6e, uint64(uint32(u)), uint64(uint32(v))) % uint64(mm.machines))
+}
+
+// vertexHome is the owner machine of a vertex record.
+func vertexHome(u int32, machines int) int {
+	return int(rng.Hash(0xbeef, uint64(uint32(u))) % uint64(machines))
+}
+
+// Setup charges nothing: the MPC deployment draws the permutation on
+// the leader and ranks ride the phase broadcasts.
+func (mm *mpcMISMeter) Setup() error { return nil }
+
+// TinyCapacity enables the gather-all fast path at the leader memory S.
+func (mm *mpcMISMeter) TinyCapacity() int64 { return mm.capacity }
+
+// ResidualLimit hands over to the final gather when the residue fits
+// comfortably within the leader memory S.
+func (mm *mpcMISMeter) ResidualLimit() int64 { return mm.capacity }
+
+// PhaseGather ships the in-range induced subgraph to the leader: 2
+// words per stored edge with both endpoints in range from the edge's
+// hash home, 1 word per range vertex from its owner. The scan is
+// read-only (homeOf is a stateless hash), so it fans out with
+// per-worker tallies merged in shard order — integer sums,
+// bit-identical at every worker count.
+func (mm *mpcMISMeter) PhaseGather(r int, inRange func(v int32) bool) (int, int64, error) {
+	g, machines := mm.g, mm.machines
+	type gatherAcc struct {
+		words     []int64
+		vertices  int
+		edgeWords int64
+	}
+	acc := par.Reduce(mm.workers, g.NumVertices(), func(lo, hi, _ int) gatherAcc {
+		a := gatherAcc{words: make([]int64, machines)}
+		for u := int32(lo); u < int32(hi); u++ {
+			if !inRange(u) {
+				continue
+			}
+			a.vertices++
+			a.words[vertexHome(u, machines)]++
+			for _, v := range g.Neighbors(u) {
+				if u < v && inRange(v) {
+					a.words[mm.homeOf(u, v)] += 2
+					a.edgeWords += 2
+				}
+			}
+		}
+		return a
+	}, func(a, b gatherAcc) gatherAcc {
+		for i, w := range b.words {
+			a.words[i] += w
+		}
+		a.vertices += b.vertices
+		a.edgeWords += b.edgeWords
+		return a
+	})
+	words := acc.words
+	if words == nil {
+		words = make([]int64, machines)
+	}
+	parts := make([]mpc.Message, machines)
+	for i := range parts {
+		parts[i] = mpc.Message{Words: words[i]}
+	}
+	if _, err := mm.cluster.GatherTo(0, parts); err != nil {
+		return acc.vertices, acc.edgeWords, fmt.Errorf("phase gather at rank %d: %w", r, err)
+	}
+	return acc.vertices, acc.edgeWords, nil
+}
+
+// PhaseCommit broadcasts the additions to every machine.
+func (mm *mpcMISMeter) PhaseCommit(r int, newMIS []int32) error {
+	if _, err := mm.cluster.BroadcastFrom(0, int64(len(newMIS)), newMIS); err != nil {
+		return fmt.Errorf("phase broadcast at rank %d: %w", r, err)
+	}
+	return nil
+}
+
+// DynamicsRound meters one iteration of the local dynamics: every live
+// edge carries one word each way (desire level and mark bit packed),
+// aggregated into per-machine-pair messages. Vertices live on machine
+// v mod machines.
+func (mm *mpcMISMeter) DynamicsRound(alive []bool) error {
+	g, machines := mm.g, mm.machines
+	volume := par.Reduce(mm.workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
+		vol := make([]int64, machines*machines)
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
+				continue
+			}
+			mu := int(u) % machines
+			for _, v := range g.Neighbors(u) {
+				if !alive[v] {
+					continue
+				}
+				mv := int(v) % machines
+				if mu != mv {
+					vol[mu*machines+mv]++
+				}
+			}
+		}
+		return vol
+	}, func(a, b []int64) []int64 {
+		for i, w := range b {
+			a[i] += w
+		}
+		return a
+	})
+	if volume == nil {
+		volume = make([]int64, machines*machines)
+	}
+	_, err := mm.cluster.ChargeVolumeMatrix(volume)
+	return err
+}
+
+// FinalGather charges the residue shipment to the leader.
+func (mm *mpcMISMeter) FinalGather(alive []bool) error {
+	g, machines := mm.g, mm.machines
+	words := par.Reduce(mm.workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
+		w := make([]int64, machines)
+		for u := int32(lo); u < int32(hi); u++ {
+			if !alive[u] {
+				continue
+			}
+			w[vertexHome(u, machines)]++
+			for _, v := range g.Neighbors(u) {
+				if u < v && alive[v] {
+					w[mm.homeOf(u, v)] += 2
+				}
+			}
+		}
+		return w
+	}, func(a, b []int64) []int64 {
+		for i, w := range b {
+			a[i] += w
+		}
+		return a
+	})
+	if words == nil {
+		words = make([]int64, machines)
+	}
+	parts := make([]mpc.Message, machines)
+	for i := range parts {
+		parts[i] = mpc.Message{Words: words[i]}
+	}
+	if _, err := mm.cluster.GatherTo(0, parts); err != nil {
+		return fmt.Errorf("residual gather: %w", err)
+	}
+	return nil
+}
+
+func (mm *mpcMISMeter) SetActive(vertices int) { mm.cluster.SetActive(vertices) }
+
+func (mm *mpcMISMeter) Costs() meter.Costs {
+	met := mm.cluster.Metrics()
+	return meter.FoldCosts(met.Rounds, met.MaxInWords, met.MaxOutWords, met.TotalWords, met.Violations)
+}

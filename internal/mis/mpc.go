@@ -1,20 +1,15 @@
 package mis
 
 import (
-	"fmt"
-
 	"mpcgraph/internal/graph"
 	"mpcgraph/internal/model"
-	"mpcgraph/internal/mpc"
-	"mpcgraph/internal/par"
-	"mpcgraph/internal/rng"
 )
 
 // RandGreedyMPC computes a maximal independent set with the paper's
-// Section 3 algorithm on a metered MPC cluster. Each rank-prefix phase
-// costs one gather round plus one broadcast (two rounds in the tree
-// model); the sparsified stage charges one round per dynamics iteration;
-// the final residue is gathered once and finished on the leader. The
+// Section 3 algorithm on a metered MPC cluster: the unified randGreedy
+// trajectory charged through the MPC deployment (hash-home edge layout,
+// per-phase leader gather + broadcast, volume-matrix dynamics rounds,
+// and the gather-all fast path when the input fits one machine). The
 // returned Result carries the audited round and load figures.
 //
 // Through the prefix phases the computed set is bit-identical to
@@ -22,339 +17,5 @@ import (
 // reorganizes the computation without changing it; the residue is decided
 // by the sparsified stage exactly as in the paper's algorithm box.
 func RandGreedyMPC(g *graph.Graph, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	n := g.NumVertices()
-	res := &Result{InMIS: make([]bool, n)}
-	if n == 0 {
-		return res, nil
-	}
-
-	src := rng.New(opts.Seed)
-	perm := src.SplitString("mis-perm").Perm(n)
-	capacity := int64(opts.MemoryFactor * float64(n))
-	machines := opts.Machines
-	if machines == 0 {
-		machines = int(2*int64(g.NumEdges())/max64(capacity, 1)) + 2
-	}
-	cluster, err := mpc.NewCluster(mpc.Config{
-		Machines:      machines,
-		CapacityWords: capacity,
-		Strict:        opts.Strict,
-		Workers:       opts.Workers,
-		Ctx:           opts.Ctx,
-		Trace:         opts.Trace,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cluster.SetActive(n)
-
-	// Edges are distributed across machines by hash — the initial data
-	// layout of the model. homeOf(u,v) is the machine storing edge {u,v}.
-	homeOf := func(u, v int32) int {
-		return int(rng.Hash(opts.Seed, 0xed6e, uint64(uint32(u)), uint64(uint32(v))) % uint64(machines))
-	}
-
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	rank := make([]int32, n)
-	for i, v := range perm {
-		rank[v] = int32(i)
-	}
-
-	// Tiny instance: one gather finishes the job, as any MPC deployment
-	// would do when the input fits one machine.
-	if int64(2*g.NumEdges()+n) <= capacity {
-		if err := gatherAll(cluster, g, alive, homeOf, opts.Workers); err != nil {
-			return nil, err
-		}
-		d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
-		d.finishGreedy(perm)
-		finalizeMetrics(res, cluster)
-		res.Stages = append(res.Stages, model.StageCost{Name: "gather-all", Rounds: res.Rounds, Words: res.TotalWords})
-		return res, nil
-	}
-
-	ranks := prefixRanks(n, g.MaxDegree(), opts.PolylogDegree(n), opts.Alpha)
-	prev := 0
-	for _, r := range ranks {
-		before := cluster.Metrics()
-		info, err := runPrefixPhase(cluster, g, perm, rank, alive, res.InMIS, prev, r, homeOf, opts.Workers)
-		if err != nil {
-			return nil, err
-		}
-		res.Phases++
-		res.PhaseInfos = append(res.PhaseInfos, info)
-		after := cluster.Metrics()
-		res.Stages = append(res.Stages, stageCost(fmt.Sprintf("prefix@%d", r), before.Rounds, after.Rounds, before.TotalWords, after.TotalWords))
-		cluster.SetActive(graph.CountMarked(alive))
-		prev = r
-	}
-
-	// Sparsified stage on the poly-log-degree residue: Ghaffari dynamics,
-	// one metered round per iteration (messages: one word of desire level
-	// plus one mark bit per live edge direction, aggregated per machine
-	// pair), until the residue fits comfortably on the leader.
-	d := newDynamics(g, alive, res.InMIS, opts.Seed, opts.Workers)
-	maxIter := defaultDynamicsCap(g.MaxDegree(), opts.MaxDynamicsIterations)
-	beforeDyn := cluster.Metrics()
-	for iter := 0; d.undecided() > 0 && d.residualEdgeWords() > capacity/2 && iter < maxIter; iter++ {
-		cluster.SetActive(d.undecided())
-		if err := chargeDynamicsRound(cluster, g, d.alive, machines, opts.Workers); err != nil {
-			return nil, err
-		}
-		d.step(iter)
-		res.SparsifiedIterations++
-	}
-	if res.SparsifiedIterations > 0 {
-		afterDyn := cluster.Metrics()
-		res.Stages = append(res.Stages, stageCost("sparsified", beforeDyn.Rounds, afterDyn.Rounds, beforeDyn.TotalWords, afterDyn.TotalWords))
-	}
-	// Final gather of the shattered residue, then finish on the leader.
-	if d.undecided() > 0 {
-		cluster.SetActive(d.undecided())
-		beforeGather := cluster.Metrics()
-		if err := gatherResidual(cluster, g, d.alive, homeOf, opts.Workers); err != nil {
-			return nil, err
-		}
-		d.finishGreedy(perm)
-		afterGather := cluster.Metrics()
-		res.Stages = append(res.Stages, stageCost("final-gather", beforeGather.Rounds, afterGather.Rounds, beforeGather.TotalWords, afterGather.TotalWords))
-	}
-	cluster.SetActive(0)
-	finalizeMetrics(res, cluster)
-	return res, nil
-}
-
-// runPrefixPhase gathers the induced subgraph on alive vertices with rank
-// in (prev, r], extends the greedy MIS on the leader, and broadcasts the
-// additions.
-func runPrefixPhase(
-	cluster *mpc.Cluster,
-	g *graph.Graph,
-	perm []int32,
-	rank []int32,
-	alive, inMIS []bool,
-	prev, r int,
-	homeOf func(u, v int32) int,
-	workers int,
-) (PhaseInfo, error) {
-	info := PhaseInfo{Rank: r}
-	machines := cluster.Machines()
-	inRange := func(v int32) bool {
-		return alive[v] && int(rank[v]) >= prev && int(rank[v]) < r
-	}
-	// Words each machine ships to the leader: 2 per stored edge with both
-	// endpoints in range, 1 per range vertex it owns (owner = home of the
-	// vertex's id hashed alone). The scan is read-only (homeOf is a
-	// stateless hash), so it fans out with per-worker tallies merged in
-	// shard order — integer sums, bit-identical at every worker count.
-	type gatherAcc struct {
-		words     []int64
-		vertices  int
-		edgeWords int64
-	}
-	acc := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) gatherAcc {
-		a := gatherAcc{words: make([]int64, machines)}
-		for u := int32(lo); u < int32(hi); u++ {
-			if !inRange(u) {
-				continue
-			}
-			a.vertices++
-			a.words[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
-			for _, v := range g.Neighbors(u) {
-				if u < v && inRange(v) {
-					a.words[homeOf(u, v)] += 2
-					a.edgeWords += 2
-				}
-			}
-		}
-		return a
-	}, func(a, b gatherAcc) gatherAcc {
-		for i, w := range b.words {
-			a.words[i] += w
-		}
-		a.vertices += b.vertices
-		a.edgeWords += b.edgeWords
-		return a
-	})
-	words := acc.words
-	if words == nil {
-		words = make([]int64, machines)
-	}
-	info.GatheredVertices = acc.vertices
-	info.GatheredEdgeWords = acc.edgeWords
-	parts := make([]mpc.Message, machines)
-	for i := range parts {
-		parts[i] = mpc.Message{Words: words[i]}
-	}
-	if _, err := cluster.GatherTo(0, parts); err != nil {
-		return info, fmt.Errorf("phase gather at rank %d: %w", r, err)
-	}
-
-	// Leader extends the greedy MIS over the gathered range in rank
-	// order. Earlier ranks are fully settled (in MIS or dominated), so
-	// only in-range neighbors can block.
-	var newMIS []int32
-	for i := prev; i < r && i < len(perm); i++ {
-		v := perm[i]
-		if !alive[v] {
-			continue
-		}
-		blockedBy := false
-		for _, u := range g.Neighbors(v) {
-			if inMIS[u] {
-				blockedBy = true
-				break
-			}
-		}
-		if blockedBy {
-			continue
-		}
-		inMIS[v] = true
-		newMIS = append(newMIS, v)
-	}
-	info.NewMISVertices = len(newMIS)
-
-	// Broadcast the additions; every machine then kills dominated
-	// vertices locally.
-	if _, err := cluster.BroadcastFrom(0, int64(len(newMIS)), newMIS); err != nil {
-		return info, fmt.Errorf("phase broadcast at rank %d: %w", r, err)
-	}
-	for _, v := range newMIS {
-		alive[v] = false
-		for _, u := range g.Neighbors(v) {
-			alive[u] = false
-		}
-	}
-	// Instrumentation: residual maximum degree (Lemma 3.1 quantity).
-	info.ResidualMaxDegree = residualMaxDegree(g, alive, workers)
-	return info, nil
-}
-
-// residualMaxDegree returns the maximum alive-induced degree.
-func residualMaxDegree(g *graph.Graph, alive []bool, workers int) int {
-	return par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) int {
-		max := 0
-		for v := int32(lo); v < int32(hi); v++ {
-			if !alive[v] {
-				continue
-			}
-			deg := 0
-			for _, u := range g.Neighbors(v) {
-				if alive[u] {
-					deg++
-				}
-			}
-			if deg > max {
-				max = deg
-			}
-		}
-		return max
-	}, func(a, b int) int {
-		if a > b {
-			return a
-		}
-		return b
-	})
-}
-
-// chargeDynamicsRound meters one iteration of the local dynamics: every
-// live edge carries one word each way (desire level and mark bit packed),
-// aggregated into per-machine-pair messages. Vertices live on machine
-// v mod machines.
-func chargeDynamicsRound(cluster *mpc.Cluster, g *graph.Graph, alive []bool, machines, workers int) error {
-	volume := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
-		vol := make([]int64, machines*machines)
-		for u := int32(lo); u < int32(hi); u++ {
-			if !alive[u] {
-				continue
-			}
-			mu := int(u) % machines
-			for _, v := range g.Neighbors(u) {
-				if !alive[v] {
-					continue
-				}
-				mv := int(v) % machines
-				if mu != mv {
-					vol[mu*machines+mv]++
-				}
-			}
-		}
-		return vol
-	}, func(a, b []int64) []int64 {
-		for i, w := range b {
-			a[i] += w
-		}
-		return a
-	})
-	if volume == nil {
-		volume = make([]int64, machines*machines)
-	}
-	_, err := cluster.ChargeVolumeMatrix(volume)
-	return err
-}
-
-// gatherResidual charges the final residue shipment to the leader.
-func gatherResidual(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int, workers int) error {
-	machines := cluster.Machines()
-	words := par.Reduce(workers, g.NumVertices(), func(lo, hi, _ int) []int64 {
-		w := make([]int64, machines)
-		for u := int32(lo); u < int32(hi); u++ {
-			if !alive[u] {
-				continue
-			}
-			w[int(rng.Hash(0xbeef, uint64(uint32(u)))%uint64(machines))]++
-			for _, v := range g.Neighbors(u) {
-				if u < v && alive[v] {
-					w[homeOf(u, v)] += 2
-				}
-			}
-		}
-		return w
-	}, func(a, b []int64) []int64 {
-		for i, w := range b {
-			a[i] += w
-		}
-		return a
-	})
-	if words == nil {
-		words = make([]int64, machines)
-	}
-	parts := make([]mpc.Message, machines)
-	for i := range parts {
-		parts[i] = mpc.Message{Words: words[i]}
-	}
-	_, err := cluster.GatherTo(0, parts)
-	if err != nil {
-		return fmt.Errorf("residual gather: %w", err)
-	}
-	return nil
-}
-
-// gatherAll charges shipping the entire graph to the leader (tiny-input
-// fast path).
-func gatherAll(cluster *mpc.Cluster, g *graph.Graph, alive []bool, homeOf func(u, v int32) int, workers int) error {
-	return gatherResidual(cluster, g, alive, homeOf, workers)
-}
-
-// finalizeMetrics copies cluster metrics into the result.
-func finalizeMetrics(res *Result, cluster *mpc.Cluster) {
-	m := cluster.Metrics()
-	res.Rounds = m.Rounds
-	res.MaxMachineWords = m.MaxInWords
-	if m.MaxOutWords > res.MaxMachineWords {
-		res.MaxMachineWords = m.MaxOutWords
-	}
-	res.TotalWords = m.TotalWords
-	res.Violations = m.Violations
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
+	return randGreedy(g, opts, model.MPC)
 }

@@ -5,6 +5,11 @@
 // registry can dispatch on (Problem, Model) without import cycles.
 package model
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Model selects the simulated computation model an algorithm runs on.
 // The paper proves its bounds in the Õ(n)-memory MPC model and, via
 // Lenzen routing, in the CONGESTED-CLIQUE model; both are metered here.
@@ -30,6 +35,22 @@ func (m Model) String() string {
 	default:
 		return "unknown-model"
 	}
+}
+
+// ErrUnknownModel reports a model name that names no defined model.
+// Returned (wrapped) by ParseModel; match with errors.Is.
+var ErrUnknownModel = errors.New("unknown model")
+
+// ParseModel resolves a kebab-case model name. The error wraps
+// ErrUnknownModel and lists the valid names.
+func ParseModel(name string) (Model, error) {
+	switch name {
+	case MPC.String():
+		return MPC, nil
+	case CongestedClique.String():
+		return CongestedClique, nil
+	}
+	return 0, fmt.Errorf("%w %q (want %s or %s)", ErrUnknownModel, name, MPC, CongestedClique)
 }
 
 // TraceEvent is one observation of a metered simulator round, delivered

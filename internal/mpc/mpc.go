@@ -11,6 +11,10 @@
 // space claims from the paper therefore become checkable outputs instead
 // of assumptions: an algorithm that overflows a machine fails loudly in
 // strict mode.
+//
+// The round loop, routing and accounting live in internal/machine; this
+// package is the MPC charge policy over that core: all-to-all exchange
+// with per-machine in/out loads audited against the memory capacity S.
 package mpc
 
 import (
@@ -18,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpcgraph/internal/machine"
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/par"
 	"mpcgraph/internal/rng"
@@ -66,12 +71,7 @@ type Metrics struct {
 // Message is one unit of communication. Words is the size of Payload in
 // machine words as accounted by the model; the simulator trusts but
 // records it. Payload is opaque to the simulator.
-type Message struct {
-	From    int
-	To      int
-	Words   int64
-	Payload any
-}
+type Message = machine.Message
 
 // CapacityError reports a machine exceeding its memory in some round.
 type CapacityError struct {
@@ -95,9 +95,8 @@ func (e *CapacityError) Error() string {
 // exactly the parallelism the model grants). Delivery order, metrics and
 // errors are bit-identical for every Workers setting.
 type Cluster struct {
-	cfg    Config
-	met    Metrics
-	active int // algorithm-reported undecided-vertex gauge (SetActive)
+	cfg  Config
+	core *machine.Core
 }
 
 // NewCluster validates cfg and returns a fresh cluster.
@@ -108,14 +107,32 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.CapacityWords < 0 {
 		return nil, errors.New("mpc: negative capacity")
 	}
-	return &Cluster{cfg: cfg}, nil
+	core := machine.NewCore(machine.Config{
+		Nodes:   cfg.Machines,
+		Workers: cfg.Workers,
+		Strict:  cfg.Strict,
+		Ctx:     cfg.Ctx,
+		Trace:   cfg.Trace,
+		Name:    "mpc",
+		Unit:    "machine",
+	})
+	return &Cluster{cfg: cfg, core: core}, nil
 }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Metrics returns a snapshot of the accumulated metrics.
-func (c *Cluster) Metrics() Metrics { return c.met }
+func (c *Cluster) Metrics() Metrics {
+	m := c.core.Metrics()
+	return Metrics{
+		Rounds:      m.Rounds,
+		MaxInWords:  m.MaxInWords,
+		MaxOutWords: m.MaxOutWords,
+		TotalWords:  m.TotalWords,
+		Violations:  m.Violations,
+	}
+}
 
 // Machines returns the machine count m.
 func (c *Cluster) Machines() int { return c.cfg.Machines }
@@ -123,20 +140,31 @@ func (c *Cluster) Machines() int { return c.cfg.Machines }
 // SetActive records the algorithm's current count of undecided vertices.
 // The value is observational only: it rides along on TraceEvents so
 // observers can correlate round costs with algorithmic progress.
-func (c *Cluster) SetActive(vertices int) { c.active = vertices }
+func (c *Cluster) SetActive(vertices int) { c.core.SetActive(vertices) }
 
-// interrupted returns the configured context's error, if any.
-func (c *Cluster) interrupted() error {
-	if c.cfg.Ctx == nil {
+// Outboxes returns a pooled outbox set (one empty slice per machine,
+// capacity retained across calls) for callers that materialize
+// synthetic messages every round, e.g. the charge helpers of the
+// metered algorithms. The contents are consumed by the next Exchange on
+// this cluster; callers must not retain them.
+func (c *Cluster) Outboxes() [][]Message { return c.core.Outboxes() }
+
+// audit is the MPC capacity policy: a per-round per-machine load above S
+// (when S is bounded) is a violation.
+func (c *Cluster) audit(round, machineID int, words int64, in bool) error {
+	if c.cfg.CapacityWords == 0 || words <= c.cfg.CapacityWords {
 		return nil
 	}
-	return c.cfg.Ctx.Err()
-}
-
-// emit delivers one trace event for a step that moved words of volume.
-func (c *Cluster) emit(words int64) {
-	if c.cfg.Trace != nil {
-		c.cfg.Trace(model.TraceEvent{Round: c.met.Rounds, LiveWords: words, ActiveVertices: c.active})
+	dir := "out"
+	if in {
+		dir = "in"
+	}
+	return &CapacityError{
+		Machine:  machineID,
+		Round:    round,
+		Words:    words,
+		Capacity: c.cfg.CapacityWords,
+		Dir:      dir,
 	}
 }
 
@@ -145,134 +173,19 @@ func (c *Cluster) emit(words int64) {
 // slice in[j] holds the messages delivered to machine j, ordered by
 // sender then submission order, so delivery is deterministic.
 //
-// The per-machine accounting fans out across Workers goroutines: each
-// worker validates and tallies a contiguous shard of senders, the
-// shard-order prefix sums fix every delivery slot, and a second parallel
-// pass writes the inboxes in exactly the order the sequential loop
-// would. Per-machine outbox and inbox word totals are audited against S.
-// In strict mode the first violation aborts the round with a
+// Per-machine outbox and inbox word totals are audited against S. In
+// strict mode the first violation aborts the round with a
 // *CapacityError; the round still counts (the machines did communicate —
 // that the model was violated is the finding).
 func (c *Cluster) Exchange(out [][]Message) ([][]Message, error) {
-	m := c.cfg.Machines
-	if len(out) != m {
-		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), m)
+	if len(out) != c.cfg.Machines {
+		return nil, fmt.Errorf("mpc: Exchange got %d outboxes for %d machines", len(out), c.cfg.Machines)
 	}
-	if err := c.interrupted(); err != nil {
-		return nil, err
-	}
-	c.met.Rounds++
-	shards := par.ShardCount(c.cfg.Workers, m)
-	outWords := make([]int64, m)
-	shardIn := make([][]int64, shards)  // per-shard inbox word tallies
-	shardCnt := make([][]int32, shards) // per-shard per-receiver message counts
-	shardTotal := make([]int64, shards)
-	shardErr := make([]error, shards) // first malformed message, by sender order
-	for w := 0; w < shards; w++ {
-		shardIn[w] = make([]int64, m)
-		shardCnt[w] = make([]int32, m)
-	}
-	par.For(c.cfg.Workers, m, func(lo, hi, w int) {
-		iw, cw := shardIn[w], shardCnt[w]
-		for i := lo; i < hi; i++ {
-			var ow int64
-			for k := range out[i] {
-				msg := &out[i][k]
-				if msg.To < 0 || msg.To >= m {
-					shardErr[w] = fmt.Errorf("mpc: machine %d sent to invalid machine %d", i, msg.To)
-					return
-				}
-				if msg.Words < 0 {
-					shardErr[w] = fmt.Errorf("mpc: machine %d sent negative-size message", i)
-					return
-				}
-				ow += msg.Words
-				iw[msg.To] += msg.Words
-				cw[msg.To]++
-				shardTotal[w] += msg.Words
-			}
-			outWords[i] = ow
-		}
+	return c.core.Route(out, machine.RouteSpec{
+		Rounds: 1,
+		Verb:   "sent",
+		Audit:  c.audit,
 	})
-	for _, err := range shardErr {
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Commit volume metrics and turn the per-shard counts into delivery
-	// cursors: shardCnt[w][j] becomes the first slot of in[j] that shard
-	// w writes, so the parallel fill reproduces sender order exactly.
-	inWords := make([]int64, m)
-	in := make([][]Message, m)
-	var roundWords int64
-	for _, t := range shardTotal {
-		c.met.TotalWords += t
-		roundWords += t
-	}
-	c.emit(roundWords)
-	par.For(c.cfg.Workers, m, func(lo, hi, _ int) {
-		for j := lo; j < hi; j++ {
-			var words int64
-			var cnt int32
-			for w := 0; w < shards; w++ {
-				words += shardIn[w][j]
-				base := cnt
-				cnt += shardCnt[w][j]
-				shardCnt[w][j] = base
-			}
-			inWords[j] = words
-			if cnt > 0 {
-				in[j] = make([]Message, cnt)
-			}
-		}
-	})
-	par.For(c.cfg.Workers, m, func(lo, hi, w int) {
-		cur := shardCnt[w]
-		for i := lo; i < hi; i++ {
-			for k := range out[i] {
-				msg := out[i][k]
-				msg.From = i
-				in[msg.To][cur[msg.To]] = msg
-				cur[msg.To]++
-			}
-		}
-	})
-	var firstErr error
-	for i, ow := range outWords {
-		if ow > c.met.MaxOutWords {
-			c.met.MaxOutWords = ow
-		}
-		if err := c.audit(i, ow, "out"); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	for j, w := range inWords {
-		if w > c.met.MaxInWords {
-			c.met.MaxInWords = w
-		}
-		if err := c.audit(j, w, "in"); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil && c.cfg.Strict {
-		return nil, firstErr
-	}
-	return in, nil
-}
-
-// audit records or raises a capacity violation.
-func (c *Cluster) audit(machine int, words int64, dir string) error {
-	if c.cfg.CapacityWords == 0 || words <= c.cfg.CapacityWords {
-		return nil
-	}
-	c.met.Violations++
-	return &CapacityError{
-		Machine:  machine,
-		Round:    c.met.Rounds,
-		Words:    words,
-		Capacity: c.cfg.CapacityWords,
-		Dir:      dir,
-	}
 }
 
 // GatherTo performs a one-round convergecast: every machine i contributes
@@ -288,13 +201,13 @@ func (c *Cluster) GatherTo(dst int, parts []Message) ([]Message, error) {
 	if len(parts) != c.cfg.Machines {
 		return nil, fmt.Errorf("mpc: GatherTo got %d parts for %d machines", len(parts), c.cfg.Machines)
 	}
-	out := make([][]Message, c.cfg.Machines)
+	out := c.core.Outboxes()
 	for i := range parts {
 		if parts[i].Words == 0 && parts[i].Payload == nil {
 			continue
 		}
 		parts[i].To = dst
-		out[i] = []Message{parts[i]}
+		out[i] = append(out[i], parts[i])
 	}
 	in, err := c.Exchange(out)
 	if err != nil {
@@ -312,22 +225,24 @@ func (c *Cluster) BroadcastFrom(src int, words int64, payload any) ([]Message, e
 	if src < 0 || src >= c.cfg.Machines {
 		return nil, fmt.Errorf("mpc: broadcast from invalid machine %d", src)
 	}
-	if err := c.interrupted(); err != nil {
+	if err := c.core.Interrupted(); err != nil {
 		return nil, err
 	}
 	// Model cost: one round to populate the tree, one to fan out. The
 	// source's fan-out is exempt from the outbox audit (the tree splits
 	// it); every receiver's copy is audited against S.
-	c.met.Rounds += 2
-	c.emit(words * int64(c.cfg.Machines))
+	c.core.AddRounds(2)
+	c.core.Emit(words * int64(c.cfg.Machines))
+	round := c.core.Rounds()
 	var firstErr error
 	for j := 0; j < c.cfg.Machines; j++ {
-		c.met.TotalWords += words
-		if words > c.met.MaxInWords {
-			c.met.MaxInWords = words
-		}
-		if err := c.audit(j, words, "in"); err != nil && firstErr == nil {
-			firstErr = err
+		c.core.AddTotal(words)
+		c.core.ObserveIn(words)
+		if err := c.audit(round, j, words, true); err != nil {
+			c.core.Violation()
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	if firstErr != nil && c.cfg.Strict {
@@ -350,7 +265,7 @@ func (c *Cluster) ChargeVolumeMatrix(vol []int64) ([][]Message, error) {
 	if len(vol) != m*m {
 		return nil, fmt.Errorf("mpc: volume matrix has %d entries for %d machines", len(vol), m)
 	}
-	out := make([][]Message, m)
+	out := c.core.Outboxes()
 	par.For(c.cfg.Workers, m, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < m; j++ {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"mpcgraph/internal/graph"
@@ -195,6 +196,24 @@ func Pairs() []Pair {
 		return out[i].Model < out[j].Model
 	})
 	return out
+}
+
+// ErrUnknownProblem reports a problem name that names no defined
+// problem. Returned (wrapped) by ParseProblem; match with errors.Is.
+var ErrUnknownProblem = errors.New("unknown problem")
+
+// ParseProblem resolves a kebab-case problem name against the defined
+// problems. The error wraps ErrUnknownProblem and lists the valid
+// names.
+func ParseProblem(name string) (Problem, error) {
+	names := make([]string, 0, numProblems)
+	for _, p := range Problems() {
+		if p.String() == name {
+			return p, nil
+		}
+		names = append(names, p.String())
+	}
+	return 0, fmt.Errorf("%w %q (want one of %s)", ErrUnknownProblem, name, strings.Join(names, ", "))
 }
 
 // ErrUnsupported reports a (Problem, Model) pair with no registered

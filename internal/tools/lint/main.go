@@ -1,0 +1,151 @@
+// Command lint is the repository's vet-extending linter, run by `make
+// ci`. It enforces hygiene rules that go vet does not cover and that
+// protect this repository's core contracts — above all the determinism
+// contract: every random choice must flow through the seeded
+// internal/rng primitives, and wall-clock time must never leak into
+// audited results.
+//
+// Rules:
+//
+//  1. no-math-rand: importing math/rand or math/rand/v2 is forbidden
+//     everywhere. All randomness goes through internal/rng, whose
+//     stateless hashing keeps runs bit-identical for every Workers
+//     setting and across processes.
+//  2. no-wall-clock: calling time.Now is forbidden outside package main
+//     and internal/registry (which stamps the one advisory Wall field
+//     of the Report). Audited costs are model rounds and words, never
+//     host time.
+//  3. no-exit: calling os.Exit is forbidden outside package main, so
+//     library errors surface as errors (and the mpcgraph binary can map
+//     sentinels onto its documented exit codes).
+//
+// Usage: lint [dir]. Walks dir (default .) recursively, skipping
+// testdata and hidden directories; exits 1 and lists every finding when
+// a rule is violated.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func lintTree(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && name != ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fileFindings, err := lintFile(path)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fileFindings...)
+		return nil
+	})
+	return findings, err
+}
+
+// timeNowAllowed lists the non-main packages permitted to read the wall
+// clock (see rule 2).
+func timeNowAllowed(path string) bool {
+	return strings.Contains(filepath.ToSlash(path), "internal/registry/")
+}
+
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, rule, msg string) {
+		findings = append(findings, fmt.Sprintf("%s: %s: %s", fset.Position(pos), rule, msg))
+	}
+
+	isMain := file.Name.Name == "main"
+	imports := map[string]string{} // local name -> import path
+	for _, imp := range file.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		name := path2name(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imports[name] = p
+		if p == "math/rand" || p == "math/rand/v2" {
+			report(imp.Pos(), "no-math-rand",
+				"import of "+p+" (use the seeded internal/rng primitives; see the determinism contract)")
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case imports[pkg.Name] == "time" && sel.Sel.Name == "Now":
+			if !isMain && !timeNowAllowed(path) {
+				report(call.Pos(), "no-wall-clock",
+					"time.Now outside package main / internal/registry (audited costs are rounds and words, not host time)")
+			}
+		case imports[pkg.Name] == "os" && sel.Sel.Name == "Exit":
+			if !isMain {
+				report(call.Pos(), "no-exit", "os.Exit outside package main (return an error instead)")
+			}
+		}
+		return true
+	})
+	return findings, nil
+}
+
+// path2name returns the default local name of an import path.
+func path2name(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

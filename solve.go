@@ -67,6 +67,11 @@ var (
 	// ErrNeedWeightedGraph: a weighted problem was invoked on an
 	// unweighted instance.
 	ErrNeedWeightedGraph = registry.ErrNeedWeighted
+	// ErrUnknownProblem: a problem name resolved against the registry
+	// (e.g. by the mpcgraph CLI) names no defined problem.
+	ErrUnknownProblem = registry.ErrUnknownProblem
+	// ErrUnknownModel: a model name names no defined model.
+	ErrUnknownModel = model.ErrUnknownModel
 )
 
 // Instance is the input of Solve: a *Graph or a *WeightedGraph.
