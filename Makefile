@@ -7,11 +7,13 @@
 # reports), smoke-runs the benchmarks, proves the CLIs enumerate the
 # algorithm registry and that every registered (Problem, Model) pair has
 # a working benchmark entry, pipes `mpcgraph gen` into `mpcgraph solve`
-# for one scenario per problem, and builds every Go code block of
-# README.md against the current API.
+# for one scenario per problem, boots a real mpcgraphd daemon and proves
+# the deterministic result cache serves bit-identical hits for every
+# problem before draining it with SIGTERM, and builds every Go code
+# block of README.md and docs/service.md against the current API.
 #
 # Targets:
-#   make ci         - fmt + vet + lint + race tests + fuzz/benchmark/registry/CLI/docs smoke
+#   make ci         - fmt + vet + lint + race tests + fuzz/benchmark/registry/CLI/service/docs smoke
 #   make fmt        - fail if any file needs gofmt
 #   make lint       - repo linter (internal/tools/lint): determinism + hygiene rules
 #   make fuzz-smoke - short -fuzz run of every graphio structured-reader fuzzer
@@ -23,7 +25,9 @@
 #   make bench-json - run the smoke sweep with -json and write BENCH_PR4.json
 #   make list-smoke - mpcbench -list + registry/benchmark coverage check
 #   make cli-smoke  - mpcgraph gen|solve pipe, one scenario per problem
-#   make docs-check - compile every ```go block of README.md
+#   make service-smoke - boot mpcgraphd, one job per problem, cache-hit
+#                     bit-identity, metrics, graceful SIGTERM drain
+#   make docs-check - compile every ```go block of README.md and docs/service.md
 
 GO ?= go
 
@@ -32,9 +36,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke docs-check tables json
+.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke docs-check tables json
 
-ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke docs-check
+ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke docs-check
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -70,6 +74,7 @@ bench-json:
 # parse/error grammars of docs/formats.md stay exercised pre-merge
 # (each fuzzer also runs its corpus as ordinary seed tests in `race`).
 fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadWEL -fuzztime=3s ./internal/graphio/
 	$(GO) test -run=NONE -fuzz=FuzzReadDIMACS -fuzztime=3s ./internal/graphio/
 	$(GO) test -run=NONE -fuzz=FuzzReadMETIS -fuzztime=3s ./internal/graphio/
 	$(GO) test -run=NONE -fuzz=FuzzReadMatrixMarket -fuzztime=3s ./internal/graphio/
@@ -92,8 +97,17 @@ cli-smoke:
 	/tmp/mpcgraph-ci gen -scenario weighted-gnp -n 400 -seed 6 -format wel -out - | /tmp/mpcgraph-ci solve -problem weighted-matching -in - -format wel -json > /dev/null
 	rm -f /tmp/mpcgraph-ci
 
+# The daemon acceptance gate: a race-instrumented mpcgraphd on an
+# ephemeral port, one cold job plus one cached re-submit per problem
+# (bit-identity asserted on the wire), metrics counters, then a
+# graceful SIGTERM drain with required zero exit.
+service-smoke:
+	$(GO) build -race -o /tmp/mpcgraphd-ci ./cmd/mpcgraphd
+	$(GO) run ./internal/tools/servicesmoke -bin /tmp/mpcgraphd-ci
+	rm -f /tmp/mpcgraphd-ci
+
 docs-check:
-	$(GO) run ./internal/tools/readmecheck README.md
+	$(GO) run ./internal/tools/readmecheck README.md docs/service.md
 
 tables:
 	$(GO) run ./cmd/mpcbench -quick -trials 1

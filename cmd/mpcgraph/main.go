@@ -32,9 +32,13 @@
 //	   congested-clique, which Corollary 1.4 does not state)
 //	4  the problem requires a weighted instance
 //	   (mpcgraph.ErrNeedWeightedGraph)
+//	5  the solve exceeded its deadline (`solve -timeout`,
+//	   context.DeadlineExceeded — the run was aborted between
+//	   simulated rounds)
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -65,6 +69,8 @@ func exitCode(err error) int {
 		return 3
 	case errors.Is(err, mpcgraph.ErrNeedWeightedGraph):
 		return 4
+	case errors.Is(err, context.DeadlineExceeded):
+		return 5
 	}
 	return 1
 }

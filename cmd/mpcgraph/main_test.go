@@ -49,6 +49,9 @@ func TestExitCodes(t *testing.T) {
 		{"unknown model", []string{"solve", "-problem", "mis", "-model", "pram", "-scenario", "gnp", "-n", "50"}, 2},
 		{"unsupported pair", []string{"solve", "-problem", "weighted-matching", "-model", "congested-clique", "-scenario", "weighted-gnp", "-n", "50"}, 3},
 		{"needs weighted instance", []string{"solve", "-problem", "weighted-matching", "-scenario", "gnp", "-n", "50"}, 4},
+		// A 1ns deadline is always exceeded before the first metered
+		// round, so the case is deterministic.
+		{"deadline exceeded", []string{"solve", "-problem", "mis", "-scenario", "gnp", "-n", "400", "-timeout", "1ns"}, 5},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if got := exitCode(run(tc.args)); got != tc.want {

@@ -1,0 +1,41 @@
+// Command mpcgraphd is the long-running mpcgraph solve daemon: the full
+// registry surface (problems × models × scenario catalog × graph upload
+// in any supported format) exposed as an HTTP job API with a bounded
+// queue, a content-addressed deterministic result cache, per-round
+// trace streaming, and Prometheus-style operational metrics.
+//
+// Usage:
+//
+//	mpcgraphd [-addr 127.0.0.1:8080] [-workers 2] [-queue 64]
+//	          [-cache 1024] [-job-workers 0] [-drain 30s]
+//
+// The binary is a thin shim over `mpcgraph serve` (both share the flag
+// surface and lifecycle of internal/cli). On startup it prints one
+// line, "mpcgraphd listening on http://<addr>", then serves until
+// SIGINT/SIGTERM, at which point it drains gracefully: new submissions
+// are rejected with 503, queued and running jobs finish (bounded by
+// -drain), and the process exits 0.
+//
+// Drive it with `mpcgraph submit`/`mpcgraph status`, or speak the HTTP
+// API directly — see docs/service.md for the wire contract, the job
+// lifecycle, cache semantics and the /healthz and /metrics endpoints.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpcgraph/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcgraphd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	return cli.Run(append([]string{"serve"}, args...),
+		cli.Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr})
+}

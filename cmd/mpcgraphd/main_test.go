@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// The daemon lifecycle is tested end-to-end in internal/cli (serve +
+// submit + drain) and by the `make service-smoke` harness, which drives
+// this binary over HTTP and through SIGTERM. These tests pin the shim's
+// wiring only: args pass through to the serve subcommand.
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	if err := run([]string{"unexpected"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

@@ -1,9 +1,11 @@
 // Package cli implements the mpcgraph command-line tool: one binary
-// with gen, solve, bench and list subcommands over the unified Solve
-// registry, the scenario catalog and the multi-format graphio layer.
+// with gen, solve, bench, list, serve, submit and status subcommands
+// over the unified Solve registry, the scenario catalog, the
+// multi-format graphio layer and the internal/service solve daemon.
 // The deprecated mpcmis and mpcmatch commands are thin shims that
-// translate their historical flags into Run invocations, so every code
-// path ships through this package.
+// translate their historical flags into Run invocations, and the
+// standalone cmd/mpcgraphd daemon binary is a shim over the serve
+// subcommand, so every code path ships through this package.
 //
 // The tool's reproducibility contract: `mpcgraph solve` produces
 // bit-identical Report costs for the same (scenario, seed, problem,
@@ -37,6 +39,9 @@ Commands:
   solve   run one problem on an instance (file or scenario), report audited costs
   bench   regenerate the experiment tables (E1..E18)
   list    enumerate problems, models, algorithms, scenarios and formats
+  serve   run the mpcgraphd solve daemon (job queue, result cache, trace streaming)
+  submit  post one job to a running daemon (optionally wait for the result)
+  status  inspect a running daemon's job table
 
 Run "mpcgraph <command> -h" for the flags of one command.
 
@@ -46,6 +51,8 @@ Examples:
   mpcgraph gen -scenario gnp -n 4096 -format el -out - | mpcgraph solve -problem vertex-cover -in - -format el
   mpcgraph solve -problem weighted-matching -scenario weighted-gnp -n 2048 -seed 7
   mpcgraph bench -experiment E5 -quick
+  mpcgraph serve -addr 127.0.0.1:8080
+  mpcgraph submit -problem mis -scenario gnp -n 4096 -seed 7 -wait
   mpcgraph list`
 
 // Env carries the process streams so tests (and the deprecated shims)
@@ -74,6 +81,12 @@ func Run(args []string, env Env) error {
 		return runBench(rest, env)
 	case "list":
 		return runList(rest, env)
+	case "serve":
+		return runServe(rest, env)
+	case "submit":
+		return runSubmit(rest, env)
+	case "status":
+		return runStatus(rest, env)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprintln(env.Stdout, usage)
 		return nil

@@ -1,0 +1,225 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mpcgraph"
+	"mpcgraph/internal/service"
+)
+
+// The daemon client subcommands: `mpcgraph submit` posts one job to a
+// running mpcgraphd and (with -wait) polls it to completion; `mpcgraph
+// status` inspects the daemon's job table. Together with `mpcgraph
+// serve` they make the service drivable end-to-end from the one CLI.
+
+// runSubmit posts one job to a running daemon.
+func runSubmit(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph submit", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		server       = fs.String("server", "http://127.0.0.1:8080", "base URL of the mpcgraphd daemon")
+		problemName  = fs.String("problem", "", "problem to solve (see mpcgraph list)")
+		modelName    = fs.String("model", mpcgraph.ModelMPC.String(), "computation model: mpc or congested-clique")
+		inPath       = fs.String("in", "", "instance file to upload ('-' reads stdin); any supported format")
+		formatName   = fs.String("format", "", "upload format (el, wel, dimacs, metis, mm); required with -in")
+		scenarioName = fs.String("scenario", "", "generate the instance server-side from this catalog scenario")
+		n            = fs.Int("n", 0, "scenario vertex count (0 = the scenario's default)")
+		seed         = fs.Uint64("seed", 1, "seed for scenario generation and the algorithm's random choices")
+		eps          = fs.Float64("eps", 0.1, "approximation slack where applicable")
+		memFactor    = fs.Float64("memory-factor", 0, "per-machine memory = factor*n words (0 = default 16)")
+		strict       = fs.Bool("strict", false, "fail on any simulated memory/bandwidth violation")
+		workers      = fs.Int("workers", 0, "per-job parallel workers (0 = the server's default); results identical for every value")
+		timeout      = fs.Duration("timeout", 0, "server-side deadline for the job (0 = none)")
+		noCache      = fs.Bool("no-cache", false, "force a cold run past the deterministic result cache")
+		wait         = fs.Bool("wait", false, "poll the job until it reaches a terminal state")
+		params       = paramFlag{}
+	)
+	fs.Var(params, "param", "scenario parameter key=value (repeatable, comma-separable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *problemName == "" {
+		return fmt.Errorf("submit requires -problem (see mpcgraph list)")
+	}
+
+	req := service.JobRequest{
+		Problem: *problemName,
+		Model:   *modelName,
+		Options: service.OptionsRequest{
+			Seed:         *seed,
+			Eps:          *eps,
+			MemoryFactor: *memFactor,
+			Strict:       *strict,
+			Workers:      *workers,
+		},
+		TimeoutMs: timeout.Milliseconds(),
+		NoCache:   *noCache,
+	}
+	switch {
+	case *scenarioName != "" && *inPath != "":
+		return fmt.Errorf("-scenario and -in are mutually exclusive")
+	case *scenarioName != "":
+		req.Scenario = &service.ScenarioRequest{Name: *scenarioName, N: *n, Seed: *seed, Params: params}
+	case *inPath != "":
+		if *formatName == "" {
+			return fmt.Errorf("-in requires -format (the upload does not have a file extension server-side)")
+		}
+		raw, err := readAll(env, *inPath)
+		if err != nil {
+			return err
+		}
+		req.Graph = &service.GraphRequest{
+			Format:  *formatName,
+			Content: base64.StdEncoding.EncodeToString(raw),
+			Base64:  true,
+		}
+	default:
+		return fmt.Errorf("need an instance: -in <file> or -scenario <name> (see mpcgraph list)")
+	}
+
+	view, err := postJob(*server, &req)
+	if err != nil {
+		return err
+	}
+	if *wait {
+		view, err = waitJob(*server, view.ID)
+		if err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(env.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(view); err != nil {
+		return err
+	}
+	if view.State == service.StateFailed || view.State == service.StateCanceled {
+		return fmt.Errorf("job %s %s: %s", view.ID, view.State, view.Error)
+	}
+	return nil
+}
+
+// runStatus inspects a running daemon: one job with -job, the newest
+// page of the job table otherwise.
+func runStatus(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph status", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		server = fs.String("server", "http://127.0.0.1:8080", "base URL of the mpcgraphd daemon")
+		jobID  = fs.String("job", "", "job id to fetch (default: list jobs)")
+		state  = fs.String("state", "", "filter the listing by lifecycle state")
+		limit  = fs.Int("limit", 100, "page size of the listing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	path := fmt.Sprintf("/v1/jobs?limit=%d", *limit)
+	if *state != "" {
+		path += "&state=" + *state
+	}
+	if *jobID != "" {
+		path = "/v1/jobs/" + *jobID
+	}
+	body, err := getJSON(*server, path)
+	if err != nil {
+		return err
+	}
+	_, err = env.Stdout.Write(body)
+	return err
+}
+
+// readAll reads a file or stdin ("-").
+func readAll(env Env, path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(env.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// postJob submits req and decodes the job view; non-2xx responses
+// surface the server's error body.
+func postJob(server string, req *service.JobRequest) (*service.JobView, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimSuffix(server, "/")+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, serverError(body))
+	}
+	var view service.JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return nil, fmt.Errorf("submit: bad response: %v", err)
+	}
+	return &view, nil
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(server, id string) (*service.JobView, error) {
+	for {
+		body, err := getJSON(server, "/v1/jobs/"+id)
+		if err != nil {
+			return nil, err
+		}
+		var view service.JobView
+		if err := json.Unmarshal(body, &view); err != nil {
+			return nil, fmt.Errorf("status: bad response: %v", err)
+		}
+		switch view.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled:
+			return &view, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// getJSON fetches one daemon endpoint, surfacing error bodies.
+func getJSON(server, path string) ([]byte, error) {
+	resp, err := http.Get(strings.TrimSuffix(server, "/") + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: %s", resp.Status, serverError(body))
+	}
+	return body, nil
+}
+
+// serverError extracts the daemon's {"error": ...} body, falling back
+// to the raw bytes.
+func serverError(body []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return strings.TrimSpace(string(body))
+}

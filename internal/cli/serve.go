@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpcgraph/internal/service"
+)
+
+// runServe starts the mpcgraphd daemon: the internal/service job API
+// bound to one listener, with graceful drain on SIGINT/SIGTERM. The
+// standalone cmd/mpcgraphd binary is a thin shim over this subcommand,
+// so both entry points share one flag surface and lifecycle.
+func runServe(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph serve", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address; port 0 picks an ephemeral port")
+		workers      = fs.Int("workers", 2, "concurrent solve workers draining the job queue")
+		queueDepth   = fs.Int("queue", 64, "job queue bound; a full queue rejects submissions with 429")
+		cacheEntries = fs.Int("cache", 1024, "result-cache entry bound (negative disables caching)")
+		jobWorkers   = fs.Int("job-workers", 0, "per-job parallel workers when a request leaves workers unset (0 = all cores); results are identical for every value")
+		drainWait    = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown before running jobs are canceled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	srv := service.New(service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheEntries:      *cacheEntries,
+		DefaultJobWorkers: *jobWorkers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The one parseable line scripts (and the service-smoke harness)
+	// wait for before submitting.
+	fmt.Fprintf(env.Stdout, "mpcgraphd listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(env.Stderr, "mpcgraphd: draining (new submissions rejected, running jobs finishing)")
+	srv.Drain(*drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(env.Stderr, "mpcgraphd: drained, exiting")
+	return nil
+}

@@ -29,6 +29,7 @@ func runSolve(args []string, env Env) error {
 		memFactor    = fs.Float64("memory-factor", 0, "per-machine memory = factor*n words (0 = default 16)")
 		strict       = fs.Bool("strict", false, "fail on any simulated memory/bandwidth violation")
 		workers      = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); results identical for every value")
+		timeout      = fs.Duration("timeout", 0, "wall-clock deadline for the solve (0 = none); exceeding it aborts between simulated rounds with exit code 5")
 		jsonOut      = fs.Bool("json", false, "emit the report as one JSON object on stdout")
 		solutionPath = fs.String("solution", "", "write the solution (vertex ids or matched pairs) to this file ('-' for stdout)")
 		trace        = fs.Bool("trace", false, "stream per-round progress to stderr")
@@ -81,7 +82,13 @@ func runSolve(args []string, env Env) error {
 		fmt.Fprintf(env.Stdout, "instance: n=%d m=%d maxdeg=%d (%s)\n",
 			d.G.NumVertices(), d.G.NumEdges(), d.G.MaxDegree(), source)
 	}
-	rep, err := mpcgraph.Solve(context.Background(), instance, problem, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := mpcgraph.Solve(ctx, instance, problem, opts)
 	if err != nil {
 		return err
 	}

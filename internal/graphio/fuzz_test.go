@@ -101,6 +101,38 @@ func fuzzFormat(t *testing.T, data []byte, format Format) {
 	}
 }
 
+// FuzzReadWEL exercises the weighted-edge-list reader, mirroring
+// FuzzReadEdgeList, so every structured graphio reader is fuzzed. Run
+// with `go test -fuzz=FuzzReadWEL`.
+func FuzzReadWEL(f *testing.F) {
+	seeds := []string{
+		"",
+		"n 4\n0 1 1.5\n2 3 0.25\n",
+		"# comment only\n",
+		"0 1 2\n1 0 2\n0 1 2\n",
+		"0 1 2\n1 0 3\n", // duplicate edge, conflicting weight
+		"n 0\n",
+		"0 1 0\n",    // zero weight
+		"0 1 -2\n",   // negative weight
+		"0 1 nan\n",  // not finite
+		"0 1 +Inf\n", // not finite
+		"0 1 1e309\n",
+		"0 1 1e-300\n",
+		"0 1 0.1\n2 3 3.0000000000000004\n", // weights needing exact round-trip
+		"1 1 1\n",                           // self-loop
+		"n 2\n0 5 1\n",                      // out of declared range
+		"0 1\n",                             // missing weight column
+		"0 1 2 3\n",                         // extra column
+		"a b c\n",
+		"n x\n",
+		"n 3\n0 1 1\nn 5\n2 4 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, data, FormatWeightedEdgeList) })
+}
+
 // FuzzReadDIMACS exercises the DIMACS edge-format reader, mirroring
 // FuzzReadEdgeList. Run with `go test -fuzz=FuzzReadDIMACS`.
 func FuzzReadDIMACS(f *testing.F) {

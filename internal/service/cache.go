@@ -1,0 +1,100 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mpcgraph"
+)
+
+// resultCache is the deterministic result cache: an LRU map from
+// content-addressed cache key (see CacheKey) to the completed *Report.
+// Reports are treated as immutable once stored — every consumer of a
+// Report (the job views, the solution renderer, the trace endpoint)
+// only reads it, so a cache hit can hand out the same pointer and still
+// be bit-identical to the cold run that produced it.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	rep *mpcgraph.Report
+}
+
+// newResultCache builds a cache bounded to capEntries entries;
+// capEntries < 0 disables caching entirely (every Get misses, Put is a
+// no-op — the daemon then recomputes every job).
+func newResultCache(capEntries int) *resultCache {
+	return &resultCache{
+		cap:     capEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached Report for key, updating recency and the
+// hit/miss counters.
+func (c *resultCache) Get(key string) (*mpcgraph.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// Put stores rep under key, evicting the least recently used entries
+// beyond capacity.
+func (c *resultCache) Put(key string, rep *mpcgraph.Report) {
+	if c.cap < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Determinism makes any two Reports under one key bit-identical;
+		// keep the first and just refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is a point-in-time snapshot for /metrics and /healthz.
+type cacheStats struct {
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   c.lru.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

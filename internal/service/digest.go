@@ -1,0 +1,131 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"mpcgraph"
+)
+
+// The deterministic result cache is content-addressed: its key is a
+// SHA-256 digest of the canonical instance bytes plus the
+// Workers-invariant solve options. Two properties make this sound:
+//
+//  1. Solve is a pure function of (instance, problem, model, seed, eps,
+//     memory-factor, strict). Workers and Trace are excluded from the
+//     key because the determinism contract guarantees bit-identical
+//     Reports for every Workers setting, and tracing never changes
+//     results (it only observes them).
+//  2. The canonical instance bytes depend only on the logical graph —
+//     vertex count, edge set, weights — not on how it was built. Every
+//     reader reconstructs instances through the same order-insensitive
+//     graph.Builder, so an instance digests identically whether it was
+//     generated in-process from a scenario or round-tripped through any
+//     on-disk format (pinned by digest_test.go, extending the
+//     solvefile_test.go contract).
+
+// instanceDigestVersion tags the canonical byte layout; bump it if the
+// layout ever changes so stale keys cannot alias fresh ones.
+const instanceDigestVersion = "mpcgraph-instance-v1"
+
+// cacheKeyVersion tags the option serialization.
+const cacheKeyVersion = "mpcgraph-key-v1"
+
+// InstanceDigest returns the hex SHA-256 of the canonical byte
+// rendering of in: the version tag, weightedness, n, m, then every
+// undirected edge (u < v, lexicographic order) as little-endian int32
+// pairs, each followed by its exact float64 weight bits when the
+// instance is weighted.
+func InstanceDigest(in mpcgraph.Instance) (string, error) {
+	h := sha256.New()
+	if err := writeInstance(h, in); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeInstance(h hash.Hash, in mpcgraph.Instance) error {
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writePair := func(u, v int32) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(instanceDigestVersion))
+	switch g := in.(type) {
+	case *mpcgraph.WeightedGraph:
+		if g == nil {
+			return fmt.Errorf("service: digest of nil instance")
+		}
+		h.Write([]byte("weighted"))
+		writeU64(uint64(g.NumVertices()))
+		writeU64(uint64(g.NumEdges()))
+		g.ForEachEdge(func(u, v int32) {
+			writePair(u, v)
+			writeU64(math.Float64bits(g.EdgeWeight(u, v)))
+		})
+		return nil
+	case *mpcgraph.Graph:
+		if g == nil {
+			return fmt.Errorf("service: digest of nil instance")
+		}
+		h.Write([]byte("unweighted"))
+		writeU64(uint64(g.NumVertices()))
+		writeU64(uint64(g.NumEdges()))
+		g.ForEachEdge(writePair)
+		return nil
+	default:
+		return fmt.Errorf("service: digest of unsupported instance type %T", in)
+	}
+}
+
+// canonicalOptions are the solve options that determine a Report
+// bit-for-bit. Workers and Trace are deliberately absent (see the
+// package comment); Eps and MemoryFactor are resolved to their
+// documented defaults so "unset" and "explicit default" share a key.
+type canonicalOptions struct {
+	Seed         uint64
+	Eps          float64
+	MemoryFactor float64
+	Strict       bool
+}
+
+// canonicalize resolves the documented Solve defaults.
+func canonicalize(opts mpcgraph.Options) canonicalOptions {
+	c := canonicalOptions{
+		Seed:         opts.Seed,
+		Eps:          opts.Eps,
+		MemoryFactor: opts.MemoryFactor,
+		Strict:       opts.Strict,
+	}
+	if c.Eps <= 0 {
+		c.Eps = 0.1
+	}
+	if c.MemoryFactor <= 0 {
+		c.MemoryFactor = 16
+	}
+	return c
+}
+
+// CacheKey returns the content-addressed cache key of one solve: the
+// hex SHA-256 over the canonical instance bytes, the (problem, model)
+// pair, and the canonicalized Workers-invariant options.
+func CacheKey(in mpcgraph.Instance, p mpcgraph.Problem, m mpcgraph.Model, opts mpcgraph.Options) (string, error) {
+	h := sha256.New()
+	h.Write([]byte(cacheKeyVersion))
+	if err := writeInstance(h, in); err != nil {
+		return "", err
+	}
+	c := canonicalize(opts)
+	fmt.Fprintf(h, "|%s|%s|seed=%d|eps=%x|mem=%x|strict=%t",
+		p, m, c.Seed, math.Float64bits(c.Eps), math.Float64bits(c.MemoryFactor), c.Strict)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpcgraph"
+)
+
+// JobState is the lifecycle of one submitted job:
+//
+//	queued -> running -> done | failed
+//	queued | running  -> canceled
+//
+// A cache hit completes the job as done at submission time without ever
+// entering the queue (its view carries cacheHit: true).
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// maxTraceEvents bounds the per-job trace buffer. The paper's
+// algorithms run O(log log n)–O(log n) metered steps, so real runs stay
+// far below this; the bound only guards the resident daemon against a
+// pathological workload. Overflow drops the newest events and is
+// reported in the job view.
+const maxTraceEvents = 1 << 16
+
+// Job is one submitted solve. Mutable state is guarded by mu; the
+// resolved request fields are immutable after submission.
+type Job struct {
+	ID string
+
+	// Immutable after resolve.
+	problem  mpcgraph.Problem
+	model    mpcgraph.Model
+	opts     mpcgraph.Options
+	instance mpcgraph.Instance
+	source   string // human-readable instance origin for the job view
+	timeout  time.Duration
+	noCache  bool
+	cacheKey string
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	report   *mpcgraph.Report
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	// Trace buffer: appended by the solve's Trace callback, replayed and
+	// followed by the streaming endpoint. changed is closed and replaced
+	// on every append and on the terminal transition, so followers can
+	// select on it together with their client's context.
+	trace        []mpcgraph.TraceEvent
+	traceDropped int
+	changed      chan struct{}
+}
+
+func newJob(id string) *Job {
+	return &Job{
+		ID:      id,
+		state:   StateQueued,
+		created: time.Now(),
+		changed: make(chan struct{}),
+	}
+}
+
+// currentState reads the lifecycle state.
+func (j *Job) currentState() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// terminal reports whether the job reached a final state.
+func (j *Job) terminal() bool {
+	switch j.currentState() {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// signalLocked wakes every trace follower; callers hold j.mu.
+func (j *Job) signalLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendTrace is the Options.Trace callback of a running job.
+func (j *Job) appendTrace(ev mpcgraph.TraceEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.trace) >= maxTraceEvents {
+		j.traceDropped++
+		return
+	}
+	j.trace = append(j.trace, ev)
+	j.signalLocked()
+}
+
+// completeCached finishes a job at submission time from a cache hit.
+func (j *Job) completeCached(rep *mpcgraph.Report) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	j.state = StateDone
+	j.report = rep
+	j.cacheHit = true
+	j.started = now
+	j.finished = now
+	j.signalLocked()
+}
+
+// cancelJob moves a queued or running job toward canceled. A queued job
+// transitions immediately (the worker will skip it); a running job is
+// interrupted through its context and transitions when the solver
+// returns. Terminal jobs are left untouched.
+func (j *Job) cancelJob(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = reason
+		j.finished = time.Now()
+		j.signalLocked()
+		return true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// run executes the job on a worker goroutine.
+func (j *Job) run(s *Server) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if j.timeout > 0 {
+		// The deadline runs from submission, not from pickup, so it
+		// bounds the client-visible latency — queue wait included.
+		ctx, cancel = context.WithDeadline(context.Background(), j.created.Add(j.timeout))
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.cancel = cancel
+	opts := j.opts
+	opts.Trace = j.appendTrace
+	j.signalLocked()
+	j.mu.Unlock()
+	defer cancel()
+
+	rep, err := mpcgraph.Solve(ctx, j.instance, j.problem, opts)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.report = rep
+		// Even a noCache run stores its result: the flag skips the
+		// lookup (forcing the cold recompute), not the refresh.
+		s.cache.Put(j.cacheKey, rep)
+	case ctx.Err() != nil:
+		// Interrupted between metered rounds: DELETE or deadline.
+		j.state = StateCanceled
+		j.err = fmt.Sprintf("%v (%v)", err, ctx.Err())
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.signalLocked()
+}
+
+// submit resolves a request into a Job, serves it from cache when
+// possible, or admits it to the queue. It returns the job and an HTTP
+// status hint for failures (0 on success).
+func (s *Server) submit(req *JobRequest) (*Job, int, error) {
+	problem, model, opts, instance, source, err := req.resolve(s.cfg)
+	if err != nil {
+		return nil, requestErrorStatus(err), err
+	}
+	key, err := CacheKey(instance, problem, model, opts)
+	if err != nil {
+		return nil, 400, err
+	}
+
+	// The draining check and the queue send stay under one critical
+	// section so Drain cannot close the queue between them.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 503, fmt.Errorf("service: draining, not accepting jobs")
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("j%08d", s.nextID))
+	job.problem, job.model, job.opts = problem, model, opts
+	job.instance, job.source = instance, source
+	job.timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	job.noCache = req.NoCache
+	job.cacheKey = key
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictTerminalLocked()
+
+	if !job.noCache {
+		if rep, ok := s.cache.Get(key); ok {
+			job.completeCached(rep)
+			return job, 0, nil
+		}
+	}
+	select {
+	case s.queue <- job:
+		return job, 0, nil
+	default:
+		// Admission control: the queue is full. The job is retained as
+		// canceled so the client can inspect the rejection.
+		job.cancelJob("queue full")
+		return job, 429, fmt.Errorf("service: job queue full (depth %d)", s.cfg.QueueDepth)
+	}
+}
+
+// lookup returns the job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}

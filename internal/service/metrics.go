@@ -1,0 +1,103 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The operational endpoints. /metrics speaks the Prometheus text
+// exposition format (gauges and counters only, no client dependency)
+// so any standard scraper can watch a resident daemon; /healthz is the
+// liveness/readiness probe — 200 while serving, 503 once draining.
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.snapshotCounts()
+	draining := s.Draining()
+	body := struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		QueueDepth    int     `json:"queueDepth"`
+		Inflight      int     `json:"inflight"`
+		Draining      bool    `json:"draining"`
+	}{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    queued,
+		Inflight:      inflight,
+		Draining:      draining,
+	}
+	status := 200
+	if draining {
+		body.Status = "draining"
+		status = 503
+	}
+	writeJSON(w, status, body)
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, inflight := s.snapshotCounts()
+	cache := s.cache.Stats()
+
+	// Only the lifecycle state is read per job — never the full view,
+	// whose report rendering is O(solution size) and would make every
+	// scrape stall the submit path while s.mu is held.
+	s.mu.Lock()
+	byState := map[JobState]int{}
+	for _, id := range s.order {
+		byState[s.jobs[id].currentState()]++
+	}
+	total := s.nextID
+	draining := s.draining
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP mpcgraphd_up Whether the daemon is serving (1) or draining (0).\n")
+	p("# TYPE mpcgraphd_up gauge\n")
+	up := 1
+	if draining {
+		up = 0
+	}
+	p("mpcgraphd_up %d\n", up)
+	p("# HELP mpcgraphd_uptime_seconds Seconds since the daemon started.\n")
+	p("# TYPE mpcgraphd_uptime_seconds gauge\n")
+	p("mpcgraphd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	p("# HELP mpcgraphd_queue_depth Jobs admitted but not yet running.\n")
+	p("# TYPE mpcgraphd_queue_depth gauge\n")
+	p("mpcgraphd_queue_depth %d\n", queued)
+	p("# HELP mpcgraphd_queue_capacity Bound of the job queue.\n")
+	p("# TYPE mpcgraphd_queue_capacity gauge\n")
+	p("mpcgraphd_queue_capacity %d\n", s.cfg.QueueDepth)
+	p("# HELP mpcgraphd_jobs_inflight Jobs currently running on a worker.\n")
+	p("# TYPE mpcgraphd_jobs_inflight gauge\n")
+	p("mpcgraphd_jobs_inflight %d\n", inflight)
+	p("# HELP mpcgraphd_jobs_submitted_total Jobs ever submitted.\n")
+	p("# TYPE mpcgraphd_jobs_submitted_total counter\n")
+	p("mpcgraphd_jobs_submitted_total %d\n", total)
+	p("# HELP mpcgraphd_jobs Retained jobs by lifecycle state.\n")
+	p("# TYPE mpcgraphd_jobs gauge\n")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		p("mpcgraphd_jobs{state=%q} %d\n", st, byState[st])
+	}
+	p("# HELP mpcgraphd_cache_entries Resident entries of the result cache.\n")
+	p("# TYPE mpcgraphd_cache_entries gauge\n")
+	p("mpcgraphd_cache_entries %d\n", cache.Entries)
+	p("# HELP mpcgraphd_cache_capacity Entry bound of the result cache.\n")
+	p("# TYPE mpcgraphd_cache_capacity gauge\n")
+	p("mpcgraphd_cache_capacity %d\n", cache.Capacity)
+	p("# HELP mpcgraphd_cache_hits_total Result-cache hits.\n")
+	p("# TYPE mpcgraphd_cache_hits_total counter\n")
+	p("mpcgraphd_cache_hits_total %d\n", cache.Hits)
+	p("# HELP mpcgraphd_cache_misses_total Result-cache misses.\n")
+	p("# TYPE mpcgraphd_cache_misses_total counter\n")
+	p("mpcgraphd_cache_misses_total %d\n", cache.Misses)
+	p("# HELP mpcgraphd_cache_evictions_total Result-cache LRU evictions.\n")
+	p("# TYPE mpcgraphd_cache_evictions_total counter\n")
+	p("mpcgraphd_cache_evictions_total %d\n", cache.Evictions)
+	p("# HELP mpcgraphd_workers Solve workers draining the queue.\n")
+	p("# TYPE mpcgraphd_workers gauge\n")
+	p("mpcgraphd_workers %d\n", s.cfg.Workers)
+}

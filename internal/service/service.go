@@ -1,0 +1,223 @@
+// Package service implements mpcgraphd, the long-running solve daemon:
+// the full registry surface (problems × models × scenario catalog ×
+// graph upload in any graphio format) exposed as an HTTP job API.
+//
+// The daemon is three registry-shaped layers over the public Solve
+// entry point:
+//
+//   - a bounded job queue drained by a fixed worker pool, with per-job
+//     context cancellation and deadlines threaded into Solve, so a
+//     resident process has admission control instead of unbounded
+//     goroutine fan-out;
+//   - a content-addressed deterministic result cache: because Solve is
+//     a pure function of (instance, problem, model, seed, eps,
+//     memory-factor, strict) — bit-identical for every Workers setting
+//     — a Report can be replayed from cache with full fidelity. The
+//     key is a digest of the canonical instance bytes plus the
+//     Workers-invariant solve options (see CacheKey), so the same
+//     logical instance hits the cache whether it arrived as a catalog
+//     scenario, an uploaded edge list, or a MatrixMarket file;
+//   - job lifecycle and operational endpoints: submit, poll, cancel,
+//     list, per-round TraceEvent streaming as NDJSON or SSE, /healthz,
+//     and Prometheus-style /metrics (queue depth, in-flight gauge,
+//     cache hit/miss/eviction counters).
+//
+// Everything dispatches through the registries — the algorithm table,
+// the scenario catalog, the format table — so a new (Problem, Model)
+// pair, scenario or format appears in the service automatically, with
+// no service change. See docs/service.md for the wire API.
+//
+// This package records wall-clock job timestamps (created/started/
+// finished, uptime); those are operational metadata only and never
+// enter a Report's audited costs or the cache key.
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// documented default applied by New.
+type Config struct {
+	// Workers is the number of concurrent solve workers draining the job
+	// queue (default 2). Each running job additionally fans out across
+	// cores according to its own per-job Workers option; results are
+	// bit-identical either way, so this knob trades latency against
+	// throughput only.
+	Workers int
+	// QueueDepth bounds the number of queued (admitted but not yet
+	// running) jobs (default 64). A full queue rejects submissions with
+	// HTTP 429 rather than buffering without bound.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 1024 entries; < 0
+	// disables caching).
+	CacheEntries int
+	// MaxJobsRetained bounds the number of finished jobs kept for
+	// GET /v1/jobs inspection (default 4096). The oldest terminal jobs
+	// are evicted first; queued and running jobs are never evicted.
+	MaxJobsRetained int
+	// DefaultJobWorkers is the per-job Workers option applied when a
+	// request leaves workers at 0 (default 0 = all cores). Results are
+	// Workers-invariant, so this changes scheduling only — never
+	// payloads, costs or cache keys.
+	DefaultJobWorkers int
+}
+
+// withDefaults resolves the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 4096
+	}
+	return c
+}
+
+// Server is one daemon instance: the job table, the queue, the worker
+// pool and the result cache behind an http.Handler. Create with New,
+// serve Handler, and stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job ids in submission order (pagination, eviction)
+	nextID   uint64
+	inflight int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup // worker goroutines
+}
+
+// New constructs a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries),
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP API. See docs/service.md.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain gracefully stops the server: new submissions are rejected with
+// 503, queued and running jobs are given until deadline to finish, and
+// any still running after that are canceled. Drain returns when every
+// worker has exited. It is the SIGTERM path of mpcgraphd.
+func (s *Server) Drain(deadline time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	// Closed under the same lock that guards submissions, so a submit
+	// can never send on the closed queue.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-done:
+	case <-timeout:
+		// Deadline passed: cancel everything still live and wait for the
+		// workers to observe it. Cancellation is checked between metered
+		// rounds, so this converges quickly.
+		s.mu.Lock()
+		for _, id := range s.order {
+			s.jobs[id].cancelJob("server draining")
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		s.inflight++
+		s.mu.Unlock()
+		job.run(s)
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}
+}
+
+// snapshotCounts returns (queued, inflight) for health and metrics.
+func (s *Server) snapshotCounts() (queued, inflight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.inflight
+}
+
+// evictTerminalLocked drops the oldest terminal jobs beyond the
+// retention bound. Called with s.mu held after every submission.
+func (s *Server) evictTerminalLocked() {
+	excess := len(s.order) - s.cfg.MaxJobsRetained
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

@@ -11,10 +11,12 @@
 //     everywhere. All randomness goes through internal/rng, whose
 //     stateless hashing keeps runs bit-identical for every Workers
 //     setting and across processes.
-//  2. no-wall-clock: calling time.Now is forbidden outside package main
-//     and internal/registry (which stamps the one advisory Wall field
-//     of the Report). Audited costs are model rounds and words, never
-//     host time.
+//  2. no-wall-clock: calling time.Now is forbidden outside package main,
+//     internal/registry (which stamps the one advisory Wall field of
+//     the Report) and internal/service (which stamps job lifecycle
+//     timestamps and daemon uptime — operational metadata that never
+//     enters audited costs or cache keys). Audited costs are model
+//     rounds and words, never host time.
 //  3. no-exit: calling os.Exit is forbidden outside package main, so
 //     library errors surface as errors (and the mpcgraph binary can map
 //     sentinels onto its documented exit codes).
@@ -84,7 +86,9 @@ func lintTree(root string) ([]string, error) {
 // timeNowAllowed lists the non-main packages permitted to read the wall
 // clock (see rule 2).
 func timeNowAllowed(path string) bool {
-	return strings.Contains(filepath.ToSlash(path), "internal/registry/")
+	slash := filepath.ToSlash(path)
+	return strings.Contains(slash, "internal/registry/") ||
+		strings.Contains(slash, "internal/service/")
 }
 
 func lintFile(path string) ([]string, error) {

@@ -159,7 +159,15 @@ func buildBlocks(repoRoot, source string, blocks []block) error {
 			return err
 		}
 	}
-	cmd := exec.Command("go", "build", "./...")
+	// Build into a scratch bin directory: with exactly one main package
+	// in the module, a bare `go build ./...` would write the binary into
+	// the working directory, where it collides with the block directory
+	// of the same name.
+	binDir := filepath.Join(dir, "bin")
+	if err := os.Mkdir(binDir, 0o755); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "-o", binDir, "./...")
 	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod", "GOWORK=off")
 	out, err := cmd.CombinedOutput()

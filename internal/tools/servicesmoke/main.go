@@ -1,0 +1,245 @@
+// Command servicesmoke is the `make service-smoke` harness: it boots a
+// real mpcgraphd binary on an ephemeral port, submits one job per
+// registered problem over HTTP, re-submits each and verifies the
+// deterministic result cache returned a hit whose job view is
+// bit-identical to the cold run (volatile fields aside), checks the
+// /metrics counters, then sends SIGTERM and requires a clean graceful
+// exit. It exercises exactly the production path: the shipped binary,
+// a real TCP port, real signals.
+//
+// Usage: servicesmoke -bin <path-to-mpcgraphd>
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the mpcgraphd binary")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "servicesmoke: -bin is required")
+		os.Exit(2)
+	}
+	if err := run(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "servicesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("service-smoke OK")
+}
+
+// jobSpec is one cold-run/cache-hit probe.
+type jobSpec struct {
+	problem  string
+	model    string
+	scenario string
+}
+
+// specs covers every problem, both models where registered, and the
+// weighted path.
+var specs = []jobSpec{
+	{"mis", "mpc", "gnp"},
+	{"mis", "congested-clique", "gnp"},
+	{"maximal-matching", "mpc", "rmat"},
+	{"approx-matching", "congested-clique", "chung-lu"},
+	{"one-plus-eps-matching", "mpc", "ring-of-cliques"},
+	{"vertex-cover", "congested-clique", "high-girth"},
+	{"weighted-matching", "mpc", "weighted-gnp"},
+}
+
+func run(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The daemon's first stdout line carries the bound address.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		return fmt.Errorf("daemon never printed its address")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	for _, spec := range specs {
+		cold, err := submitAndWait(base, spec)
+		if err != nil {
+			return fmt.Errorf("%s/%s cold: %w", spec.problem, spec.model, err)
+		}
+		if cacheHit(cold) {
+			return fmt.Errorf("%s/%s: cold run claimed a cache hit", spec.problem, spec.model)
+		}
+		hit, err := submitAndWait(base, spec)
+		if err != nil {
+			return fmt.Errorf("%s/%s hit: %w", spec.problem, spec.model, err)
+		}
+		if !cacheHit(hit) {
+			return fmt.Errorf("%s/%s: re-submit missed the cache", spec.problem, spec.model)
+		}
+		a, b := canonical(cold), canonical(hit)
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("%s/%s: cache hit not bit-identical to cold run:\n cold: %s\n hit:  %s",
+				spec.problem, spec.model, a, b)
+		}
+		fmt.Printf("  %-22s %-17s cold+hit bit-identical (rounds=%v)\n",
+			spec.problem, spec.model, cold["report"].(map[string]any)["rounds"])
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(metrics), fmt.Sprintf("mpcgraphd_cache_hits_total %d", len(specs))) {
+		return fmt.Errorf("metrics do not report %d cache hits:\n%s", len(specs), metrics)
+	}
+	if !strings.Contains(string(metrics), fmt.Sprintf("mpcgraphd_jobs_submitted_total %d", 2*len(specs))) {
+		return fmt.Errorf("metrics do not report %d submissions", 2*len(specs))
+	}
+	health, err := get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(health), `"status": "ok"`) {
+		return fmt.Errorf("healthz not ok: %s", health)
+	}
+
+	// Graceful drain: SIGTERM must produce a zero exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 60s of SIGTERM")
+	}
+	return nil
+}
+
+// submitAndWait posts one job and polls it to a terminal state,
+// returning the job view as a generic map (so field comparison covers
+// every wire field, including ones this tool does not know about).
+func submitAndWait(base string, spec jobSpec) (map[string]any, error) {
+	body := fmt.Sprintf(`{
+		"problem": %q, "model": %q,
+		"scenario": {"name": %q, "n": 500, "seed": 7},
+		"options": {"seed": 7}
+	}`, spec.problem, spec.model, spec.scenario)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 201 {
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var view map[string]any
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, err
+	}
+	id, _ := view["id"].(string)
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		state, _ := view["state"].(string)
+		switch state {
+		case "done":
+			return view, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s %s: %v", id, state, view["error"])
+		}
+		time.Sleep(20 * time.Millisecond)
+		data, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("job %s did not finish", id)
+}
+
+func cacheHit(view map[string]any) bool {
+	hit, _ := view["cacheHit"].(bool)
+	return hit
+}
+
+// canonical renders a job view with the volatile fields (identity,
+// timestamps, wall time, cache/trace bookkeeping) removed; everything
+// left must be bit-identical between a cold run and its cache hit.
+func canonical(view map[string]any) []byte {
+	c := make(map[string]any, len(view))
+	for k, v := range view {
+		switch k {
+		case "id", "cacheHit", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
+			continue
+		}
+		c[k] = v
+	}
+	if rep, ok := c["report"].(map[string]any); ok {
+		r := make(map[string]any, len(rep))
+		for k, v := range rep {
+			if k == "wallMs" {
+				continue
+			}
+			r[k] = v
+		}
+		c["report"] = r
+	}
+	out, _ := json.Marshal(c)
+	return out
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, data)
+	}
+	return data, nil
+}
