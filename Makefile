@@ -9,7 +9,9 @@
 # a working benchmark entry, pipes `mpcgraph gen` into `mpcgraph solve`
 # for one scenario per problem, boots a real mpcgraphd daemon and proves
 # the deterministic result cache serves bit-identical hits for every
-# problem before draining it with SIGTERM, and builds every Go code
+# problem before draining it with SIGTERM, SIGKILLs a daemon mid-queue
+# and proves the persistent cache tier recovers every completed result
+# bit-identically with zero recomputation, and builds every Go code
 # block of README.md and docs/service.md against the current API.
 #
 # Targets:
@@ -26,7 +28,10 @@
 #   make list-smoke - mpcbench -list + registry/benchmark coverage check
 #   make cli-smoke  - mpcgraph gen|solve pipe, one scenario per problem
 #   make service-smoke - boot mpcgraphd, one job per problem, cache-hit
-#                     bit-identity, metrics, graceful SIGTERM drain
+#                     bit-identity, metrics, graceful SIGTERM drain,
+#                     429 + Retry-After on a saturated daemon
+#   make chaos-smoke - SIGKILL mpcgraphd mid-queue, restart on the same
+#                     cache dir, prove crash recovery against the goldens
 #   make docs-check - compile every ```go block of README.md and docs/service.md
 
 GO ?= go
@@ -36,9 +41,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke docs-check tables json
+.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check tables json
 
-ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke docs-check
+ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -105,6 +110,18 @@ service-smoke:
 	$(GO) build -race -o /tmp/mpcgraphd-ci ./cmd/mpcgraphd
 	$(GO) run ./internal/tools/servicesmoke -bin /tmp/mpcgraphd-ci
 	rm -f /tmp/mpcgraphd-ci
+
+# The crash-safety gate: fill a persistent-cache daemon's queue, SIGKILL
+# it mid-drain, restart on the same directory, and require every
+# persisted result to come back as a disk-tier hit bit-identical to
+# testdata/golden_reports.json with zero recomputation — then corrupt an
+# entry in place and require quarantine + self-healing. Deliberately NOT
+# race-instrumented: the kill must land on the production binary's
+# timing, and `race` already covers the data-race surface.
+chaos-smoke:
+	$(GO) build -o /tmp/mpcgraphd-chaos-ci ./cmd/mpcgraphd
+	$(GO) run ./internal/tools/chaossmoke -bin /tmp/mpcgraphd-chaos-ci
+	rm -f /tmp/mpcgraphd-chaos-ci
 
 docs-check:
 	$(GO) run ./internal/tools/readmecheck README.md docs/service.md

@@ -35,6 +35,10 @@
 //	5  the solve exceeded its deadline (`solve -timeout`,
 //	   context.DeadlineExceeded — the run was aborted between
 //	   simulated rounds)
+//	6  a retryable daemon rejection (HTTP 429 queue-full / 503
+//	   draining) outlasted `submit -retries`/`-retry-budget`
+//	   (cli.ErrRetriesExhausted — the daemon is saturated, retry
+//	   later with coarser pacing)
 package main
 
 import (
@@ -71,6 +75,8 @@ func exitCode(err error) int {
 		return 4
 	case errors.Is(err, context.DeadlineExceeded):
 		return 5
+	case errors.Is(err, cli.ErrRetriesExhausted):
+		return 6
 	}
 	return 1
 }

@@ -1,13 +1,24 @@
 // Command mpcgraphd is the long-running mpcgraph solve daemon: the full
 // registry surface (problems × models × scenario catalog × graph upload
 // in any supported format) exposed as an HTTP job API with a bounded
-// queue, a content-addressed deterministic result cache, per-round
-// trace streaming, and Prometheus-style operational metrics.
+// queue, a content-addressed deterministic result cache — an in-memory
+// LRU over an optional crash-safe disk tier — single-flight coalescing
+// of identical submissions, per-round trace streaming, and
+// Prometheus-style operational metrics.
 //
 // Usage:
 //
 //	mpcgraphd [-addr 127.0.0.1:8080] [-workers 2] [-queue 64]
-//	          [-cache 1024] [-job-workers 0] [-drain 30s]
+//	          [-cache 1024] [-cache-dir DIR] [-disk-entries 65536]
+//	          [-job-workers 0] [-drain 30s]
+//
+// With -cache-dir, completed results are persisted atomically (one
+// file per cache key) and recovered on restart: a daemon killed at any
+// instant — even SIGKILL mid-queue — serves every previously completed
+// result from disk after restart, bit-identical and with zero
+// recomputation. Damaged entries are quarantined, never served and
+// never fatal. The MPCGRAPHD_FAILPOINTS environment variable arms
+// fault-injection points for crash testing (see docs/service.md).
 //
 // The binary is a thin shim over `mpcgraph serve` (both share the flag
 // surface and lifecycle of internal/cli). On startup it prints one

@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: identical seeds plan identical delay
+// sequences — a replayed invocation retries at the same instants.
+func TestBackoffDeterministic(t *testing.T) {
+	plan := func() []time.Duration {
+		b := newBackoff(42, "submit", 100*time.Millisecond, 5*time.Second, 8, 0)
+		var ds []time.Duration
+		for {
+			d, ok := b.next(0)
+			if !ok {
+				break
+			}
+			ds = append(ds, d)
+		}
+		return ds
+	}
+	a, b := plan(), plan()
+	if len(a) != 8 {
+		t.Fatalf("planned %d delays, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs between identical plans: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The exponential envelope with [d/2, d) jitter.
+	for i, d := range a {
+		env := 100 * time.Millisecond << i
+		if env > 5*time.Second {
+			env = 5 * time.Second
+		}
+		if d < env/2 || d >= env {
+			t.Errorf("delay %d = %v outside [%v, %v)", i, d, env/2, env)
+		}
+	}
+}
+
+// TestBackoffHonorsRetryAfter: the server hint replaces the planned
+// delay for that attempt.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	b := newBackoff(7, "submit", 100*time.Millisecond, 5*time.Second, 4, 0)
+	d, ok := b.next(3 * time.Second)
+	if !ok || d != 3*time.Second {
+		t.Errorf("retry-after hint not honored: %v %t", d, ok)
+	}
+}
+
+// TestBackoffBudget: the budget bounds the sum of planned sleeps, and
+// exhaustion is reported before the overflowing sleep, not after.
+func TestBackoffBudget(t *testing.T) {
+	b := newBackoff(7, "submit", 100*time.Millisecond, 5*time.Second, 100, 250*time.Millisecond)
+	var total time.Duration
+	n := 0
+	for {
+		d, ok := b.next(0)
+		if !ok {
+			break
+		}
+		total += d
+		n++
+	}
+	if total > 250*time.Millisecond {
+		t.Errorf("planned sleeps total %v, budget 250ms", total)
+	}
+	if n == 0 || n >= 100 {
+		t.Errorf("budget allowed %d attempts", n)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -20,6 +22,11 @@ import (
 // running mpcgraphd and (with -wait) polls it to completion; `mpcgraph
 // status` inspects the daemon's job table. Together with `mpcgraph
 // serve` they make the service drivable end-to-end from the one CLI.
+//
+// Retry convention (see docs/service.md): exactly HTTP 429 (queue
+// full) and 503 (draining) are retryable, both carry a Retry-After
+// hint the client honors, and exhausting the retry budget returns
+// ErrRetriesExhausted (exit code 6). Every other status fails fast.
 
 // runSubmit posts one job to a running daemon.
 func runSubmit(args []string, env Env) error {
@@ -41,6 +48,8 @@ func runSubmit(args []string, env Env) error {
 		timeout      = fs.Duration("timeout", 0, "server-side deadline for the job (0 = none)")
 		noCache      = fs.Bool("no-cache", false, "force a cold run past the deterministic result cache")
 		wait         = fs.Bool("wait", false, "poll the job until it reaches a terminal state")
+		retries      = fs.Int("retries", 8, "submission retries on 429/503 before giving up (exit code 6)")
+		retryBudget  = fs.Duration("retry-budget", 2*time.Minute, "total planned retry sleep before giving up (exit code 6)")
 		params       = paramFlag{}
 	)
 	fs.Var(params, "param", "scenario parameter key=value (repeatable, comma-separable)")
@@ -89,12 +98,32 @@ func runSubmit(args []string, env Env) error {
 		return fmt.Errorf("need an instance: -in <file> or -scenario <name> (see mpcgraph list)")
 	}
 
-	view, err := postJob(*server, &req)
-	if err != nil {
-		return err
+	// Submission retry loop: 429 (queue full) and 503 (draining behind
+	// a balancer) back off and retry, everything else fails fast. The
+	// jitter stream is seeded by the job seed, so one scripted
+	// invocation plans one reproducible delay sequence.
+	bo := newBackoff(*seed, "submit", 100*time.Millisecond, 5*time.Second, *retries, *retryBudget)
+	var view *service.JobView
+	for {
+		var err error
+		view, err = postJob(*server, &req)
+		if err == nil {
+			break
+		}
+		var he *httpError
+		if !errors.As(err, &he) || !he.retryable() {
+			return err
+		}
+		delay, ok := bo.next(he.retryAfter)
+		if !ok {
+			return fmt.Errorf("submit: %v: %w after %d attempts", err, ErrRetriesExhausted, bo.attempts+1)
+		}
+		fmt.Fprintf(env.Stderr, "mpcgraph: submit rejected (%d), retrying in %v\n", he.status, delay.Round(time.Millisecond))
+		time.Sleep(delay)
 	}
 	if *wait {
-		view, err = waitJob(*server, view.ID)
+		var err error
+		view, err = waitJob(*server, view.ID, *seed)
 		if err != nil {
 			return err
 		}
@@ -150,8 +179,34 @@ func readAll(env Env, path string) ([]byte, error) {
 	return os.ReadFile(path)
 }
 
+// httpError is a non-2xx daemon response, carrying the status and the
+// Retry-After hint so callers can apply the documented retry
+// convention.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// retryable reports whether the convention allows retrying: exactly
+// 429 (queue full, clears within a solve) and 503 (draining — this
+// daemon won't recover, but a balancer may route the retry elsewhere).
+func (e *httpError) retryable() bool { return e.status == 429 || e.status == 503 }
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the
+// only form mpcgraphd emits); anything else means no hint.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // postJob submits req and decodes the job view; non-2xx responses
-// surface the server's error body.
+// surface the server's error body as an *httpError.
 func postJob(server string, req *service.JobRequest) (*service.JobView, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -167,7 +222,11 @@ func postJob(server string, req *service.JobRequest) (*service.JobView, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("submit: %s: %s", resp.Status, serverError(body))
+		return nil, &httpError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			msg:        fmt.Sprintf("submit: %s: %s", resp.Status, serverError(body)),
+		}
 	}
 	var view service.JobView
 	if err := json.Unmarshal(body, &view); err != nil {
@@ -176,26 +235,47 @@ func postJob(server string, req *service.JobRequest) (*service.JobView, error) {
 	return &view, nil
 }
 
-// waitJob polls until the job reaches a terminal state.
-func waitJob(server, id string) (*service.JobView, error) {
+// waitJob polls until the job reaches a terminal state. The poll pace
+// backs off with jitter from 20ms toward a 1s cap — a short job is
+// noticed almost immediately, a long one costs the daemon one request
+// per second instead of twenty. Retryable statuses from the daemon
+// (or a proxy in front of it) honor Retry-After and are tolerated up
+// to a cap of consecutive failures; the overall wait is unbounded,
+// because a live job may legitimately run long.
+func waitJob(server, id string, seed uint64) (*service.JobView, error) {
+	pace := newBackoff(seed, "wait-poll", 20*time.Millisecond, time.Second, int(^uint(0)>>1), 0)
+	consecutive := 0
 	for {
 		body, err := getJSON(server, "/v1/jobs/"+id)
+		var retryAfter time.Duration
 		if err != nil {
-			return nil, err
+			var he *httpError
+			if !errors.As(err, &he) || !he.retryable() {
+				return nil, err
+			}
+			consecutive++
+			if consecutive > 10 {
+				return nil, fmt.Errorf("wait: %v: %w", err, ErrRetriesExhausted)
+			}
+			retryAfter = he.retryAfter
+		} else {
+			consecutive = 0
+			var view service.JobView
+			if err := json.Unmarshal(body, &view); err != nil {
+				return nil, fmt.Errorf("status: bad response: %v", err)
+			}
+			switch view.State {
+			case service.StateDone, service.StateFailed, service.StateCanceled:
+				return &view, nil
+			}
 		}
-		var view service.JobView
-		if err := json.Unmarshal(body, &view); err != nil {
-			return nil, fmt.Errorf("status: bad response: %v", err)
-		}
-		switch view.State {
-		case service.StateDone, service.StateFailed, service.StateCanceled:
-			return &view, nil
-		}
-		time.Sleep(50 * time.Millisecond)
+		delay, _ := pace.next(retryAfter)
+		time.Sleep(delay)
 	}
 }
 
-// getJSON fetches one daemon endpoint, surfacing error bodies.
+// getJSON fetches one daemon endpoint, surfacing error bodies as
+// *httpError.
 func getJSON(server, path string) ([]byte, error) {
 	resp, err := http.Get(strings.TrimSuffix(server, "/") + path)
 	if err != nil {
@@ -207,7 +287,11 @@ func getJSON(server, path string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("%s: %s", resp.Status, serverError(body))
+		return nil, &httpError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			msg:        fmt.Sprintf("%s: %s", resp.Status, serverError(body)),
+		}
 	}
 	return body, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -25,6 +26,8 @@ func runServe(args []string, env Env) error {
 		workers      = fs.Int("workers", 2, "concurrent solve workers draining the job queue")
 		queueDepth   = fs.Int("queue", 64, "job queue bound; a full queue rejects submissions with 429")
 		cacheEntries = fs.Int("cache", 1024, "result-cache entry bound (negative disables caching)")
+		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory; results survive restarts and crashes (empty disables the disk tier)")
+		diskEntries  = fs.Int("disk-entries", 0, "persistent-tier entry bound (0 = default 65536); oldest entries by access time are evicted")
 		jobWorkers   = fs.Int("job-workers", 0, "per-job parallel workers when a request leaves workers unset (0 = all cores); results are identical for every value")
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown before running jobs are canceled")
 	)
@@ -35,12 +38,20 @@ func runServe(args []string, env Env) error {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 
-	srv := service.New(service.Config{
+	// Fault injection is an env var, not a flag: it exists for the
+	// chaos harness and must be impossible to arm by flag typo.
+	srv, err := service.New(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		CacheEntries:      *cacheEntries,
+		CacheDir:          *cacheDir,
+		DiskEntries:       *diskEntries,
 		DefaultJobWorkers: *jobWorkers,
+		Failpoints:        os.Getenv("MPCGRAPHD_FAILPOINTS"),
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -21,7 +21,10 @@ import (
 // subcommand tests talk to exactly what `mpcgraph serve` serves.
 func startDaemon(t *testing.T) string {
 	t.Helper()
-	s := service.New(service.Config{Workers: 1})
+	s, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

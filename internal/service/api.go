@@ -186,13 +186,21 @@ func requestErrorStatus(err error) int {
 // elements of GET /v1/jobs). Timestamps are RFC 3339; they and
 // report.wallMs are the only fields that vary between identical runs.
 type JobView struct {
-	ID         string      `json:"id"`
-	State      JobState    `json:"state"`
-	Problem    string      `json:"problem"`
-	Model      string      `json:"model"`
-	Source     string      `json:"source"`
-	CacheKey   string      `json:"cacheKey"`
-	CacheHit   bool        `json:"cacheHit"`
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Problem  string   `json:"problem"`
+	Model    string   `json:"model"`
+	Source   string   `json:"source"`
+	CacheKey string   `json:"cacheKey"`
+	CacheHit bool     `json:"cacheHit"`
+	// CacheTier is where a cacheHit was served from: "memory" (L1 LRU)
+	// or "disk" (the persistent tier, i.e. a restart survivor or an L1
+	// eviction); "none" for computed results.
+	CacheTier CacheTier `json:"cacheTier"`
+	// Coalesced marks a job that rode another job's identical in-flight
+	// computation instead of occupying a queue slot itself. Like cache
+	// hits, coalesced jobs carry no trace of their own.
+	Coalesced  bool        `json:"coalesced,omitempty"`
 	Error      string      `json:"error,omitempty"`
 	CreatedAt  string      `json:"createdAt"`
 	StartedAt  string      `json:"startedAt,omitempty"`
@@ -330,6 +338,8 @@ func (j *Job) view() *JobView {
 		Source:    j.source,
 		CacheKey:  j.cacheKey,
 		CacheHit:  j.cacheHit,
+		CacheTier: j.cacheTier,
+		Coalesced: j.coalesced,
 		Error:     j.err,
 		CreatedAt: j.created.UTC().Format("2006-01-02T15:04:05.000Z"),
 		TraceLen:  len(j.trace),

@@ -98,3 +98,51 @@ func (c *resultCache) Stats() cacheStats {
 		Evictions: c.evictions,
 	}
 }
+
+// CacheTier names where a job's result came from, exposed on the job
+// view as cacheTier.
+type CacheTier string
+
+const (
+	// TierMemory: served from the in-memory LRU (L1).
+	TierMemory CacheTier = "memory"
+	// TierDisk: recovered from the persistent store (L2) — a restart
+	// survivor or an L1 eviction — and promoted back into memory.
+	TierDisk CacheTier = "disk"
+	// TierNone: computed by this job (or ridden on another job's
+	// computation; see the coalesced marker).
+	TierNone CacheTier = "none"
+)
+
+// tieredCache layers the in-memory LRU (L1) over the persistent disk
+// store (L2, optional). Both tiers are content-addressed by the same
+// mpcgraph-key-v1 digest and hold bit-identical Reports — L1 trades
+// capacity for latency, L2 survives restarts — so a Get may be served
+// from either tier with full fidelity. Disk hits are promoted into
+// memory; puts write through to both tiers.
+type tieredCache struct {
+	mem  *resultCache
+	disk *diskStore // nil when the persistent tier is disabled
+}
+
+// Get returns the cached Report for key and the tier that served it.
+func (c *tieredCache) Get(key string) (*mpcgraph.Report, CacheTier, bool) {
+	if rep, ok := c.mem.Get(key); ok {
+		return rep, TierMemory, true
+	}
+	if c.disk != nil {
+		if rep, ok := c.disk.Get(key); ok {
+			c.mem.Put(key, rep) // promote for the next identical submission
+			return rep, TierDisk, true
+		}
+	}
+	return nil, TierNone, false
+}
+
+// Put stores rep in both tiers.
+func (c *tieredCache) Put(key string, rep *mpcgraph.Report) {
+	c.mem.Put(key, rep)
+	if c.disk != nil {
+		c.disk.Put(key, rep)
+	}
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"mpcgraph"
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/model"
+	"mpcgraph/internal/registry"
+)
+
+// The disk tier persists Reports in a canonical, versioned binary
+// serialization. The format must round-trip a Report bit-for-bit —
+// recovery after a restart is only sound because a decoded Report is
+// indistinguishable from the one the cold run produced — so floats are
+// stored as their exact IEEE-754 bit patterns and every collection is
+// written in its in-memory order (which is itself deterministic by the
+// Workers-invariance contract).
+//
+// Entry layout:
+//
+//	magic   "mpcgraphd-report-v1\n"
+//	body    the fields of registry.Report, little-endian (see encode)
+//	trailer SHA-256 over magic+body (32 bytes)
+//
+// The trailing checksum is what makes torn or bit-rotted entries
+// detectable: a crash between write and rename never produces a
+// visible file at all (writes are temp+fsync+rename), and a file
+// damaged in place fails the checksum and is quarantined, never
+// served. Unknown magic versions are quarantined the same way, so a
+// future layout change (bump reportCodecVersion) cannot misparse old
+// entries.
+
+// reportCodecVersion tags the on-disk entry layout; bump on any change.
+const reportCodecVersion = "mpcgraphd-report-v1\n"
+
+// checksumLen is the length of the SHA-256 trailer.
+const checksumLen = sha256.Size
+
+// encodeReport renders rep in the canonical entry layout, checksum
+// included.
+func encodeReport(rep *mpcgraph.Report) []byte {
+	var b bytes.Buffer
+	b.WriteString(reportCodecVersion)
+	w := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		b.Write(buf[:])
+	}
+	ws := func(s string) {
+		w(uint64(len(s)))
+		b.WriteString(s)
+	}
+	wbools := func(set []bool) { // nil encoded as 0, non-nil as len+1
+		if set == nil {
+			w(0)
+			return
+		}
+		w(uint64(len(set)) + 1)
+		for _, v := range set {
+			if v {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		}
+	}
+
+	ws(rep.Problem.String())
+	ws(rep.Model.String())
+	wbools(rep.InMIS)
+	if rep.M == nil {
+		w(0)
+	} else {
+		w(uint64(len(rep.M)) + 1)
+		for _, mate := range rep.M {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], uint32(mate))
+			b.Write(buf[:])
+		}
+	}
+	wbools(rep.InCover)
+	w(math.Float64bits(rep.FractionalWeight))
+	w(math.Float64bits(rep.Value))
+	w(uint64(rep.Rounds))
+	w(uint64(rep.Phases))
+	w(uint64(rep.MaxMachineWords))
+	w(uint64(rep.TotalWords))
+	w(uint64(rep.Violations))
+	w(uint64(rep.Wall.Nanoseconds()))
+	w(uint64(len(rep.Stages)))
+	for _, st := range rep.Stages {
+		ws(st.Name)
+		w(uint64(st.Rounds))
+		w(uint64(st.Words))
+	}
+
+	sum := sha256.Sum256(b.Bytes())
+	b.Write(sum[:])
+	return b.Bytes()
+}
+
+// decodeReport parses one entry, validating version and checksum. Any
+// error means the entry must be quarantined, not served.
+func decodeReport(data []byte) (*mpcgraph.Report, error) {
+	if len(data) < len(reportCodecVersion)+checksumLen {
+		return nil, fmt.Errorf("entry truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(reportCodecVersion)]) != reportCodecVersion {
+		return nil, fmt.Errorf("unknown entry version %q", string(data[:min(len(data), 24)]))
+	}
+	payload, trailer := data[:len(data)-checksumLen], data[len(data)-checksumLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("checksum mismatch (torn or corrupted entry)")
+	}
+
+	rd := payload[len(reportCodecVersion):]
+	fail := func() error { return fmt.Errorf("entry body truncated") }
+	r := func() (uint64, error) {
+		if len(rd) < 8 {
+			return 0, fail()
+		}
+		v := binary.LittleEndian.Uint64(rd[:8])
+		rd = rd[8:]
+		return v, nil
+	}
+	rs := func() (string, error) {
+		n, err := r()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(rd)) < n {
+			return "", fail()
+		}
+		s := string(rd[:n])
+		rd = rd[n:]
+		return s, nil
+	}
+	rbools := func() ([]bool, error) {
+		n, err := r()
+		if err != nil || n == 0 {
+			return nil, err
+		}
+		n--
+		if uint64(len(rd)) < n {
+			return nil, fail()
+		}
+		set := make([]bool, n)
+		for i := range set {
+			set[i] = rd[i] != 0
+		}
+		rd = rd[n:]
+		return set, nil
+	}
+
+	rep := &mpcgraph.Report{}
+	problemName, err := rs()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Problem, err = registry.ParseProblem(problemName); err != nil {
+		return nil, fmt.Errorf("entry names %v", err)
+	}
+	modelName, err := rs()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Model, err = model.ParseModel(modelName); err != nil {
+		return nil, fmt.Errorf("entry names %v", err)
+	}
+	if rep.InMIS, err = rbools(); err != nil {
+		return nil, err
+	}
+	mLen, err := r()
+	if err != nil {
+		return nil, err
+	}
+	if mLen > 0 {
+		mLen--
+		if uint64(len(rd)) < 4*mLen {
+			return nil, fail()
+		}
+		rep.M = make(graph.Matching, mLen)
+		for i := range rep.M {
+			rep.M[i] = int32(binary.LittleEndian.Uint32(rd[4*i:]))
+		}
+		rd = rd[4*mLen:]
+	}
+	if rep.InCover, err = rbools(); err != nil {
+		return nil, err
+	}
+	words := make([]uint64, 8)
+	for i := range words {
+		if words[i], err = r(); err != nil {
+			return nil, err
+		}
+	}
+	rep.FractionalWeight = math.Float64frombits(words[0])
+	rep.Value = math.Float64frombits(words[1])
+	rep.Rounds = int(words[2])
+	rep.Phases = int(words[3])
+	rep.MaxMachineWords = int64(words[4])
+	rep.TotalWords = int64(words[5])
+	rep.Violations = int(words[6])
+	rep.Wall = time.Duration(words[7])
+	stageCount, err := r()
+	if err != nil {
+		return nil, err
+	}
+	if stageCount > uint64(len(rd)) { // each stage is ≥ 24 bytes
+		return nil, fail()
+	}
+	for i := uint64(0); i < stageCount; i++ {
+		name, err := rs()
+		if err != nil {
+			return nil, err
+		}
+		rounds, err := r()
+		if err != nil {
+			return nil, err
+		}
+		stageWords, err := r()
+		if err != nil {
+			return nil, err
+		}
+		rep.Stages = append(rep.Stages, mpcgraph.StageCost{Name: name, Rounds: int(rounds), Words: int64(stageWords)})
+	}
+	if len(rd) != 0 {
+		return nil, fmt.Errorf("entry carries %d trailing bytes", len(rd))
+	}
+	return rep, nil
+}

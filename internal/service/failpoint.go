@@ -1,0 +1,85 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Failpoints are the fault-injection facility behind `make chaos-smoke`
+// and the resilience tests: named hooks at which the daemon injects a
+// failure or a delay it would otherwise only exhibit under real
+// hardware faults or load. They are strictly a test facility — the
+// daemon enables them only when the MPCGRAPHD_FAILPOINTS environment
+// variable is set (see runServe) or when a test sets Config.Failpoints
+// directly — and they never change what a run computes, only whether
+// and when the surrounding machinery fails.
+//
+// Catalog (comma-separated "name" or "name=value" entries):
+//
+//	solve-delay=<duration>  sleep before every Solve (canceled jobs skip
+//	                        the remainder of the delay); makes queue
+//	                        occupancy, SIGKILL-mid-queue and coalescing
+//	                        windows deterministic
+//	solve-stall             block every Solve until its job is canceled
+//	                        (the "stuck solve" fault)
+//	disk-write-error        every disk-tier write fails with an injected
+//	                        error, driving the degraded-cache path
+//	scan-corrupt            the startup scan treats every persisted
+//	                        entry as corrupt and quarantines it
+type failpoints struct {
+	vals map[string]string
+}
+
+// parseFailpoints parses the comma-separated spec. An empty spec yields
+// nil, which every method treats as "all failpoints disabled".
+func parseFailpoints(spec string) (*failpoints, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	fp := &failpoints{vals: make(map[string]string)}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, val, _ := strings.Cut(entry, "=")
+		switch name {
+		case "solve-delay":
+			if _, err := time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("service: failpoint %s needs a duration: %v", name, err)
+			}
+		case "solve-stall", "disk-write-error", "scan-corrupt":
+		default:
+			return nil, fmt.Errorf("service: unknown failpoint %q (see the failpoint catalog in docs/service.md)", name)
+		}
+		fp.vals[name] = val
+	}
+	return fp, nil
+}
+
+// enabled reports whether the named failpoint is armed. Nil-safe.
+func (fp *failpoints) enabled(name string) bool {
+	if fp == nil {
+		return false
+	}
+	_, ok := fp.vals[name]
+	return ok
+}
+
+// duration returns the parsed value of a duration-valued failpoint.
+func (fp *failpoints) duration(name string) (time.Duration, bool) {
+	if fp == nil {
+		return 0, false
+	}
+	raw, ok := fp.vals[name]
+	if !ok {
+		return 0, false
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, false
+	}
+	return d, true
+}

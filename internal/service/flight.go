@@ -1,0 +1,65 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// flight is one in-progress computation of a cache key. Concurrent
+// submissions with the same key coalesce onto one flight: the first
+// becomes the leader (it occupies the queue slot and runs Solve), the
+// rest become followers — full job records with their own lifecycle,
+// cancel and deadline, marked coalesced on the wire — that ride the
+// leader's computation. Determinism is what makes this safe: every
+// rider would compute the bit-identical Report, so handing the
+// leader's result to all of them is indistinguishable from running
+// each. noCache jobs opt out (their contract is a forced cold run) and
+// get a private, unregistered flight.
+//
+// Cancellation is per rider. Canceling any rider — follower or leader
+// — terminates only that rider's job record; the underlying Solve is
+// canceled exactly when the last live rider detaches, so canceling a
+// follower never cancels the leader and canceling the leader lets the
+// remaining followers finish on the already-running computation.
+type flight struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// live counts riders that have not canceled; the last detach
+	// cancels ctx and aborts the Solve between metered rounds.
+	live atomic.Int32
+
+	// riders (leader first), started and done are guarded by Server.mu.
+	riders  []*Job
+	started bool
+	done    bool
+}
+
+// newFlight starts a flight with job as its leader.
+func newFlight(key string, leader *Job) *flight {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &flight{key: key, ctx: ctx, cancel: cancel, riders: []*Job{leader}}
+	f.live.Store(1)
+	leader.flight = f
+	return f
+}
+
+// attachLocked adds a follower; callers hold Server.mu.
+func (f *flight) attachLocked(j *Job) {
+	j.flight = f
+	j.coalesced = true
+	f.riders = append(f.riders, j)
+	f.live.Add(1)
+	if f.started {
+		j.markRunning()
+	}
+}
+
+// detach is called when a rider cancels; the last one aborts the
+// computation.
+func (f *flight) detach() {
+	if f.live.Add(-1) == 0 {
+		f.cancel()
+	}
+}

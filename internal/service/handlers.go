@@ -34,6 +34,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // handleSubmit is POST /v1/jobs: admit one job (or serve it from the
 // deterministic result cache). 201 with the job view on success; 400/
 // 422 for bad requests, 429 when the queue is full, 503 while draining.
+// The 429 and 503 rejections carry a Retry-After header (seconds) — the
+// server-side half of the retry convention in docs/service.md: clients
+// treat exactly these two statuses as retryable and honor the hint.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
@@ -44,6 +47,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, status, err := s.submit(&req)
 	if err != nil {
+		switch status {
+		case 429:
+			// A full queue usually clears within a solve; a draining
+			// server never recovers, but the client may be retrying
+			// against a load balancer that will route elsewhere.
+			w.Header().Set("Retry-After", "1")
+		case 503:
+			w.Header().Set("Retry-After", "5")
+		}
 		if job != nil {
 			// Queue-full rejections retain the job; include its view so
 			// the client can see the canceled record.

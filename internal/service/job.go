@@ -1,7 +1,6 @@
 package service
 
 import (
-	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -15,7 +14,10 @@ import (
 //	queued | running  -> canceled
 //
 // A cache hit completes the job as done at submission time without ever
-// entering the queue (its view carries cacheHit: true).
+// entering the queue (its view carries cacheHit: true and the serving
+// tier in cacheTier). A coalesced follower rides another job's
+// computation: it is queued/running while the leader computes and
+// completes when the shared flight does.
 type JobState string
 
 const (
@@ -48,15 +50,23 @@ type Job struct {
 	noCache  bool
 	cacheKey string
 
-	mu       sync.Mutex
-	state    JobState
-	err      string
-	report   *mpcgraph.Report
-	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
+	// flight is the computation this job rides (its own, as leader, or
+	// another job's, as follower). Nil for jobs completed from cache at
+	// submission. Set once, under Server.mu, before the job is visible
+	// to any worker.
+	flight    *flight
+	coalesced bool
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	report    *mpcgraph.Report
+	cacheHit  bool
+	cacheTier CacheTier
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	deadline  *time.Timer // fires cancelJob when timeoutMs lapses
 
 	// Trace buffer: appended by the solve's Trace callback, replayed and
 	// followed by the streaming endpoint. changed is closed and replaced
@@ -69,10 +79,11 @@ type Job struct {
 
 func newJob(id string) *Job {
 	return &Job{
-		ID:      id,
-		state:   StateQueued,
-		created: time.Now(),
-		changed: make(chan struct{}),
+		ID:        id,
+		state:     StateQueued,
+		cacheTier: TierNone,
+		created:   time.Now(),
+		changed:   make(chan struct{}),
 	}
 }
 
@@ -98,6 +109,29 @@ func (j *Job) signalLocked() {
 	j.changed = make(chan struct{})
 }
 
+// stopDeadlineLocked releases the deadline timer; callers hold j.mu.
+func (j *Job) stopDeadlineLocked() {
+	if j.deadline != nil {
+		j.deadline.Stop()
+		j.deadline = nil
+	}
+}
+
+// armDeadline schedules the per-job deadline, measured from submission
+// so it bounds queue wait plus execution. Exceeding it cancels only
+// this rider: a coalesced computation keeps running for the riders
+// that still want it.
+func (j *Job) armDeadline() {
+	if j.timeout <= 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.deadline = time.AfterFunc(time.Until(j.created.Add(j.timeout)), func() {
+		j.cancelJob("job deadline exceeded (timeoutMs bounds queue wait plus execution)")
+	})
+}
+
 // appendTrace is the Options.Trace callback of a running job.
 func (j *Job) appendTrace(ev mpcgraph.TraceEvent) {
 	j.mu.Lock()
@@ -111,95 +145,190 @@ func (j *Job) appendTrace(ev mpcgraph.TraceEvent) {
 }
 
 // completeCached finishes a job at submission time from a cache hit.
-func (j *Job) completeCached(rep *mpcgraph.Report) {
+func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	now := time.Now()
 	j.state = StateDone
 	j.report = rep
 	j.cacheHit = true
+	j.cacheTier = tier
 	j.started = now
 	j.finished = now
 	j.signalLocked()
 }
 
-// cancelJob moves a queued or running job toward canceled. A queued job
-// transitions immediately (the worker will skip it); a running job is
-// interrupted through its context and transitions when the solver
-// returns. Terminal jobs are left untouched.
-func (j *Job) cancelJob(reason string) bool {
+// markRunning transitions a queued rider to running when its flight's
+// computation starts.
+func (j *Job) markRunning() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	switch j.state {
-	case StateQueued:
-		j.state = StateCanceled
-		j.err = reason
-		j.finished = time.Now()
-		j.signalLocked()
-		return true
-	case StateRunning:
-		if j.cancel != nil {
-			j.cancel()
-		}
-		return true
-	default:
-		return false
-	}
-}
-
-// run executes the job on a worker goroutine.
-func (j *Job) run(s *Server) {
-	j.mu.Lock()
-	if j.state != StateQueued { // canceled while queued
-		j.mu.Unlock()
+	if j.state != StateQueued {
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now()
-	var (
-		ctx    context.Context
-		cancel context.CancelFunc
-	)
-	if j.timeout > 0 {
-		// The deadline runs from submission, not from pickup, so it
-		// bounds the client-visible latency — queue wait included.
-		ctx, cancel = context.WithDeadline(context.Background(), j.created.Add(j.timeout))
-	} else {
-		ctx, cancel = context.WithCancel(context.Background())
-	}
-	j.cancel = cancel
-	opts := j.opts
-	opts.Trace = j.appendTrace
-	j.signalLocked()
-	j.mu.Unlock()
-	defer cancel()
-
-	rep, err := mpcgraph.Solve(ctx, j.instance, j.problem, opts)
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finished = time.Now()
-	switch {
-	case err == nil:
-		j.state = StateDone
-		j.report = rep
-		// Even a noCache run stores its result: the flag skips the
-		// lookup (forcing the cold recompute), not the refresh.
-		s.cache.Put(j.cacheKey, rep)
-	case ctx.Err() != nil:
-		// Interrupted between metered rounds: DELETE or deadline.
-		j.state = StateCanceled
-		j.err = fmt.Sprintf("%v (%v)", err, ctx.Err())
-	default:
-		j.state = StateFailed
-		j.err = err.Error()
-	}
 	j.signalLocked()
 }
 
+// complete finishes a rider with the flight's Report. Riders that
+// canceled while the computation ran stay canceled.
+func (j *Job) complete(rep *mpcgraph.Report) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued, StateRunning:
+	default:
+		return
+	}
+	j.state = StateDone
+	j.report = rep
+	if j.started.IsZero() {
+		j.started = j.created
+	}
+	j.finished = time.Now()
+	j.stopDeadlineLocked()
+	j.signalLocked()
+}
+
+// fail finishes a rider with the flight's error.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued, StateRunning:
+	default:
+		return
+	}
+	j.state = StateFailed
+	j.err = err.Error()
+	if j.started.IsZero() {
+		j.started = j.created
+	}
+	j.finished = time.Now()
+	j.stopDeadlineLocked()
+	j.signalLocked()
+}
+
+// cancelJob moves a queued or running job to canceled. The job record
+// terminates immediately; the underlying computation (if this job
+// rides a flight) is aborted only when the last live rider has
+// canceled, so canceling one rider never takes down the others.
+func (j *Job) cancelJob(reason string) bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued, StateRunning:
+	default:
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCanceled
+	j.err = reason
+	j.finished = time.Now()
+	j.stopDeadlineLocked()
+	j.signalLocked()
+	f := j.flight
+	j.mu.Unlock()
+	if f != nil {
+		f.detach()
+	}
+	return true
+}
+
+// run executes the job's flight on a worker goroutine. j is always the
+// flight's leader — followers never enter the queue; that is the point
+// of coalescing.
+func (j *Job) run(s *Server) {
+	f := j.flight
+	if f == nil || f.ctx.Err() != nil {
+		// Every rider canceled while the leader sat in the queue (or the
+		// job predates its flight — impossible by construction). The
+		// rider records are already terminal; just drop the flight.
+		s.dropFlight(f)
+		return
+	}
+
+	// The computation starts: every current rider shows running, and
+	// riders attaching from now on attach as running.
+	s.mu.Lock()
+	f.started = true
+	riders := append([]*Job(nil), f.riders...)
+	s.mu.Unlock()
+	for _, r := range riders {
+		r.markRunning()
+	}
+
+	opts := j.opts
+	opts.Trace = j.appendTrace
+
+	// Fault injection (see failpoint.go); inert unless armed.
+	if d, ok := s.fp.duration("solve-delay"); ok {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-f.ctx.Done():
+			t.Stop()
+		}
+	}
+	if s.fp.enabled("solve-stall") {
+		<-f.ctx.Done()
+	}
+
+	var (
+		rep *mpcgraph.Report
+		err error
+	)
+	if f.ctx.Err() == nil {
+		s.mu.Lock()
+		s.solves++
+		s.mu.Unlock()
+		rep, err = mpcgraph.Solve(f.ctx, j.instance, j.problem, opts)
+	} else {
+		err = f.ctx.Err()
+	}
+
+	switch {
+	case err == nil:
+		// Persist before fan-out: a rider observed done implies the
+		// result is already cached (both tiers), so a crash right after
+		// a client saw completion can always be recovered from disk.
+		// Even a noCache leader stores its result: the flag skips the
+		// lookup (forcing the cold recompute), not the refresh.
+		s.cache.Put(j.cacheKey, rep)
+		for _, r := range s.dropFlight(f) {
+			r.complete(rep)
+		}
+	case f.ctx.Err() != nil:
+		// Aborted between metered rounds: every rider already canceled
+		// itself (client DELETE, deadline, or drain), so there is no one
+		// left to notify.
+		s.dropFlight(f)
+	default:
+		for _, r := range s.dropFlight(f) {
+			r.fail(err)
+		}
+	}
+}
+
+// dropFlight retires a flight: unregisters it (so new submissions
+// start a fresh computation) and returns its riders for fan-out.
+func (s *Server) dropFlight(f *flight) []*Job {
+	if f == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.done = true
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	return append([]*Job(nil), f.riders...)
+}
+
 // submit resolves a request into a Job, serves it from cache when
-// possible, or admits it to the queue. It returns the job and an HTTP
-// status hint for failures (0 on success).
+// possible, coalesces it onto an identical in-flight computation, or
+// admits it to the queue as a new flight's leader. It returns the job
+// and an HTTP status hint for failures (0 on success).
 func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 	problem, model, opts, instance, source, err := req.resolve(s.cfg)
 	if err != nil {
@@ -229,13 +358,30 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 	s.evictTerminalLocked()
 
 	if !job.noCache {
-		if rep, ok := s.cache.Get(key); ok {
-			job.completeCached(rep)
+		if rep, tier, ok := s.cache.Get(key); ok {
+			job.completeCached(rep, tier)
+			return job, 0, nil
+		}
+		// Single-flight: an identical computation is already in flight —
+		// ride it instead of burning a second worker on a bit-identical
+		// result. The follower keeps its own record, deadline and cancel.
+		if f, ok := s.flights[key]; ok && !f.done {
+			f.attachLocked(job)
+			s.coalesces++
+			job.armDeadline()
 			return job, 0, nil
 		}
 	}
+
+	f := newFlight(key, job)
 	select {
 	case s.queue <- job:
+		if !job.noCache {
+			// noCache flights stay private: their contract is a forced
+			// cold run, so identical submissions must not ride them.
+			s.flights[key] = f
+		}
+		job.armDeadline()
 		return job, 0, nil
 	default:
 		// Admission control: the queue is full. The job is retained as

@@ -15,23 +15,41 @@ import (
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, inflight := s.snapshotCounts()
 	draining := s.Draining()
+	// The disk tier degrading (write failures) never fails the probe:
+	// the daemon still serves correctly, it just stops persisting. The
+	// status string surfaces it for operators.
+	cacheDisk := "disabled"
+	var diskErr string
+	if s.cache.disk != nil {
+		st := s.cache.disk.Stats()
+		cacheDisk = "ok"
+		if st.Degraded {
+			cacheDisk = "degraded"
+			diskErr = st.LastErr
+		}
+	}
 	body := struct {
 		Status        string  `json:"status"`
 		UptimeSeconds float64 `json:"uptimeSeconds"`
 		QueueDepth    int     `json:"queueDepth"`
 		Inflight      int     `json:"inflight"`
 		Draining      bool    `json:"draining"`
+		CacheDisk     string  `json:"cacheDisk"`
+		CacheDiskErr  string  `json:"cacheDiskError,omitempty"`
 	}{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QueueDepth:    queued,
 		Inflight:      inflight,
 		Draining:      draining,
+		CacheDisk:     cacheDisk,
+		CacheDiskErr:  diskErr,
 	}
 	status := 200
 	if draining {
 		body.Status = "draining"
 		status = 503
+		w.Header().Set("Retry-After", "5")
 	}
 	writeJSON(w, status, body)
 }
@@ -39,7 +57,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queued, inflight := s.snapshotCounts()
-	cache := s.cache.Stats()
+	mem := s.cache.mem.Stats()
+	var disk diskStats
+	if s.cache.disk != nil {
+		disk = s.cache.disk.Stats()
+	}
+	// Overall misses: every L1 miss probes L2, so submissions that
+	// missed both tiers are the L1 misses not recovered by a disk hit.
+	misses := mem.Misses - disk.Hits
 
 	// Only the lifecycle state is read per job — never the full view,
 	// whose report rendering is O(solution size) and would make every
@@ -50,6 +75,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		byState[s.jobs[id].currentState()]++
 	}
 	total := s.nextID
+	solves := s.solves
+	coalesces := s.coalesces
 	draining := s.draining
 	s.mu.Unlock()
 
@@ -82,21 +109,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
 		p("mpcgraphd_jobs{state=%q} %d\n", st, byState[st])
 	}
-	p("# HELP mpcgraphd_cache_entries Resident entries of the result cache.\n")
+	p("# HELP mpcgraphd_solves_total Solve calls actually executed (cache hits and coalesced riders excluded).\n")
+	p("# TYPE mpcgraphd_solves_total counter\n")
+	p("mpcgraphd_solves_total %d\n", solves)
+	p("# HELP mpcgraphd_coalesced_total Submissions that rode an identical in-flight computation.\n")
+	p("# TYPE mpcgraphd_coalesced_total counter\n")
+	p("mpcgraphd_coalesced_total %d\n", coalesces)
+	p("# HELP mpcgraphd_cache_entries Resident entries of the result cache, by tier.\n")
 	p("# TYPE mpcgraphd_cache_entries gauge\n")
-	p("mpcgraphd_cache_entries %d\n", cache.Entries)
-	p("# HELP mpcgraphd_cache_capacity Entry bound of the result cache.\n")
+	p("mpcgraphd_cache_entries{tier=\"memory\"} %d\n", mem.Entries)
+	p("mpcgraphd_cache_entries{tier=\"disk\"} %d\n", disk.Entries)
+	p("# HELP mpcgraphd_cache_capacity Entry bound of the result cache, by tier (disk 0 = tier disabled).\n")
 	p("# TYPE mpcgraphd_cache_capacity gauge\n")
-	p("mpcgraphd_cache_capacity %d\n", cache.Capacity)
-	p("# HELP mpcgraphd_cache_hits_total Result-cache hits.\n")
+	p("mpcgraphd_cache_capacity{tier=\"memory\"} %d\n", mem.Capacity)
+	p("mpcgraphd_cache_capacity{tier=\"disk\"} %d\n", disk.Capacity)
+	p("# HELP mpcgraphd_cache_hits_total Result-cache hits, by serving tier.\n")
 	p("# TYPE mpcgraphd_cache_hits_total counter\n")
-	p("mpcgraphd_cache_hits_total %d\n", cache.Hits)
-	p("# HELP mpcgraphd_cache_misses_total Result-cache misses.\n")
+	p("mpcgraphd_cache_hits_total{tier=\"memory\"} %d\n", mem.Hits)
+	p("mpcgraphd_cache_hits_total{tier=\"disk\"} %d\n", disk.Hits)
+	p("# HELP mpcgraphd_cache_misses_total Lookups that missed every cache tier.\n")
 	p("# TYPE mpcgraphd_cache_misses_total counter\n")
-	p("mpcgraphd_cache_misses_total %d\n", cache.Misses)
-	p("# HELP mpcgraphd_cache_evictions_total Result-cache LRU evictions.\n")
+	p("mpcgraphd_cache_misses_total %d\n", misses)
+	p("# HELP mpcgraphd_cache_evictions_total Memory-tier LRU evictions.\n")
 	p("# TYPE mpcgraphd_cache_evictions_total counter\n")
-	p("mpcgraphd_cache_evictions_total %d\n", cache.Evictions)
+	p("mpcgraphd_cache_evictions_total %d\n", mem.Evictions)
+	p("# HELP mpcgraphd_cache_disk_writes_total Entries persisted to the disk tier.\n")
+	p("# TYPE mpcgraphd_cache_disk_writes_total counter\n")
+	p("mpcgraphd_cache_disk_writes_total %d\n", disk.Writes)
+	p("# HELP mpcgraphd_cache_disk_write_errors_total Failed disk-tier writes (the tier degrades, jobs are unaffected).\n")
+	p("# TYPE mpcgraphd_cache_disk_write_errors_total counter\n")
+	p("mpcgraphd_cache_disk_write_errors_total %d\n", disk.WriteErrors)
+	p("# HELP mpcgraphd_cache_disk_quarantined_total Damaged disk entries moved aside instead of served.\n")
+	p("# TYPE mpcgraphd_cache_disk_quarantined_total counter\n")
+	p("mpcgraphd_cache_disk_quarantined_total %d\n", disk.Quarantined)
 	p("# HELP mpcgraphd_workers Solve workers draining the queue.\n")
 	p("# TYPE mpcgraphd_workers gauge\n")
 	p("mpcgraphd_workers %d\n", s.cfg.Workers)

@@ -16,7 +16,14 @@
 //     key is a digest of the canonical instance bytes plus the
 //     Workers-invariant solve options (see CacheKey), so the same
 //     logical instance hits the cache whether it arrived as a catalog
-//     scenario, an uploaded edge list, or a MatrixMarket file;
+//     scenario, an uploaded edge list, or a MatrixMarket file. The
+//     cache is tiered: an in-memory LRU (L1) over an optional
+//     persistent disk store (L2, -cache-dir) that writes entries
+//     atomically and survives crashes — a restarted daemon serves
+//     previously computed results without recomputation (store.go,
+//     codec.go). The same determinism argument powers single-flight
+//     coalescing: concurrent submissions of one cache key share one
+//     computation (flight.go);
 //   - job lifecycle and operational endpoints: submit, poll, cancel,
 //     list, per-round TraceEvent streaming as NDJSON or SSE, /healthz,
 //     and Prometheus-style /metrics (queue depth, in-flight gauge,
@@ -63,6 +70,20 @@ type Config struct {
 	// Workers-invariant, so this changes scheduling only — never
 	// payloads, costs or cache keys.
 	DefaultJobWorkers int
+	// CacheDir, when non-empty, enables the persistent result-cache tier
+	// (L2): one file per cache key under this directory, written
+	// atomically and recovered on restart. Empty disables persistence;
+	// the in-memory LRU then stands alone.
+	CacheDir string
+	// DiskEntries bounds the persistent tier (default 65536 entries;
+	// <= 0 keeps the default). The oldest entries by access time are
+	// evicted when the bound is exceeded.
+	DiskEntries int
+	// Failpoints arms fault-injection points for crash testing, in the
+	// same comma-separated syntax as the MPCGRAPHD_FAILPOINTS
+	// environment variable (see failpoint.go). Empty disables them all;
+	// production deployments leave this empty.
+	Failpoints string
 }
 
 // withDefaults resolves the documented defaults.
@@ -79,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 4096
 	}
+	if c.DiskEntries <= 0 {
+		c.DiskEntries = 65536
+	}
 	return c
 }
 
@@ -87,35 +111,62 @@ func (c Config) withDefaults() Config {
 // serve Handler, and stop with Drain.
 type Server struct {
 	cfg   Config
-	cache *resultCache
+	cache *tieredCache
+	fp    *failpoints
 	start time.Time
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // job ids in submission order (pagination, eviction)
-	nextID   uint64
-	inflight int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string           // job ids in submission order (pagination, eviction)
+	flights   map[string]*flight // in-progress computations by cache key
+	nextID    uint64
+	inflight  int
+	solves    uint64 // Solve calls actually made (excludes cache hits and coalesced riders)
+	coalesces uint64 // submissions that rode an existing flight
+	draining  bool
 
 	queue chan *Job
 	wg    sync.WaitGroup // worker goroutines
 }
 
-// New constructs a Server and starts its worker pool.
-func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
+// New constructs a Server and starts its worker pool. It fails only on
+// an unusable cache directory or a malformed failpoint spec; a damaged
+// cache dir contents is recovered from, never fatal (see openDiskStore).
+func New(cfg Config) (*Server, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// build assembles a Server without starting workers; tests use it to
+// construct a fully inert daemon they drive by hand.
+func build(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	fp, err := parseFailpoints(cfg.Failpoints)
+	if err != nil {
+		return nil, err
+	}
+	var disk *diskStore
+	if cfg.CacheDir != "" {
+		if disk, err = openDiskStore(cfg.CacheDir, cfg.DiskEntries, fp); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   &tieredCache{mem: newResultCache(cfg.CacheEntries), disk: disk},
+		fp:      fp,
+		start:   time.Now(),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}, nil
 }
 
 // Handler returns the daemon's HTTP API. See docs/service.md.

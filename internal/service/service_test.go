@@ -22,7 +22,10 @@ import (
 // newTestServer starts a draining-safe daemon around t.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -33,16 +36,14 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 
 // idleServer builds a Server whose queue is never drained: jobs stay
 // deterministically queued, which is what the cancel/admission/eviction
-// tests need. Not started via New, so no workers exist.
-func idleServer(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
+// tests need. Built by build, not New, so no workers exist.
+func idleServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return s
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -150,6 +151,8 @@ func stripVolatile(v *JobView) *JobView {
 	c := *v
 	c.ID = ""
 	c.CacheHit = false
+	c.CacheTier = TierNone // which tier served the replay is operational
+	c.Coalesced = false
 	c.Source = "" // scenario vs upload origin; not part of the result
 	c.CreatedAt, c.StartedAt, c.FinishedAt = "", "", ""
 	c.TraceLen = 0 // a cache hit replays the Report, not the trace
@@ -317,7 +320,7 @@ func TestNoCacheForcesColdRun(t *testing.T) {
 // finally picks it up. An idle (worker-less) server makes the sequence
 // deterministic: submit, let the deadline lapse, then run.
 func TestJobDeadline(t *testing.T) {
-	s := idleServer(Config{})
+	s := idleServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -347,7 +350,7 @@ func TestJobDeadline(t *testing.T) {
 // TestCancelQueuedJob uses an idle (worker-less) server so the queued
 // state is deterministic.
 func TestCancelQueuedJob(t *testing.T) {
-	s := idleServer(Config{})
+	s := idleServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -387,7 +390,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 // TestQueueFullRejects pins admission control on an idle server.
 func TestQueueFullRejects(t *testing.T) {
-	s := idleServer(Config{QueueDepth: 2})
+	s := idleServer(t, Config{QueueDepth: 2})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -449,7 +452,7 @@ func TestBadRequests(t *testing.T) {
 // live ones, and terminates with a done marker carrying the final
 // state. Events must match what a direct Solve traces.
 func TestTraceStreamNDJSON(t *testing.T) {
-	s := idleServer(Config{})
+	s := idleServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -631,7 +634,7 @@ func TestListPagination(t *testing.T) {
 
 // TestTerminalEviction bounds the retained job table.
 func TestTerminalEviction(t *testing.T) {
-	s := idleServer(Config{MaxJobsRetained: 3, QueueDepth: 64})
+	s := idleServer(t, Config{MaxJobsRetained: 3, QueueDepth: 64})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	for i := 0; i < 6; i++ {
@@ -699,9 +702,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"mpcgraphd_queue_depth 0",
 		"mpcgraphd_jobs_inflight 0",
 		"mpcgraphd_jobs_submitted_total 2",
-		"mpcgraphd_cache_hits_total 1",
+		`mpcgraphd_cache_hits_total{tier="memory"} 1`,
 		"mpcgraphd_cache_misses_total 1",
-		"mpcgraphd_cache_entries 1",
+		`mpcgraphd_cache_entries{tier="memory"} 1`,
+		"mpcgraphd_solves_total 1",
+		"mpcgraphd_coalesced_total 0",
 		`mpcgraphd_jobs{state="done"} 2`,
 	} {
 		if !strings.Contains(text, want) {
@@ -730,7 +735,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 
 // TestDrainFinishesQueuedJobs: jobs admitted before Drain complete.
 func TestDrainFinishesQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 8})
+	s, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	var ids []string

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"mpcgraph"
+)
+
+// diskStore is the persistent tier (L2) of the result cache: one file
+// per mpcgraph-key-v1 digest under the -cache-dir root, holding the
+// versioned canonical Report serialization of codec.go. Writes are
+// atomic — temp file, fsync, rename — so a crash at any instant leaves
+// either the complete previous state or the complete new entry, never
+// a torn file; the startup scan therefore only ever sees whole entries
+// plus (possibly) leftover temp files, which it deletes.
+//
+// Entries that fail validation anyway (in-place corruption, truncation
+// by an operator, a foreign or future entry version) are quarantined
+// into the quarantine/ subdirectory — recovery is never fatal, a
+// damaged entry just costs one recompute. The store reads the wall
+// clock only to stamp file mtimes for its size janitor (recency-based
+// eviction); wall time never enters cache keys or the Report bytes
+// themselves (see internal/tools/lint rule 2).
+type diskStore struct {
+	dir        string
+	maxEntries int
+	fp         *failpoints
+
+	mu   sync.Mutex
+	keys map[string]struct{} // validated entries present on disk
+
+	hits        uint64
+	writes      uint64
+	writeErrors uint64
+	quarantined uint64
+	degraded    bool
+	lastErr     string
+}
+
+// quarantineDir is the subdirectory corrupt entries are moved into.
+const quarantineDir = "quarantine"
+
+// tmpPrefix marks in-progress writes; scan deletes any leftovers.
+const tmpPrefix = "tmp-"
+
+// openDiskStore opens (creating if needed) the persistent tier rooted
+// at dir and scans it: valid entries join the index, temp leftovers are
+// deleted, and anything else — corrupt, truncated, unknown version —
+// is quarantined. Only an unusable root directory is an error; damaged
+// entries never are.
+func openDiskStore(dir string, maxEntries int, fp *failpoints) (*diskStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("service: cache dir: %v", err)
+	}
+	d := &diskStore{dir: dir, maxEntries: maxEntries, fp: fp, keys: make(map[string]struct{})}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: cache dir: %v", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if len(name) >= len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
+			os.Remove(path) // a write the crash interrupted before rename
+			continue
+		}
+		if !validKeyName(name) {
+			d.quarantine(name, fmt.Errorf("not a cache-key file name"))
+			continue
+		}
+		if fp.enabled("scan-corrupt") {
+			d.quarantine(name, fmt.Errorf("injected scan corruption (failpoint)"))
+			continue
+		}
+		if _, err := d.load(name); err != nil {
+			d.quarantine(name, err)
+			continue
+		}
+		d.keys[name] = struct{}{}
+	}
+	return d, nil
+}
+
+// validKeyName accepts exactly the hex SHA-256 shape of CacheKey.
+func validKeyName(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// load reads and decodes one entry file.
+func (d *diskStore) load(key string) (*mpcgraph.Report, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir, key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeReport(data)
+}
+
+// quarantine moves a damaged entry aside (falling back to deletion) so
+// it is never scanned, served, or overwritten-in-place again. Callers
+// hold d.mu or run single-threaded during the startup scan.
+func (d *diskStore) quarantine(name string, reason error) {
+	src := filepath.Join(d.dir, name)
+	if err := os.Rename(src, filepath.Join(d.dir, quarantineDir, name)); err != nil {
+		os.Remove(src)
+	}
+	d.quarantined++
+	d.lastErr = fmt.Sprintf("%s: %v", name, reason)
+}
+
+// Get returns the persisted Report for key. A present-but-invalid
+// entry is quarantined and reported as a miss (the caller recomputes).
+func (d *diskStore) Get(key string) (*mpcgraph.Report, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.keys[key]; !ok {
+		return nil, false
+	}
+	rep, err := d.load(key)
+	if err != nil {
+		delete(d.keys, key)
+		d.quarantine(key, err)
+		return nil, false
+	}
+	d.hits++
+	// Recency for the janitor only; never part of keys or entry bytes.
+	now := time.Now()
+	os.Chtimes(filepath.Join(d.dir, key), now, now)
+	return rep, true
+}
+
+// Put persists rep under key atomically. Determinism makes re-puts
+// no-ops: any two Reports under one key are bit-identical, so the
+// first persisted entry is kept. Failures degrade the tier (counted,
+// surfaced in /healthz) instead of failing the job.
+func (d *diskStore) Put(key string, rep *mpcgraph.Report) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.keys[key]; ok {
+		return
+	}
+	if err := d.write(key, rep); err != nil {
+		d.writeErrors++
+		d.degraded = true
+		d.lastErr = err.Error()
+		return
+	}
+	d.keys[key] = struct{}{}
+	d.writes++
+	d.janitorLocked()
+}
+
+// write performs the atomic temp+fsync+rename sequence.
+func (d *diskStore) write(key string, rep *mpcgraph.Report) error {
+	if d.fp.enabled("disk-write-error") {
+		return fmt.Errorf("injected disk-write-error (failpoint)")
+	}
+	f, err := os.CreateTemp(d.dir, tmpPrefix+key+"-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err = f.Write(encodeReport(rep)); err == nil {
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(d.dir, key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable (best effort: not all platforms
+	// support fsync on directories).
+	if dirf, dirErr := os.Open(d.dir); dirErr == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	return nil
+}
+
+// janitorLocked evicts the oldest-mtime entries beyond maxEntries.
+// Called with d.mu held after every successful write.
+func (d *diskStore) janitorLocked() {
+	if d.maxEntries <= 0 || len(d.keys) <= d.maxEntries {
+		return
+	}
+	type aged struct {
+		key   string
+		mtime time.Time
+	}
+	entries := make([]aged, 0, len(d.keys))
+	for key := range d.keys {
+		info, err := os.Stat(filepath.Join(d.dir, key))
+		if err != nil {
+			delete(d.keys, key) // vanished underneath us; drop the index entry
+			continue
+		}
+		entries = append(entries, aged{key, info.ModTime()})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].key < entries[j].key
+	})
+	for _, ent := range entries {
+		if len(d.keys) <= d.maxEntries {
+			break
+		}
+		os.Remove(filepath.Join(d.dir, ent.key))
+		delete(d.keys, ent.key)
+	}
+}
+
+// diskStats is the /metrics and /healthz snapshot of the tier.
+type diskStats struct {
+	Entries     int
+	Capacity    int
+	Hits        uint64
+	Writes      uint64
+	WriteErrors uint64
+	Quarantined uint64
+	Degraded    bool
+	LastErr     string
+}
+
+func (d *diskStore) Stats() diskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return diskStats{
+		Entries:     len(d.keys),
+		Capacity:    d.maxEntries,
+		Hits:        d.hits,
+		Writes:      d.writes,
+		WriteErrors: d.writeErrors,
+		Quarantined: d.quarantined,
+		Degraded:    d.degraded,
+		LastErr:     d.lastErr,
+	}
+}

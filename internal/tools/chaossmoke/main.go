@@ -1,0 +1,534 @@
+// Command chaossmoke is the `make chaos-smoke` fault-injection
+// harness: it proves mpcgraphd's crash-safety contract against the
+// shipped binary with real signals on a real cache directory.
+//
+// The scenario, end to end:
+//
+//  1. Boot daemon A with a persistent cache dir and a solve-delay
+//     failpoint, submit the full golden workload (every case of
+//     testdata/golden_reports.json), and SIGKILL the process while the
+//     queue is still draining — the crash no graceful path ever sees.
+//  2. Inspect the cache dir: only complete, key-named entries may
+//     exist (writes are temp+fsync+rename, so a torn visible entry
+//     would be a bug), and leftover temp files are tolerated garbage.
+//  3. Boot daemon B on the same dir and re-submit the identical
+//     workload: every entry persisted before the kill must come back
+//     as a disk-tier cache hit, bit-identical to the golden suite's
+//     pinned costs and solution hash, with zero recomputation
+//     (mpcgraphd_solves_total counts only the non-persisted cases).
+//  4. Drain B, truncate one entry in place (operator-grade damage the
+//     atomic write path cannot produce), boot daemon C: the scan must
+//     quarantine the damaged entry and stay healthy; re-submitting
+//     that case recomputes it — matching the golden again — and heals
+//     the entry on disk. A concurrent burst of identical submissions
+//     against C's slowed solver must coalesce onto a single flight.
+//  5. SIGTERM C and require a clean exit.
+//
+// Usage: chaossmoke -bin <path-to-mpcgraphd> [-goldens <file>]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the mpcgraphd binary")
+	goldens := flag.String("goldens", "testdata/golden_reports.json", "pinned golden reports")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "chaossmoke: -bin is required")
+		os.Exit(2)
+	}
+	if err := run(*bin, *goldens); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos-smoke OK")
+}
+
+// golden is one pinned case of the golden suite; the case name both
+// identifies the workload ("gnp-n600-seed7/mis/mpc") and carries
+// everything needed to resubmit it.
+type golden struct {
+	Case            string `json:"case"`
+	Rounds          int    `json:"rounds"`
+	Phases          int    `json:"phases"`
+	MaxMachineWords int64  `json:"maxMachineWords"`
+	TotalWords      int64  `json:"totalWords"`
+	Violations      int    `json:"violations"`
+	SolutionHash    uint64 `json:"solutionHash"`
+	scenario        string // parsed from Case
+	n               int    //
+	seed            uint64 //
+	problem, model  string //
+}
+
+var caseRe = regexp.MustCompile(`^(.+)-n(\d+)-seed(\d+)$`)
+
+func loadGoldens(path string) ([]golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []golden
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		parts := strings.Split(entries[i].Case, "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("unparseable golden case %q", entries[i].Case)
+		}
+		m := caseRe.FindStringSubmatch(parts[0])
+		if m == nil {
+			return nil, fmt.Errorf("unparseable golden instance %q", parts[0])
+		}
+		entries[i].scenario = m[1]
+		entries[i].n, _ = strconv.Atoi(m[2])
+		entries[i].seed, _ = strconv.ParseUint(m[3], 10, 64)
+		entries[i].problem, entries[i].model = parts[1], parts[2]
+	}
+	return entries, nil
+}
+
+// request renders the case's POST /v1/jobs body; the solve seed equals
+// the scenario seed, exactly as the golden suite runs it.
+func (g *golden) request() string {
+	return fmt.Sprintf(`{
+		"problem": %q, "model": %q,
+		"scenario": {"name": %q, "n": %d, "seed": %d},
+		"options": {"seed": %d}
+	}`, g.problem, g.model, g.scenario, g.n, g.seed, g.seed)
+}
+
+func run(bin, goldenPath string) error {
+	goldens, err := loadGoldens(goldenPath)
+	if err != nil {
+		return fmt.Errorf("goldens: %w", err)
+	}
+	if len(goldens) == 0 {
+		return fmt.Errorf("golden suite is empty")
+	}
+	cacheDir, err := os.MkdirTemp("", "chaossmoke-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// ---- Phase 1: fill the queue, crash mid-drain. --------------------
+	baseA, cmdA, err := startDaemon(bin, []string{"MPCGRAPHD_FAILPOINTS=solve-delay=100ms"},
+		"-workers", "1", "-queue", strconv.Itoa(len(goldens)+4), "-cache-dir", cacheDir)
+	if err != nil {
+		return err
+	}
+	defer reap(cmdA)
+
+	keyOf := make(map[string]string, len(goldens)) // case -> cache key
+	for i := range goldens {
+		view, err := submit(baseA, goldens[i].request())
+		if err != nil {
+			return fmt.Errorf("phase 1 submit %s: %w", goldens[i].Case, err)
+		}
+		keyOf[goldens[i].Case], _ = view["cacheKey"].(string)
+	}
+	// Let a prefix of the queue complete, then kill without ceremony.
+	if err := waitDone(baseA, 5, 60*time.Second); err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+	if err := cmdA.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		return err
+	}
+	cmdA.Wait()
+	fmt.Printf("  phase 1: %d cases submitted, daemon SIGKILLed mid-queue\n", len(goldens))
+
+	// ---- Phase 2: the surviving directory. ----------------------------
+	persisted := make(map[string]bool)
+	files, err := os.ReadDir(cacheDir)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		name := f.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			continue // an interrupted write; daemon B's scan will delete it
+		}
+		if len(name) != 64 {
+			return fmt.Errorf("phase 2: foreign file %q in cache dir", name)
+		}
+		persisted[name] = true
+	}
+	if len(persisted) == 0 || len(persisted) >= len(goldens) {
+		return fmt.Errorf("phase 2: %d of %d entries persisted — the kill did not land mid-queue", len(persisted), len(goldens))
+	}
+	fmt.Printf("  phase 2: %d of %d entries survived the crash intact\n", len(persisted), len(goldens))
+
+	// ---- Phase 3: restart, recover, zero recomputation. ---------------
+	baseB, cmdB, err := startDaemon(bin, nil, "-workers", "2", "-cache-dir", cacheDir)
+	if err != nil {
+		return err
+	}
+	defer reap(cmdB)
+	if v, err := metric(baseB, `mpcgraphd_cache_entries{tier="disk"}`); err != nil || v != len(persisted) {
+		return fmt.Errorf("phase 3: restarted daemon indexes %d disk entries (err %v), want %d", v, err, len(persisted))
+	}
+
+	recovered := 0
+	for i := range goldens {
+		g := &goldens[i]
+		view, err := submit(baseB, g.request())
+		if err != nil {
+			return fmt.Errorf("phase 3 submit %s: %w", g.Case, err)
+		}
+		id, _ := view["id"].(string)
+		view, err = awaitDone(baseB, id, 120*time.Second)
+		if err != nil {
+			return fmt.Errorf("phase 3 %s: %w", g.Case, err)
+		}
+		hit, _ := view["cacheHit"].(bool)
+		tier, _ := view["cacheTier"].(string)
+		if persisted[keyOf[g.Case]] {
+			if !hit || tier != "disk" {
+				return fmt.Errorf("phase 3 %s: persisted entry served with cacheHit=%t tier=%q, want disk hit", g.Case, hit, tier)
+			}
+			recovered++
+		}
+		if err := matchGolden(view, g); err != nil {
+			return fmt.Errorf("phase 3 %s: %w", g.Case, err)
+		}
+	}
+	if recovered != len(persisted) {
+		return fmt.Errorf("phase 3: %d disk hits for %d persisted entries", recovered, len(persisted))
+	}
+	if v, err := metric(baseB, "mpcgraphd_solves_total"); err != nil || v != len(goldens)-len(persisted) {
+		return fmt.Errorf("phase 3: %d solves (err %v), want %d — recovery must not recompute", v, err, len(goldens)-len(persisted))
+	}
+	if v, err := metric(baseB, `mpcgraphd_cache_hits_total{tier="disk"}`); err != nil || v != len(persisted) {
+		return fmt.Errorf("phase 3: %d disk-tier hits (err %v), want %d", v, err, len(persisted))
+	}
+	fmt.Printf("  phase 3: all %d recovered hits bit-identical to goldens, %d recomputes, 0 excess solves\n",
+		recovered, len(goldens)-len(persisted))
+
+	if err := drain(cmdB); err != nil {
+		return fmt.Errorf("phase 3 drain: %w", err)
+	}
+
+	// ---- Phase 4: in-place corruption + coalescing burst. -------------
+	var victim *golden
+	for i := range goldens {
+		if persisted[keyOf[goldens[i].Case]] {
+			victim = &goldens[i]
+			break
+		}
+	}
+	victimPath := filepath.Join(cacheDir, keyOf[victim.Case])
+	raw, err := os.ReadFile(victimPath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(victimPath, raw[:len(raw)/2], 0o644); err != nil {
+		return err
+	}
+
+	baseC, cmdC, err := startDaemon(bin, []string{"MPCGRAPHD_FAILPOINTS=solve-delay=500ms"},
+		"-workers", "2", "-cache-dir", cacheDir)
+	if err != nil {
+		return err
+	}
+	defer reap(cmdC)
+	if v, err := metric(baseC, "mpcgraphd_cache_disk_quarantined_total"); err != nil || v < 1 {
+		return fmt.Errorf("phase 4: quarantined_total %d (err %v), want >= 1", v, err)
+	}
+	if health, err := get(baseC + "/healthz"); err != nil || !strings.Contains(string(health), `"cacheDisk": "ok"`) {
+		return fmt.Errorf("phase 4: corruption degraded the health probe: %s (err %v)", health, err)
+	}
+
+	// Coalescing burst: one new-key case, six concurrent submissions,
+	// 500ms solve delay — one flight must absorb them all.
+	burstBody := `{
+		"problem": "mis",
+		"scenario": {"name": "gnp", "n": 333, "seed": 21},
+		"options": {"seed": 21}
+	}`
+	const burst = 6
+	var wg sync.WaitGroup
+	ids := make([]string, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			view, err := submit(baseC, burstBody)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i], _ = view["id"].(string)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("phase 4 burst: %w", err)
+		}
+	}
+	canon := ""
+	for _, id := range ids {
+		view, err := awaitDone(baseC, id, 60*time.Second)
+		if err != nil {
+			return fmt.Errorf("phase 4 burst job %s: %w", id, err)
+		}
+		c := canonical(view)
+		if canon == "" {
+			canon = c
+		} else if canon != c {
+			return fmt.Errorf("phase 4 burst results diverge:\n %s\n %s", canon, c)
+		}
+	}
+	if v, err := metric(baseC, "mpcgraphd_solves_total"); err != nil || v != 1 {
+		return fmt.Errorf("phase 4: burst of %d identical jobs ran %d solves (err %v), want 1", burst, v, err)
+	}
+	if v, err := metric(baseC, "mpcgraphd_coalesced_total"); err != nil || v < 1 {
+		return fmt.Errorf("phase 4: coalesced_total %d (err %v), want >= 1", v, err)
+	}
+
+	// Healing: the corrupted case recomputes to the golden and restores
+	// its entry file.
+	view, err := submit(baseC, victim.request())
+	if err != nil {
+		return fmt.Errorf("phase 4 heal submit: %w", err)
+	}
+	id, _ := view["id"].(string)
+	view, err = awaitDone(baseC, id, 120*time.Second)
+	if err != nil {
+		return fmt.Errorf("phase 4 heal: %w", err)
+	}
+	if hit, _ := view["cacheHit"].(bool); hit {
+		return fmt.Errorf("phase 4: quarantined entry was served as a cache hit")
+	}
+	if err := matchGolden(view, victim); err != nil {
+		return fmt.Errorf("phase 4 heal %s: %w", victim.Case, err)
+	}
+	// The recomputed entry differs from the original only in the
+	// advisory wall-time field (8 bytes) and the checksum that covers
+	// it; every audited byte is pinned by the golden comparison above,
+	// and the fixed-width encoding makes equal length a structural
+	// equality check.
+	healed, err := os.ReadFile(victimPath)
+	if err != nil || len(healed) != len(raw) {
+		return fmt.Errorf("phase 4: entry not healed on disk (%d bytes, want %d, err %v)", len(healed), len(raw), err)
+	}
+	fmt.Printf("  phase 4: corrupt entry quarantined + healed to the golden; burst of %d coalesced onto 1 solve\n", burst)
+
+	// ---- Phase 5: clean exit. -----------------------------------------
+	if err := drain(cmdC); err != nil {
+		return fmt.Errorf("phase 5: %w", err)
+	}
+	fmt.Println("  phase 5: SIGTERM drained cleanly")
+	return nil
+}
+
+// matchGolden compares the wire report against the pinned golden.
+func matchGolden(view map[string]any, g *golden) error {
+	rep, ok := view["report"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("no report in view")
+	}
+	num := func(key string) int64 {
+		v, _ := rep[key].(float64)
+		return int64(v)
+	}
+	if num("rounds") != int64(g.Rounds) || num("phases") != int64(g.Phases) ||
+		num("maxMachineWords") != g.MaxMachineWords || num("totalWords") != g.TotalWords ||
+		num("violations") != int64(g.Violations) {
+		return fmt.Errorf("costs diverge from golden: got rounds=%v phases=%v maxWords=%v totalWords=%v violations=%v, want %+v",
+			rep["rounds"], rep["phases"], rep["maxMachineWords"], rep["totalWords"], rep["violations"], *g)
+	}
+	if hash, _ := rep["solutionHash"].(string); hash != fmt.Sprintf("%016x", g.SolutionHash) {
+		return fmt.Errorf("solution hash %v, golden %016x", rep["solutionHash"], g.SolutionHash)
+	}
+	return nil
+}
+
+// canonical strips the volatile fields for burst bit-identity checks.
+func canonical(view map[string]any) string {
+	c := make(map[string]any, len(view))
+	for k, v := range view {
+		switch k {
+		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
+			continue
+		}
+		c[k] = v
+	}
+	if rep, ok := c["report"].(map[string]any); ok {
+		r := make(map[string]any, len(rep))
+		for k, v := range rep {
+			if k == "wallMs" {
+				continue
+			}
+			r[k] = v
+		}
+		c["report"] = r
+	}
+	out, _ := json.Marshal(c)
+	return string(out)
+}
+
+// ---- daemon plumbing ----------------------------------------------------
+
+func startDaemon(bin string, env []string, args ...string) (string, *exec.Cmd, error) {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", nil, fmt.Errorf("daemon never printed its address")
+	}
+	go io.Copy(io.Discard, stdout)
+	return base, cmd, nil
+}
+
+// reap kills a daemon that a failed phase left running.
+func reap(cmd *exec.Cmd) {
+	if cmd.ProcessState == nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// drain SIGTERMs the daemon and requires a zero exit.
+func drain(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("non-zero exit after SIGTERM: %v", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("no exit within 60s of SIGTERM")
+	}
+}
+
+// ---- HTTP plumbing ------------------------------------------------------
+
+func submit(base, body string) (map[string]any, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		return nil, fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var view map[string]any
+	if err := json.Unmarshal(data, &view); err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+func awaitDone(base, id string, timeout time.Duration) (map[string]any, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		data, err := get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var view map[string]any
+		if err := json.Unmarshal(data, &view); err != nil {
+			return nil, err
+		}
+		switch view["state"] {
+		case "done":
+			return view, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s %v: %v", id, view["state"], view["error"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s did not finish within %v", id, timeout)
+}
+
+// waitDone polls the job listing until at least want jobs are done.
+func waitDone(base string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v, err := metric(base, `mpcgraphd_jobs{state="done"}`)
+		if err == nil && v >= want {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("fewer than %d jobs finished within %v", want, timeout)
+}
+
+// metric scrapes one exact series from /metrics.
+func metric(base, name string) (int, error) {
+	data, err := get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.Atoi(strings.TrimSpace(rest))
+		}
+	}
+	return 0, fmt.Errorf("no series %q in /metrics", name)
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, data)
+	}
+	return data, nil
+}

@@ -15,8 +15,15 @@
 //     internal/registry (which stamps the one advisory Wall field of
 //     the Report) and internal/service (which stamps job lifecycle
 //     timestamps and daemon uptime — operational metadata that never
-//     enters audited costs or cache keys). Audited costs are model
-//     rounds and words, never host time.
+//     enters audited costs or cache keys). Within internal/service the
+//     persistent cache tier (store.go) may read the clock only to
+//     stamp file mtimes for its recency janitor; wall time must never
+//     enter cache keys or the serialized Report bytes, or a replayed
+//     entry would stop being bit-identical to the cold run. Note that
+//     package cli is NOT on the allow list: the client's retry budget
+//     is therefore the sum of planned sleeps (internal/cli/backoff.go),
+//     not measured elapsed time, keeping exhaustion reproducible.
+//     Audited costs are model rounds and words, never host time.
 //  3. no-exit: calling os.Exit is forbidden outside package main, so
 //     library errors surface as errors (and the mpcgraph binary can map
 //     sentinels onto its documented exit codes).
@@ -84,7 +91,9 @@ func lintTree(root string) ([]string, error) {
 }
 
 // timeNowAllowed lists the non-main packages permitted to read the wall
-// clock (see rule 2).
+// clock (see rule 2). internal/service's allowance covers job lifecycle
+// timestamps, uptime, and the disk store's mtime janitor — never cache
+// keys or persisted Report bytes.
 func timeNowAllowed(path string) bool {
 	slash := filepath.ToSlash(path)
 	return strings.Contains(slash, "internal/registry/") ||

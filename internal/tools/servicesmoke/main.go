@@ -1,11 +1,16 @@
 // Command servicesmoke is the `make service-smoke` harness: it boots a
-// real mpcgraphd binary on an ephemeral port, submits one job per
-// registered problem over HTTP, re-submits each and verifies the
-// deterministic result cache returned a hit whose job view is
-// bit-identical to the cold run (volatile fields aside), checks the
-// /metrics counters, then sends SIGTERM and requires a clean graceful
-// exit. It exercises exactly the production path: the shipped binary,
-// a real TCP port, real signals.
+// real mpcgraphd binary on an ephemeral port (with a persistent cache
+// directory), submits one job per registered problem over HTTP,
+// re-submits each and verifies the deterministic result cache returned
+// a hit whose job view is bit-identical to the cold run (volatile
+// fields aside), checks the /metrics counters and the disk-tier health
+// report, then sends SIGTERM and requires a clean graceful exit.
+// Finally it boots a second, deliberately saturated daemon (one
+// stalled worker, queue depth 1) and verifies the backpressure
+// convention: overload produces HTTP 429 with a Retry-After header.
+// It exercises exactly the production path: the shipped binary, a real
+// TCP port, real signals. Crash-recovery of the disk tier has its own,
+// deeper harness — see internal/tools/chaossmoke (`make chaos-smoke`).
 //
 // Usage: servicesmoke -bin <path-to-mpcgraphd>
 package main
@@ -58,22 +63,19 @@ var specs = []jobSpec{
 	{"weighted-matching", "mpc", "weighted-gnp"},
 }
 
-func run(bin string) error {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+// startDaemon boots bin with args, waits for the "listening on" line,
+// and returns the base URL plus the running process.
+func startDaemon(bin string, env []string, args ...string) (string, *exec.Cmd, error) {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return "", nil, err
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return err
+		return "", nil, err
 	}
-	defer func() {
-		if cmd.ProcessState == nil {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
-	}()
 
 	// The daemon's first stdout line carries the bound address.
 	sc := bufio.NewScanner(stdout)
@@ -86,9 +88,31 @@ func run(bin string) error {
 		}
 	}
 	if base == "" {
-		return fmt.Errorf("daemon never printed its address")
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", nil, fmt.Errorf("daemon never printed its address")
 	}
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return base, cmd, nil
+}
+
+func run(bin string) error {
+	cacheDir, err := os.MkdirTemp("", "servicesmoke-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	base, cmd, err := startDaemon(bin, nil, "-workers", "2", "-cache-dir", cacheDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
 
 	for _, spec := range specs {
 		cold, err := submitAndWait(base, spec)
@@ -118,11 +142,14 @@ func run(bin string) error {
 	if err != nil {
 		return err
 	}
-	if !strings.Contains(string(metrics), fmt.Sprintf("mpcgraphd_cache_hits_total %d", len(specs))) {
-		return fmt.Errorf("metrics do not report %d cache hits:\n%s", len(specs), metrics)
+	if !strings.Contains(string(metrics), fmt.Sprintf(`mpcgraphd_cache_hits_total{tier="memory"} %d`, len(specs))) {
+		return fmt.Errorf("metrics do not report %d memory-tier cache hits:\n%s", len(specs), metrics)
 	}
 	if !strings.Contains(string(metrics), fmt.Sprintf("mpcgraphd_jobs_submitted_total %d", 2*len(specs))) {
 		return fmt.Errorf("metrics do not report %d submissions", 2*len(specs))
+	}
+	if !strings.Contains(string(metrics), fmt.Sprintf("mpcgraphd_cache_disk_writes_total %d", len(specs))) {
+		return fmt.Errorf("metrics do not report %d disk-tier writes:\n%s", len(specs), metrics)
 	}
 	health, err := get(base + "/healthz")
 	if err != nil {
@@ -130,6 +157,9 @@ func run(bin string) error {
 	}
 	if !strings.Contains(string(health), `"status": "ok"`) {
 		return fmt.Errorf("healthz not ok: %s", health)
+	}
+	if !strings.Contains(string(health), `"cacheDisk": "ok"`) {
+		return fmt.Errorf("healthz does not report a healthy disk tier: %s", health)
 	}
 
 	// Graceful drain: SIGTERM must produce a zero exit.
@@ -147,6 +177,60 @@ func run(bin string) error {
 		cmd.Process.Kill()
 		return fmt.Errorf("daemon did not drain within 60s of SIGTERM")
 	}
+
+	return checkBackpressure(bin)
+}
+
+// checkBackpressure pins the overload convention against a saturated
+// daemon: one worker stalled by a failpoint, queue depth 1, so the
+// third identical-shape submission must be rejected with 429 and a
+// Retry-After hint.
+func checkBackpressure(bin string) error {
+	base, cmd, err := startDaemon(bin, []string{"MPCGRAPHD_FAILPOINTS=solve-stall"},
+		"-workers", "1", "-queue", "1")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	saw429 := false
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{
+			"problem": "mis", "noCache": true,
+			"scenario": {"name": "gnp", "n": %d, "seed": 7},
+			"options": {"seed": 7}
+		}`, 200+i)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case 201:
+		case 429:
+			saw429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				return fmt.Errorf("429 rejection carries no Retry-After header")
+			}
+			var view map[string]any
+			if err := json.Unmarshal(data, &view); err != nil {
+				return fmt.Errorf("429 body is not a job view: %s", data)
+			}
+			if state, _ := view["state"].(string); state != "canceled" {
+				return fmt.Errorf("429-rejected job state %q, want canceled", state)
+			}
+		default:
+			return fmt.Errorf("saturated submit %d: %s: %s", i, resp.Status, data)
+		}
+	}
+	if !saw429 {
+		return fmt.Errorf("4 submissions against workers=1/queue=1 stalled daemon never hit 429")
+	}
+	fmt.Println("  backpressure: 429 + Retry-After on saturated daemon")
 	return nil
 }
 
@@ -209,7 +293,7 @@ func canonical(view map[string]any) []byte {
 	c := make(map[string]any, len(view))
 	for k, v := range view {
 		switch k {
-		case "id", "cacheHit", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
+		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
 			continue
 		}
 		c[k] = v
