@@ -126,17 +126,37 @@ type tieredCache struct {
 }
 
 // Get returns the cached Report for key and the tier that served it.
+// It may perform disk I/O on an L1 miss; callers on a lock-sensitive
+// path should probe memGet under their lock and diskGet outside it.
 func (c *tieredCache) Get(key string) (*mpcgraph.Report, CacheTier, bool) {
-	if rep, ok := c.mem.Get(key); ok {
+	if rep, ok := c.memGet(key); ok {
 		return rep, TierMemory, true
 	}
-	if c.disk != nil {
-		if rep, ok := c.disk.Get(key); ok {
-			c.mem.Put(key, rep) // promote for the next identical submission
-			return rep, TierDisk, true
-		}
+	if rep, ok := c.diskGet(key); ok {
+		return rep, TierDisk, true
 	}
 	return nil, TierNone, false
+}
+
+// memGet probes only the in-memory tier. It never touches the disk, so
+// it is safe to call while holding Server.mu.
+func (c *tieredCache) memGet(key string) (*mpcgraph.Report, bool) {
+	return c.mem.Get(key)
+}
+
+// diskGet probes the persistent tier, promoting a hit into memory for
+// the next identical submission. It reads the disk — never call it
+// while holding Server.mu.
+func (c *tieredCache) diskGet(key string) (*mpcgraph.Report, bool) {
+	if c.disk == nil {
+		return nil, false
+	}
+	rep, ok := c.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	c.mem.Put(key, rep)
+	return rep, true
 }
 
 // Put stores rep in both tiers.

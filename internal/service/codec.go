@@ -182,7 +182,10 @@ func decodeReport(data []byte) (*mpcgraph.Report, error) {
 	}
 	if mLen > 0 {
 		mLen--
-		if uint64(len(rd)) < 4*mLen {
+		// Divide rather than multiply: 4*mLen can wrap for a crafted
+		// count near 2^62, turning an oversized length into a small one
+		// and the make below into a panic instead of a decode error.
+		if mLen > uint64(len(rd))/4 {
 			return nil, fail()
 		}
 		rep.M = make(graph.Matching, mLen)

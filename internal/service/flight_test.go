@@ -156,6 +156,68 @@ func TestAllRidersCanceledAbortsSolve(t *testing.T) {
 	}
 }
 
+// TestResubmitAfterCancelDoesNotRideDeadFlight: canceling every rider
+// of a queued leader kills the flight's context, but the flight stays
+// registered until a worker dequeues the leader. A resubmission in
+// that window must start a fresh computation — attaching would strand
+// it on a flight that completes no one (it used to hang forever).
+func TestResubmitAfterCancelDoesNotRideDeadFlight(t *testing.T) {
+	s := idleServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := submitIdle(t, ts, coalesceRequest())
+	if code := cancelJobHTTP(t, ts, first.ID); code != 200 {
+		t.Fatalf("cancel: %d", code)
+	}
+
+	second := submitIdle(t, ts, coalesceRequest())
+	if second.Coalesced {
+		t.Fatalf("resubmission coalesced onto a dead flight")
+	}
+
+	// Drain in queue order: the dead leader first, then the fresh one.
+	(<-s.queue).run(s)
+	(<-s.queue).run(s)
+
+	if v := awaitTerminal(t, ts.URL, second.ID); v.State != StateDone {
+		t.Fatalf("resubmitted job state %s (%s), want done", v.State, v.Error)
+	}
+}
+
+// TestRidersOnDeadFlightFailInsteadOfHanging: if a flight's context
+// dies while a non-terminal rider is attached (the losing side of the
+// attach-vs-final-detach race), the worker must fail that rider rather
+// than discard it into a forever-queued record.
+func TestRidersOnDeadFlightFailInsteadOfHanging(t *testing.T) {
+	s := idleServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	leader := submitIdle(t, ts, coalesceRequest())
+	follower := submitIdle(t, ts, coalesceRequest())
+
+	// Kill the context out from under both live riders, as the race
+	// would: a straggler attaches just after the last rider detached.
+	s.mu.Lock()
+	f := s.jobs[leader.ID].flight
+	s.mu.Unlock()
+	f.cancel()
+
+	(<-s.queue).run(s)
+
+	for _, id := range []string{leader.ID, follower.ID} {
+		if v := awaitTerminal(t, ts.URL, id); v.State != StateFailed {
+			t.Errorf("rider %s state %s on a dead flight, want failed", id, v.State)
+		}
+	}
+	s.mu.Lock()
+	if len(s.flights) != 0 {
+		t.Errorf("%d flights leaked", len(s.flights))
+	}
+	s.mu.Unlock()
+}
+
 // TestFlightRetiresBeforeResultVisible: once a rider observes done, a
 // new identical submission must hit the cache, never attach to the
 // retired flight.

@@ -127,6 +127,14 @@ func (j *Job) armDeadline() {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued, StateRunning:
+	default:
+		// Already terminal (e.g. completed or canceled before arming):
+		// a timer armed now would have no stopDeadlineLocked to release
+		// it and would linger until it fired.
+		return
+	}
 	j.deadline = time.AfterFunc(time.Until(j.created.Add(j.timeout)), func() {
 		j.cancelJob("job deadline exceeded (timeoutMs bounds queue wait plus execution)")
 	})
@@ -144,10 +152,17 @@ func (j *Job) appendTrace(ev mpcgraph.TraceEvent) {
 	j.signalLocked()
 }
 
-// completeCached finishes a job at submission time from a cache hit.
+// completeCached finishes a job from a cache hit: at submission time
+// (L1) or after the unlocked disk probe (L2, where the job is briefly
+// visible and cancellable, so riders already terminal stay terminal).
 func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued, StateRunning:
+	default:
+		return
+	}
 	now := time.Now()
 	j.state = StateDone
 	j.report = rep
@@ -155,6 +170,7 @@ func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.cacheTier = tier
 	j.started = now
 	j.finished = now
+	j.stopDeadlineLocked()
 	j.signalLocked()
 }
 
@@ -243,8 +259,11 @@ func (j *Job) run(s *Server) {
 	if f == nil || f.ctx.Err() != nil {
 		// Every rider canceled while the leader sat in the queue (or the
 		// job predates its flight — impossible by construction). The
-		// rider records are already terminal; just drop the flight.
-		s.dropFlight(f)
+		// original riders are already terminal, but a rider may have
+		// raced its attach against the final detach (submit checks
+		// ctx.Err under Server.mu, detach cancels without it) — fail any
+		// such straggler rather than strand it queued forever.
+		failDroppedRiders(s, f)
 		return
 	}
 
@@ -300,13 +319,24 @@ func (j *Job) run(s *Server) {
 		}
 	case f.ctx.Err() != nil:
 		// Aborted between metered rounds: every rider already canceled
-		// itself (client DELETE, deadline, or drain), so there is no one
-		// left to notify.
-		s.dropFlight(f)
+		// itself (client DELETE, deadline, or drain) — except a rider
+		// whose attach raced the final detach; fail it so nothing stays
+		// queued on a flight that will never complete.
+		failDroppedRiders(s, f)
 	default:
 		for _, r := range s.dropFlight(f) {
 			r.fail(err)
 		}
+	}
+}
+
+// failDroppedRiders retires a canceled flight and fails any rider that
+// is not already terminal. fail is a no-op on terminal jobs, so the
+// common case (every rider canceled itself) is untouched; only a rider
+// that attached in the cancel-to-dequeue window is affected.
+func failDroppedRiders(s *Server, f *flight) {
+	for _, r := range s.dropFlight(f) {
+		r.fail(fmt.Errorf("service: coalesced computation canceled before completion"))
 	}
 }
 
@@ -339,11 +369,9 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 		return nil, 400, err
 	}
 
-	// The draining check and the queue send stay under one critical
-	// section so Drain cannot close the queue between them.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, 503, fmt.Errorf("service: draining, not accepting jobs")
 	}
 	s.nextID++
@@ -358,35 +386,75 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 	s.evictTerminalLocked()
 
 	if !job.noCache {
-		if rep, tier, ok := s.cache.Get(key); ok {
-			job.completeCached(rep, tier)
+		// Only the in-memory tier is probed under s.mu: a disk probe here
+		// would stall every endpoint that takes s.mu behind one file read.
+		if rep, ok := s.cache.memGet(key); ok {
+			job.completeCached(rep, TierMemory)
+			s.mu.Unlock()
 			return job, 0, nil
 		}
 		// Single-flight: an identical computation is already in flight —
 		// ride it instead of burning a second worker on a bit-identical
 		// result. The follower keeps its own record, deadline and cancel.
-		if f, ok := s.flights[key]; ok && !f.done {
+		// Attach only to a live flight: one whose context survived (a
+		// canceled flight still registered until its leader dequeues
+		// would complete no one) and that has not already fanned out.
+		if f, ok := s.flights[key]; ok && !f.done && f.ctx.Err() == nil {
 			f.attachLocked(job)
 			s.coalesces++
+			s.mu.Unlock()
 			job.armDeadline()
 			return job, 0, nil
 		}
 	}
 
+	// Register the flight before the unlocked disk probe so identical
+	// submissions arriving meanwhile coalesce onto this one — the probe
+	// itself is single-flighted. noCache flights stay private: their
+	// contract is a forced cold run, so others must not ride them.
 	f := newFlight(key, job)
+	if !job.noCache {
+		s.flights[key] = f
+	}
+	s.mu.Unlock()
+
+	// Armed before the queue send so a worker can never complete the job
+	// while the timer is still being created (the late timer would leak
+	// until it fired); armDeadline skips already-terminal jobs.
+	job.armDeadline()
+
+	if !job.noCache {
+		if rep, ok := s.cache.diskGet(key); ok {
+			// Recovered from the persistent tier: complete every rider
+			// (followers may have attached during the probe) as a disk hit.
+			for _, r := range s.dropFlight(f) {
+				r.completeCached(rep, TierDisk)
+			}
+			return job, 0, nil
+		}
+	}
+
+	// The draining re-check and the queue send stay under one critical
+	// section so Drain cannot close the queue between them.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		for _, r := range s.dropFlight(f) {
+			r.cancelJob("server draining")
+		}
+		return job, 503, fmt.Errorf("service: draining, not accepting jobs")
+	}
 	select {
 	case s.queue <- job:
-		if !job.noCache {
-			// noCache flights stay private: their contract is a forced
-			// cold run, so identical submissions must not ride them.
-			s.flights[key] = f
-		}
-		job.armDeadline()
+		s.mu.Unlock()
 		return job, 0, nil
 	default:
-		// Admission control: the queue is full. The job is retained as
-		// canceled so the client can inspect the rejection.
-		job.cancelJob("queue full")
+		s.mu.Unlock()
+		// Admission control: the queue is full. The riders are retained
+		// as canceled so the clients can inspect the rejection.
+		for _, r := range s.dropFlight(f) {
+			r.cancelJob("queue full")
+		}
 		return job, 429, fmt.Errorf("service: job queue full (depth %d)", s.cfg.QueueDepth)
 	}
 }

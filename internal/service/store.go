@@ -31,8 +31,9 @@ type diskStore struct {
 	maxEntries int
 	fp         *failpoints
 
-	mu   sync.Mutex
-	keys map[string]struct{} // validated entries present on disk
+	mu      sync.Mutex
+	keys    map[string]struct{} // validated entries present on disk
+	writing map[string]struct{} // keys with a write in progress (dedupe only)
 
 	hits        uint64
 	writes      uint64
@@ -57,7 +58,7 @@ func openDiskStore(dir string, maxEntries int, fp *failpoints) (*diskStore, erro
 	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("service: cache dir: %v", err)
 	}
-	d := &diskStore{dir: dir, maxEntries: maxEntries, fp: fp, keys: make(map[string]struct{})}
+	d := &diskStore{dir: dir, maxEntries: maxEntries, fp: fp, keys: make(map[string]struct{}), writing: make(map[string]struct{})}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: cache dir: %v", err)
@@ -149,13 +150,31 @@ func (d *diskStore) Get(key string) (*mpcgraph.Report, bool) {
 // no-ops: any two Reports under one key are bit-identical, so the
 // first persisted entry is kept. Failures degrade the tier (counted,
 // surfaced in /healthz) instead of failing the job.
+//
+// The write itself — encode, temp file, fsync, rename, dir fsync —
+// runs outside d.mu so a slow disk serializes only same-key puts, not
+// every Get and Stats against one fsync. The writing set dedupes
+// concurrent same-key puts; racing writes of one key would be harmless
+// anyway (bit-identical bytes, atomic rename) but would waste fsyncs.
 func (d *diskStore) Put(key string, rep *mpcgraph.Report) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.keys[key]; ok {
+		d.mu.Unlock()
 		return
 	}
-	if err := d.write(key, rep); err != nil {
+	if _, ok := d.writing[key]; ok {
+		d.mu.Unlock()
+		return
+	}
+	d.writing[key] = struct{}{}
+	d.mu.Unlock()
+
+	err := d.write(key, rep)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.writing, key)
+	if err != nil {
 		d.writeErrors++
 		d.degraded = true
 		d.lastErr = err.Error()

@@ -2,6 +2,8 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -84,6 +86,36 @@ func TestCodecRejectsDamage(t *testing.T) {
 	future := append([]byte("mpcgraphd-report-v9\n"), data[len(reportCodecVersion):]...)
 	if _, err := decodeReport(future); err == nil {
 		t.Errorf("unknown entry version decoded")
+	}
+}
+
+// TestCodecRejectsOverflowedLength: a crafted entry whose matching
+// count sits near 2^62 — chosen so count*4 wraps to a tiny byte size —
+// must fail decoding as a quarantineable error. With a multiplied
+// bounds check it instead passed the check and panicked in make(),
+// crashing the daemon on a checksum-valid but hostile entry.
+func TestCodecRejectsOverflowedLength(t *testing.T) {
+	rep := solveReport(t, mpcgraph.ProblemMIS, 150, 5)
+	data := encodeReport(rep)
+
+	// Locate the matching-length field: magic, then the length-prefixed
+	// problem and model strings, then the InMIS bool set (8-byte prefix
+	// plus one byte per vertex; len of a nil set is 0, matching encode).
+	off := len(reportCodecVersion)
+	off += 8 + len(rep.Problem.String())
+	off += 8 + len(rep.Model.String())
+	off += 8 + len(rep.InMIS)
+	binary.LittleEndian.PutUint64(data[off:], 1<<62+2) // decodes to count 2^62+1
+	sum := sha256.Sum256(data[:len(data)-checksumLen])
+	copy(data[len(data)-checksumLen:], sum[:])
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("crafted entry panicked the decoder: %v", r)
+		}
+	}()
+	if _, err := decodeReport(data); err == nil {
+		t.Fatal("overflowed matching length decoded")
 	}
 }
 
