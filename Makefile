@@ -12,12 +12,16 @@
 # problem before draining it with SIGTERM, SIGKILLs a daemon mid-queue
 # and proves the persistent cache tier recovers every completed result
 # bit-identically with zero recomputation, and builds every Go code
-# block of README.md and docs/service.md against the current API.
+# block of README.md and docs/service.md against the current API. The
+# lint gate is the type-checked static-analysis suite of
+# internal/analysis (see docs/analysis.md): determinism, lock
+# discipline, and error hygiene over typed ASTs, tests included.
 #
 # Targets:
 #   make ci         - fmt + vet + lint + race tests + fuzz/benchmark/registry/CLI/service/docs smoke
 #   make fmt        - fail if any file needs gofmt
-#   make lint       - repo linter (internal/tools/lint): determinism + hygiene rules
+#   make lint       - static-analysis suite (internal/analysis), tests included
+#   make lint-fast  - same suite, production files only (no test files)
 #   make fuzz-smoke - short -fuzz run of every graphio structured-reader fuzzer
 #   make test       - fast test suite
 #   make race       - full test suite under -race
@@ -41,7 +45,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet lint test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check tables json
+.PHONY: ci fmt vet lint lint-fast test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check tables json
 
 ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check
 
@@ -55,7 +59,12 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./internal/tools/lint .
+	$(GO) run ./internal/analysis/cmd/lint .
+
+# The same analyzers without test files: a faster inner-loop gate when
+# iterating on production code.
+lint-fast:
+	$(GO) run ./internal/analysis/cmd/lint -tests=false .
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,198 @@
+// Package analysis is the repository's type-checked static-analysis
+// framework: the engine behind `make lint` (internal/analysis/cmd/lint)
+// and the analyzer suite in internal/analysis/rules.
+//
+// It exists because the determinism contract — bit-identical Reports
+// across Workers settings, models, processes, and cache tiers — is
+// enforced by conventions (seeded randomness through internal/rng, no
+// wall clock in audited costs, no unordered map iteration in result
+// paths, no blocking I/O under server locks) that a syntax-level linter
+// cannot check reliably: aliased imports, dot imports, and method
+// values like `f := time.Now` all evade name matching. This framework
+// type-checks the whole module from source with go/types (stdlib only —
+// no golang.org/x/tools, no export data, fully offline) and hands
+// analyzers typed ASTs, so rules match semantic objects instead of
+// spellings.
+//
+// # Architecture
+//
+// The driver (load.go) shells out to `go list -deps -test -json ./...`
+// to enumerate the module's packages and their full dependency closure
+// (including the standard library, with CGO disabled so every package
+// resolves to pure Go files), topologically sorts the closure — test
+// imports included, so `testing` is checked before any package whose
+// test files need it — and type-checks packages in parallel in
+// dependency order, each against the already-checked *types.Package of
+// its imports. Module packages are checked with their in-package test
+// files merged in and their external (_test package) files as a
+// separate unit; standard-library packages are type-checked but never
+// analyzed.
+//
+// Analyzers implement the Analyzer interface below: an optional Init
+// hook that sees the whole typed module at once (used by
+// interprocedural rules such as lockedio's I/O-reachability closure)
+// and a Run hook invoked once per module package with a Pass carrying
+// the typed syntax. Findings carry a rule name, position, and message.
+//
+// # Suppression
+//
+// A finding is suppressed — reported, but not a failure — by a
+// directive comment on the same line or the line directly above:
+//
+//	//lint:ignore <rule> <justification>
+//
+// The justification is mandatory: it must name the invariant that makes
+// the site safe (e.g. "keys are re-sorted by the caller"). A directive
+// without one is itself a finding (rule "lint-ignore") that cannot be
+// suppressed. docs/analysis.md catalogs every rule and its suppression
+// etiquette.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos  token.Position // file:line:col of the offending node
+	Rule string         // analyzer name, e.g. "maprange"
+	Msg  string         // human-readable message
+
+	// Suppressed reports whether a //lint:ignore directive with a
+	// justification covers this finding. Suppressed findings do not
+	// fail the lint gate; Why carries the justification.
+	Suppressed bool
+	Why        string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+	if f.Suppressed {
+		s += fmt.Sprintf(" [suppressed: %s]", f.Why)
+	}
+	return s
+}
+
+// An Analyzer is one rule of the suite.
+type Analyzer struct {
+	// Name identifies the rule in findings and //lint:ignore
+	// directives, e.g. "no-wall-clock".
+	Name string
+
+	// Doc is the one-paragraph rule description surfaced by
+	// `lint -rules` and docs/analysis.md.
+	Doc string
+
+	// Init, if non-nil, runs once per driver invocation after every
+	// module package has been type-checked, before any Run call. It is
+	// where whole-module state (call graphs, reachability closures) is
+	// computed.
+	Init func(m *Module)
+
+	// Run is invoked once per module package.
+	Run func(p *Pass)
+}
+
+// A Module is the fully type-checked module under analysis: every
+// package that `go list ./...` reports, with test files merged in when
+// the driver ran with Tests enabled.
+type Module struct {
+	Fset *token.FileSet
+	Path string  // module path from go.mod, e.g. "mpcgraph"
+	Pkgs []*Pass // analyzed packages in dependency order
+}
+
+// A Pass is one analyzed package handed to Analyzer.Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// RelPath is the package's import path relative to the module root:
+	// "" for the root package, "internal/graph", "cmd/mpcgraph", ... .
+	// External test packages share the RelPath of the package they
+	// test; their Pkg name carries the "_test" suffix.
+	RelPath string
+
+	Module *Module
+
+	testFiles map[*ast.File]bool
+	report    func(Finding)
+	rule      string
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Reportf records a finding for the currently running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:  p.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CalleeFunc resolves the statically-known callee of call: a package
+// function, a method (through any selector depth, including promoted
+// embeddings), or a dot-imported function. It returns nil for calls
+// through function-typed variables, interface values it cannot resolve
+// to a *types.Func, conversions, and builtins.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	return CalleeFunc(p.Info, call)
+}
+
+// CalleeFunc is Pass.CalleeFunc for callers that hold only an Info.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
+}
+
+// sortFindings orders findings by position then rule for stable output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// RelFromImportPath derives a Pass.RelPath from an import path and the
+// module path: "mpcgraph/internal/graph" -> "internal/graph".
+func RelFromImportPath(importPath, modulePath string) string {
+	if importPath == modulePath {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, modulePath+"/")
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs analyzers over a testdata package and diffs
+// the findings against `// want` expectation comments, so every rule is
+// regression-tested like ordinary code.
+//
+// A testdata package is a directory of .go files under
+// testdata/src/<name>/. Any line may carry an expectation:
+//
+//	m := rangeOverJobs() // want "maprange: map range order"
+//
+// The quoted string is an anchored-nowhere regular expression matched
+// against `rule: message` of an unsuppressed finding reported on that
+// line. Several expectations may share one comment (multiple quoted
+// strings). The diff is exact in both directions: a finding with no
+// matching expectation fails the test, and so does an expectation with
+// no matching finding. Suppressed findings (a valid //lint:ignore) are
+// treated as absent, which is how negative suppression cases are
+// written.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/analysis"
+)
+
+// wantRE captures the quoted patterns of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` pattern awaiting a finding.
+type expectation struct {
+	file    string // base name
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the package in dir as if it lived at importPath inside
+// modulePath, and reports any mismatch between the unsuppressed
+// findings and the `// want` expectations via t.Errorf.
+func Run(t *testing.T, dir, modulePath, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	expects, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("reading expectations: %v", err)
+	}
+
+	res, err := analysis.RunFiles(analysis.FilesConfig{
+		Dir:        dir,
+		ModulePath: modulePath,
+		ImportPath: importPath,
+		ListDir:    moduleRoot(t),
+		Analyzers:  analyzers,
+	})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			continue
+		}
+		got := fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+		file := filepath.Base(f.Pos.Filename)
+		ok := false
+		for _, e := range expects {
+			if !e.matched && e.file == file && e.line == f.Pos.Line && e.pattern.MatchString(got) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected finding: %s", file, f.Pos.Line, got)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no finding matched want %q", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// collectWants scans the raw source lines for `// want` comments.
+func collectWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				pat, err := regexp.Compile(q[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", ent.Name(), i+1, q[1], err)
+				}
+				out = append(out, &expectation{file: ent.Name(), line: i + 1, pattern: pat})
+			}
+		}
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, giving RunFiles a directory where `go list` can resolve the
+// module's own import paths.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,76 @@
+// Command lint is the repository's lint gate, run by `make lint`: it
+// loads the module with full type information (internal/analysis) and
+// runs the project analyzer suite (internal/analysis/rules) over every
+// package. It replaces the old syntax-level internal/tools/lint, which
+// matched import spellings and so missed aliased imports, dot imports,
+// and method values like `now := time.Now`.
+//
+// Usage:
+//
+//	lint [-tests=false] [-rules] [-all] [dir]
+//
+// dir (default ".") is any directory inside the module. -tests=false
+// skips loading _test.go files (the `make lint-fast` mode). -rules
+// prints the rule catalog and exits. -all also prints suppressed
+// findings with their justifications — the suppression inventory.
+//
+// Exit status: 0 when every finding is suppressed with a justification,
+// 1 otherwise. See docs/analysis.md for the rule catalog and the
+// //lint:ignore etiquette.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcgraph/internal/analysis"
+	"mpcgraph/internal/analysis/rules"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "type-check and analyze _test.go files too")
+	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	all := flag.Bool("all", false, "also print suppressed findings with their justifications")
+	flag.Parse()
+
+	suite := rules.Suite()
+	if *listRules {
+		for _, a := range suite {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	res, err := analysis.Run(analysis.Config{
+		Dir:       dir,
+		Tests:     *tests,
+		Analyzers: suite,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	for _, note := range res.Notes {
+		fmt.Fprintln(os.Stderr, "lint: note:", note)
+	}
+	if *all {
+		for _, f := range res.Findings {
+			if f.Suppressed {
+				fmt.Fprintln(os.Stderr, f)
+			}
+		}
+	}
+	failing := res.Unsuppressed()
+	for _, f := range failing {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(failing))
+		os.Exit(1)
+	}
+}

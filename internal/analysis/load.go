@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config parameterizes a driver run.
+type Config struct {
+	// Dir is the module root (any directory inside the module works:
+	// `go list` resolves the enclosing module).
+	Dir string
+
+	// Tests merges in-package _test.go files into their package and
+	// checks external _test packages as separate units, so analyzers
+	// see test code too. `make lint-fast` disables it.
+	Tests bool
+
+	// Analyzers is the rule suite to run.
+	Analyzers []*Analyzer
+
+	// GoCmd overrides the go tool binary (default "go").
+	GoCmd string
+}
+
+// Result is a completed driver run.
+type Result struct {
+	// Findings is every diagnostic, suppressed or not, sorted by
+	// position. Unsuppressed returns the failing subset.
+	Findings []Finding
+
+	// Module is the analyzed module, for callers (tests) that want the
+	// typed packages.
+	Module *Module
+
+	// Notes records non-fatal loader degradations, e.g. a package whose
+	// test files were skipped because merging them would create an
+	// import cycle.
+	Notes []string
+}
+
+// Unsuppressed returns the findings not covered by a //lint:ignore
+// justification — the set that fails the lint gate.
+func (r *Result) Unsuppressed() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	ImportMap    map[string]string
+	Module       *struct{ Path string }
+}
+
+// unit is one type-checking work item: a package's compiled files (for
+// module packages, with in-package test files merged when Tests is on)
+// or an external _test package.
+type unit struct {
+	key       string // units map key: ImportPath, or ImportPath+" [xtest]"
+	checkPath string // path handed to types.Config.Check
+	relPath   string // module-relative path ("" outside the module)
+	dir       string
+	files     []string // file names relative to dir
+	testFrom  int      // index in files where _test.go files begin
+	deps      []string // unit keys this unit must wait for
+	importMap map[string]string
+	module    bool // belongs to the module under analysis (analyzed)
+
+	done   chan struct{} // closed once tpkg/info/syntax are final
+	tpkg   *types.Package
+	info   *types.Info
+	syntax []*ast.File
+	tests  map[*ast.File]bool
+	errs   []error
+}
+
+// Run loads the module at cfg.Dir, type-checks its full dependency
+// closure from source in parallel, runs the analyzer suite over every
+// module package, and applies //lint:ignore suppressions.
+func Run(cfg Config) (*Result, error) {
+	goCmd := cfg.GoCmd
+	if goCmd == "" {
+		goCmd = "go"
+	}
+	pkgs, err := goList(goCmd, cfg.Dir, cfg.Tests, "./...")
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, p := range pkgs {
+		if p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module packages found under %s", cfg.Dir)
+	}
+
+	units, notes := buildUnits(pkgs, modPath, cfg.Tests)
+	fset := token.NewFileSet()
+	if err := checkAll(fset, units); err != nil {
+		return nil, err
+	}
+
+	mod := &Module{Fset: fset, Path: modPath}
+	var findings []Finding
+	var mu sync.Mutex
+	report := func(f Finding) {
+		mu.Lock()
+		findings = append(findings, f)
+		mu.Unlock()
+	}
+	for _, u := range units {
+		if !u.module {
+			continue
+		}
+		mod.Pkgs = append(mod.Pkgs, &Pass{
+			Fset:      fset,
+			Files:     u.syntax,
+			Pkg:       u.tpkg,
+			Info:      u.info,
+			RelPath:   u.relPath,
+			Module:    mod,
+			testFiles: u.tests,
+			report:    report,
+		})
+	}
+
+	for _, a := range cfg.Analyzers {
+		if a.Init != nil {
+			a.Init(mod)
+		}
+	}
+	for _, p := range mod.Pkgs {
+		for _, a := range cfg.Analyzers {
+			p.rule = a.Name
+			a.Run(p)
+		}
+	}
+
+	var allFiles []*ast.File
+	for _, p := range mod.Pkgs {
+		allFiles = append(allFiles, p.Files...)
+	}
+	findings = ApplySuppressions(fset, allFiles, findings)
+	sortFindings(findings)
+	return &Result{Findings: findings, Module: mod, Notes: notes}, nil
+}
+
+// goList enumerates the module's packages plus their full dependency
+// closure. CGO is disabled so every package (net, os/user, ...) resolves
+// to its pure-Go files and the whole closure is type-checkable from
+// source. With tests, `-test` widens the closure to test dependencies
+// (testing, net/http/httptest, ...); the synthesized "p [p.test]"
+// variants it also prints are filtered out — the loader does its own
+// test-file merging so it controls cycle handling.
+func goList(goCmd, dir string, tests bool, patterns ...string) ([]*listPkg, error) {
+	args := []string{"list", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,Standard,ForTest,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,ImportMap,Module")
+	args = append(args, patterns...)
+	cmd := exec.Command(goCmd, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s %s: %v\n%s", goCmd, strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	seen := map[string]bool{}
+	var pkgs []*listPkg
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		// Skip the synthesized test variants: "p.test" mains, "p [p.test]"
+		// rebuilds, and packages listed as compiled-for-test.
+		if p.ForTest != "" || strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// buildUnits turns the package list into type-checking units. Module
+// packages absorb their in-package test files (so analyzers see them
+// with full type information) unless doing so would create an import
+// cycle — a test importing a package that already imports the package
+// under test — in which case the package is checked without its tests
+// and a note records the gap. External _test packages become separate
+// trailing units.
+func buildUnits(pkgs []*listPkg, modPath string, tests bool) (map[string]*unit, []string) {
+	byPath := map[string]*listPkg{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+
+	// reaches reports whether from's transitive (non-test) imports
+	// include target, for the augmentation cycle check.
+	memo := map[string]map[string]bool{}
+	var closure func(path string) map[string]bool
+	closure = func(path string) map[string]bool {
+		if c, ok := memo[path]; ok {
+			return c
+		}
+		c := map[string]bool{}
+		memo[path] = c // break accidental cycles defensively
+		p := byPath[path]
+		if p == nil {
+			return c
+		}
+		for _, raw := range p.Imports {
+			imp := resolveImport(p, raw)
+			if imp == "unsafe" || imp == path {
+				continue
+			}
+			c[imp] = true
+			for t := range closure(imp) {
+				c[t] = true
+			}
+		}
+		return c
+	}
+
+	units := map[string]*unit{}
+	var notes []string
+	for _, p := range pkgs {
+		if p.ImportPath == "unsafe" {
+			continue
+		}
+		isMod := p.Module != nil && p.Module.Path == modPath
+		u := &unit{
+			key:       p.ImportPath,
+			checkPath: p.ImportPath,
+			relPath:   "",
+			dir:       p.Dir,
+			files:     append([]string{}, p.GoFiles...),
+			deps:      nil,
+			importMap: p.ImportMap,
+			module:    isMod,
+			done:      make(chan struct{}),
+		}
+		if isMod {
+			u.relPath = RelFromImportPath(p.ImportPath, modPath)
+		}
+		deps := map[string]bool{}
+		for _, raw := range p.Imports {
+			deps[resolveImport(p, raw)] = true
+		}
+		u.testFrom = len(u.files)
+		if tests && isMod && len(p.TestGoFiles) > 0 {
+			cycle := false
+			for _, raw := range p.TestImports {
+				if closure(resolveImport(p, raw))[p.ImportPath] {
+					cycle = true
+					break
+				}
+			}
+			if cycle {
+				notes = append(notes, fmt.Sprintf("%s: in-package test files skipped (test imports cycle back through the package)", p.ImportPath))
+			} else {
+				u.files = append(u.files, p.TestGoFiles...)
+				for _, raw := range p.TestImports {
+					deps[resolveImport(p, raw)] = true
+				}
+			}
+		}
+		u.deps = depKeys(deps)
+		units[u.key] = u
+
+		if tests && isMod && len(p.XTestGoFiles) > 0 {
+			x := &unit{
+				key:       p.ImportPath + " [xtest]",
+				checkPath: p.ImportPath + "_test",
+				relPath:   u.relPath,
+				dir:       p.Dir,
+				files:     append([]string{}, p.XTestGoFiles...),
+				importMap: p.ImportMap,
+				module:    true,
+				done:      make(chan struct{}),
+			}
+			xdeps := map[string]bool{}
+			for _, raw := range p.XTestImports {
+				xdeps[resolveImport(p, raw)] = true
+			}
+			x.deps = depKeys(xdeps)
+			units[x.key] = x
+		}
+	}
+	// Drop dependencies on units that do not exist (unsafe, packages
+	// outside the listed closure) so no goroutine waits forever.
+	for _, u := range units {
+		kept := u.deps[:0]
+		for _, d := range u.deps {
+			if _, ok := units[d]; ok {
+				kept = append(kept, d)
+			}
+		}
+		u.deps = kept
+	}
+	return units, notes
+}
+
+func resolveImport(p *listPkg, raw string) string {
+	if mapped, ok := p.ImportMap[raw]; ok {
+		return mapped
+	}
+	return raw
+}
+
+func depKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for d := range set {
+		if d != "unsafe" && d != "C" {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAll parses and type-checks every unit, in parallel, in
+// dependency order: each unit waits on its imports' done channels, so a
+// package only ever sees fully-checked dependencies, and the closed
+// channel provides the happens-before edge that makes reading the
+// dependency's *types.Package race-free. Type errors in module packages
+// are fatal — analyzers must not run over half-typed syntax; errors in
+// the standard-library closure would indicate a toolchain/loader
+// mismatch and are fatal too, except that there are none in practice
+// (the whole stdlib closure checks clean from source).
+func checkAll(fset *token.FileSet, units map[string]*unit) error {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func(u *unit) {
+			defer wg.Done()
+			defer close(u.done)
+			for _, d := range u.deps {
+				<-units[d].done
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			checkUnit(fset, units, u, sizes)
+		}(u)
+	}
+	wg.Wait()
+
+	var errs []string
+	keys := make([]string, 0, len(units))
+	for k := range units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range units[k].errs {
+			errs = append(errs, fmt.Sprintf("%s: %v", k, e))
+		}
+	}
+	if len(errs) > 0 {
+		const max = 20
+		if len(errs) > max {
+			errs = append(errs[:max], fmt.Sprintf("... and %d more", len(errs)-max))
+		}
+		return fmt.Errorf("analysis: type-checking failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+func checkUnit(fset *token.FileSet, units map[string]*unit, u *unit, sizes types.Sizes) {
+	u.tests = map[*ast.File]bool{}
+	for i, name := range u.files {
+		f, err := parser.ParseFile(fset, filepath.Join(u.dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			u.errs = append(u.errs, err)
+			continue
+		}
+		u.syntax = append(u.syntax, f)
+		if i >= u.testFrom {
+			u.tests[f] = true
+		}
+	}
+	if len(u.errs) > 0 {
+		return
+	}
+	u.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Sizes: sizes,
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := u.importMap[path]; ok {
+				path = mapped
+			}
+			dep := units[path]
+			if dep == nil {
+				return nil, fmt.Errorf("import %q outside the loaded closure", path)
+			}
+			select {
+			case <-dep.done:
+			default:
+				return nil, fmt.Errorf("import %q not yet checked (loader ordering bug)", path)
+			}
+			if dep.tpkg == nil {
+				return nil, fmt.Errorf("import %q failed to check", path)
+			}
+			return dep.tpkg, nil
+		}),
+		Error: func(err error) {
+			u.errs = append(u.errs, err)
+		},
+	}
+	u.tpkg, _ = conf.Check(u.checkPath, fset, u.syntax, u.info)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

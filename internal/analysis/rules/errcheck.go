@@ -1,0 +1,126 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpcgraph/internal/analysis"
+)
+
+// NewErrCheck returns the errcheck analyzer: a call whose result set
+// includes an `error`, used as a bare statement in non-test code,
+// silently discards that error — the bug class behind PR-6's swallowed
+// codec overflow. The explicit escape hatch is to assign the results
+// (`_ = f()`, `_, _ = w.Write(b)`): same behavior, but the discard is a
+// visible, greppable decision instead of an accident.
+//
+// Scope cuts, all deliberate:
+//
+//   - Test files are exempt; so are `defer`/`go` statements (there is
+//     no place to put the error, and `defer f.Close()` on a read-only
+//     file is idiomatic).
+//   - Calls through function values and unresolvable interface methods
+//     are skipped (no callee to attribute the contract to).
+//   - Callees in package fmt and hash, and methods on strings.Builder
+//     and bytes.Buffer, are exempt: their error results are
+//     documented-unreachable or conventionally unchecked (Fprint to a
+//     terminal stream).
+func NewErrCheck() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errcheck",
+		Doc: "forbids discarding a call's error result via a bare expression statement in " +
+			"non-test code; assign it (`_ = ...`) to make the discard explicit",
+		Run: runErrCheck,
+	}
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func runErrCheck(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || exemptCallee(fn) || hashRecv(pass, call) {
+				return true
+			}
+			if !returnsError(pass.Info.TypeOf(call)) {
+				return true
+			}
+			pass.Reportf(es.Pos(),
+				"%s returns an error that is silently discarded; handle it, or assign it away explicitly (`_ = ...`) to record the decision",
+				fn.FullName())
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call-result type includes `error`.
+func returnsError(t types.Type) bool {
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// hashRecv reports whether call is a method call on a package hash
+// type (hash.Hash, hash.Hash64, ...). Their embedded io.Writer makes
+// the callee resolve to (io.Writer).Write, so the package-of-callee
+// exemption cannot see them — but the receiver's static type can, and
+// hash writes are documented to never return an error.
+func hashRecv(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hash"
+	}
+	return false
+}
+
+// exemptCallee reports whether fn's error contract is conventionally or
+// provably ignorable (see the NewErrCheck doc).
+func exemptCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true
+	}
+	switch pkg.Path() {
+	case "fmt", "hash":
+		return true
+	}
+	switch recvTypeName(fn) {
+	case "Builder":
+		return pkg.Path() == "strings"
+	case "Buffer":
+		return pkg.Path() == "bytes"
+	}
+	return false
+}

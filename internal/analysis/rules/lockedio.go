@@ -1,0 +1,334 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mpcgraph/internal/analysis"
+)
+
+// NewLockedIO returns the lockedio analyzer: a call that can reach
+// file/network I/O, fsync, or a Solve run while a sync.Mutex/RWMutex
+// acquired in the same function is still held (no intervening Unlock)
+// is flagged. This is exactly the PR-6 review bug class — fsync under
+// diskStore.mu and the disk-cache probe under Server.mu serialized the
+// whole daemon behind one slow disk — and it only gets more likely as
+// the serving layer grows concurrent code.
+//
+// Mechanics: an Init pass builds a static call graph over every module
+// function (nested closures fold into their enclosing declaration) and
+// computes the transitive reaches-I/O closure from a root set: the os
+// file operations (including (*os.File).Sync), the net/net/http dialing,
+// listening and request/response surfaces, package syscall, and the
+// Solve entry points (mpcgraph.Solve, internal/registry.Solve). The Run
+// pass then walks each function body in source order tracking which
+// mutexes are held — `x.Lock()`/`x.RLock()` acquires, `x.Unlock()`/
+// `x.RUnlock()` releases, `defer x.Unlock()` pins the mutex held to
+// function end — and reports any call whose callee is a root or
+// reaches one while the held set is non-empty.
+//
+// Approximations (all deliberate, all on the conservative-for-review
+// side): the walk is path-insensitive (an Unlock in one branch releases
+// for the whole tail), calls through function values and interfaces are
+// not resolved, and a closure's body is analyzed with an empty held set
+// rather than the set at its creation site. A safe site that the rule
+// still flags — say, an fsync intentionally done under a lock that
+// serializes nothing else — takes a //lint:ignore lockedio directive
+// naming that invariant.
+func NewLockedIO() *analysis.Analyzer {
+	l := &lockedIO{}
+	return &analysis.Analyzer{
+		Name: "lockedio",
+		Doc: "forbids calls that reach file/network I/O, fsync, or Solve while a sync mutex " +
+			"acquired in the same function is held",
+		Init: l.init,
+		Run:  l.run,
+	}
+}
+
+type lockedIO struct {
+	modPath string
+	// reaches maps a module function to the first discovered callee on
+	// a path to an I/O root, for explanatory finding messages.
+	reaches map[*types.Func]*types.Func
+	calls   map[*types.Func][]*types.Func
+	// fnOrder fixes the fixed-point sweep order (declaration order), so
+	// the evidence chain in messages is deterministic run-to-run — the
+	// lint gate holds itself to the repository's own contract.
+	fnOrder []*types.Func
+}
+
+func (l *lockedIO) init(m *analysis.Module) {
+	l.modPath = m.Path
+	l.calls = map[*types.Func][]*types.Func{}
+	l.reaches = map[*types.Func]*types.Func{}
+	for _, pass := range m.Pkgs {
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					l.collect(pass, fd)
+				}
+			}
+		}
+	}
+	// Propagate reachability to a fixed point. The module call graph is
+	// small (hundreds of nodes), so the naive iteration is fine.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range l.fnOrder {
+			if l.reaches[fn] != nil {
+				continue
+			}
+			for _, c := range l.calls[fn] {
+				if l.rootIO(c) || l.reaches[c] != nil {
+					l.reaches[fn] = c
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// collect records fd's statically-resolved callees, folding nested
+// closures into the declaration.
+func (l *lockedIO) collect(pass *analysis.Pass, fd *ast.FuncDecl) {
+	def, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if def == nil {
+		return
+	}
+	l.fnOrder = append(l.fnOrder, def)
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := pass.CalleeFunc(call); callee != nil && !seen[callee] {
+			seen[callee] = true
+			l.calls[def] = append(l.calls[def], callee)
+		}
+		return true
+	})
+	sort.Slice(l.calls[def], func(i, j int) bool {
+		return l.calls[def][i].FullName() < l.calls[def][j].FullName()
+	})
+}
+
+// osFileOps are the package-level os functions that touch the
+// filesystem. Pure helpers (os.Getenv, os.Expand, ...) are absent on
+// purpose: reading an env var under a lock is harmless.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Link": true,
+	"Symlink": true, "Readlink": true, "Mkdir": true, "MkdirAll": true,
+	"MkdirTemp": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "Chtimes": true, "Chmod": true,
+	"Chown": true, "Truncate": true, "Pipe": true, "CopyFS": true,
+}
+
+// netPure are the package-level net functions that do no I/O.
+var netPure = map[string]bool{
+	"ParseIP": true, "ParseCIDR": true, "ParseMAC": true,
+	"SplitHostPort": true, "JoinHostPort": true, "CIDRMask": true,
+	"IPv4": true, "IPv4Mask": true,
+}
+
+// httpIORecv are the net/http receiver types whose methods move bytes
+// on the wire (or hand a request to a handler).
+var httpIORecv = map[string]bool{
+	"Client": true, "Server": true, "Transport": true,
+	"ResponseWriter": true, "ServeMux": true,
+}
+
+// rootIO reports whether fn is a direct I/O (or Solve) root.
+func (l *lockedIO) rootIO(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	full := fn.FullName()
+	if full == l.modPath+".Solve" || full == l.modPath+"/internal/registry.Solve" {
+		return true
+	}
+	recv := recvTypeName(fn)
+	switch pkg.Path() {
+	case "os":
+		if recv != "" {
+			return recv == "File"
+		}
+		return osFileOps[fn.Name()]
+	case "net":
+		if recv != "" {
+			// Conn/Listener/Dialer/Resolver/... methods do I/O; the
+			// address and IP value types do not.
+			switch recv {
+			case "IP", "IPMask", "IPNet", "HardwareAddr", "AddrError",
+				"OpError", "DNSError", "ParseError", "TCPAddr", "UDPAddr",
+				"IPAddr", "UnixAddr", "Flags", "Interface":
+				return false
+			}
+			return true
+		}
+		return !netPure[fn.Name()]
+	case "net/http":
+		if recv != "" {
+			return httpIORecv[recv]
+		}
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm", "ListenAndServe",
+			"ListenAndServeTLS", "Serve", "ServeTLS", "ReadRequest", "ReadResponse":
+			return true
+		}
+		return false
+	case "syscall":
+		return true
+	}
+	return false
+}
+
+// recvTypeName returns the bare receiver type name of a method
+// ("File" for (*os.File).Sync), or "" for a package-level function.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// trace renders the call chain from fn to its I/O root for messages:
+// "(*diskStore).Put -> (*os.File).Sync".
+func (l *lockedIO) trace(fn *types.Func) string {
+	var steps []string
+	for hop, depth := fn, 0; hop != nil && depth < 8; depth++ {
+		steps = append(steps, hop.FullName())
+		if l.rootIO(hop) {
+			break
+		}
+		hop = l.reaches[hop]
+	}
+	return strings.Join(steps, " -> ")
+}
+
+func (l *lockedIO) run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		var bodies []*ast.BlockStmt
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies = append(bodies, fd.Body)
+			}
+		}
+		for i := 0; i < len(bodies); i++ {
+			l.scanBody(pass, bodies[i], func(lit *ast.FuncLit) {
+				bodies = append(bodies, lit.Body) // closures scan with a fresh held set
+			})
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies call as a mutex acquire/release and returns the
+// source text of the mutex expression ("d.mu") as the held-set key.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock", "(sync.Locker).Lock":
+		kind = opLock
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock", "(sync.Locker).Unlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	return types.ExprString(sel.X), kind
+}
+
+// scanBody walks body in source order, tracking held mutexes and
+// reporting I/O-reaching calls made while any are held.
+func (l *lockedIO) scanBody(pass *analysis.Pass, body *ast.BlockStmt, enqueue func(*ast.FuncLit)) {
+	held := map[string]token.Pos{}
+	deferredUnlock := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			enqueue(n)
+			return false
+		case *ast.DeferStmt:
+			if _, kind := lockOp(pass, n.Call); kind == opUnlock {
+				// defer x.Unlock(): x stays held to function end.
+				deferredUnlock[n.Call] = true
+			}
+			return true
+		case *ast.CallExpr:
+			if key, kind := lockOp(pass, n); kind != opNone {
+				switch kind {
+				case opLock:
+					held[key] = n.Pos()
+				case opUnlock:
+					if !deferredUnlock[n] {
+						delete(held, key)
+					}
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			fn := pass.CalleeFunc(n)
+			if fn == nil {
+				return true
+			}
+			if l.rootIO(fn) || l.reaches[fn] != nil {
+				keys := make([]string, 0, len(held))
+				for k := range held {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				where := make([]string, len(keys))
+				for i, k := range keys {
+					where[i] = fmt.Sprintf("%q (acquired at %s)", k, pass.Fset.Position(held[k]))
+				}
+				pass.Reportf(n.Pos(),
+					"call reaches I/O while %s is held: %s — release the lock before blocking on the disk, the network, or a solve (the PR-6 bug class)",
+					strings.Join(where, ", "), l.trace(fn))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,147 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpcgraph/internal/analysis"
+)
+
+// NewMapRange returns the maprange analyzer: ranging over a map type in
+// a deterministic core package (see corePackages) is flagged, because
+// Go randomizes map iteration order per run — the #1 nondeterminism
+// hazard for a repository whose whole value proposition is bit-identical
+// Reports across Workers settings, models, processes, and cache tiers.
+//
+// Two shapes are recognized as safe and not flagged:
+//
+//   - `for range m { ... }` with no iteration variables: the body runs
+//     len(m) times and observes neither keys nor values, so order
+//     cannot leak.
+//   - The collect-then-sort idiom: a loop whose body only appends the
+//     iteration variables to a slice, followed — later in the same
+//     block — by a sort.* or slices.* call that mentions that slice
+//     (registry.Pairs and scenario.Names are the canonical instances).
+//
+// Anything else needs either a real fix (sort the keys first) or a
+// //lint:ignore maprange directive whose justification names the
+// invariant that makes iteration order irrelevant (e.g. a commutative
+// reduction into an order-independent accumulator).
+func NewMapRange() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "maprange",
+		Doc: "forbids ranging over maps in the deterministic core packages unless the keys are " +
+			"collected and sorted (or iteration order provably cannot be observed)",
+		Run: runMapRange,
+	}
+}
+
+func runMapRange(pass *analysis.Pass) {
+	if !inCore(pass.RelPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkRange(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if rs.Key == nil && rs.Value == nil {
+		return // len-only repetition: order is unobservable
+	}
+	if sortedAfter(pass, rs, rest) {
+		return
+	}
+	pass.Reportf(rs.For,
+		"ranging over %s in a deterministic core package: map iteration order is randomized per run; collect the keys into a slice and sort it (a sort.*/slices.* call in the same block is recognized), or suppress with the invariant that makes order irrelevant",
+		types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// sortedAfter recognizes the collect-then-sort idiom: every statement
+// in the range body appends the iteration variables to slice variables,
+// and a later statement in the enclosing block passes one of those
+// slices to sort.* or slices.*.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	collected := map[types.Object]bool{}
+	for _, stmt := range rs.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || pass.Info.Uses[id] != types.Universe.Lookup("append") {
+			return false
+		}
+		lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		collected[obj] = true
+	}
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && collected[pass.Info.Uses[id]] {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

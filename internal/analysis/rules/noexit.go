@@ -1,0 +1,34 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpcgraph/internal/analysis"
+)
+
+// NewNoExit returns the no-exit analyzer: referencing os.Exit is
+// forbidden outside package main, so library errors surface as errors
+// and the mpcgraph binary can map sentinel errors onto its documented
+// exit codes (see cmd/mpcgraph). Like no-wall-clock, the rule matches
+// the resolved object, so `die := os.Exit` and dot-imported `Exit` are
+// caught too.
+func NewNoExit() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "no-exit",
+		Doc:  "forbids referencing os.Exit outside package main; return an error instead",
+		Run: func(pass *analysis.Pass) {
+			if pass.Pkg.Name() == "main" {
+				return
+			}
+			for _, f := range pass.Files {
+				eachUse(pass, f, func(id *ast.Ident, obj types.Object) {
+					if fullName(obj) != "os.Exit" {
+						return
+					}
+					pass.Reportf(id.Pos(), "reference to os.Exit outside package main (return an error instead)")
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,36 @@
+package rules
+
+import (
+	"strconv"
+
+	"mpcgraph/internal/analysis"
+)
+
+// NewNoMathRand returns the no-math-rand analyzer: importing math/rand
+// or math/rand/v2 is forbidden everywhere, test files included. All
+// randomness goes through the seeded internal/rng primitives, whose
+// stateless hashing keeps runs bit-identical for every Workers setting
+// and across processes; an unseeded or globally-seeded generator in any
+// package — even a test — breaks the reproducibility the golden-report
+// and cache bit-identity suites rely on.
+func NewNoMathRand() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "no-math-rand",
+		Doc: "forbids importing math/rand and math/rand/v2 anywhere in the module; " +
+			"all randomness must flow through the seeded internal/rng primitives",
+		Run: func(pass *analysis.Pass) {
+			for _, f := range pass.Files {
+				for _, imp := range f.Imports {
+					p, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if p == "math/rand" || p == "math/rand/v2" {
+						pass.Reportf(imp.Pos(),
+							"import of %s (use the seeded internal/rng primitives; see the determinism contract in docs/design.md)", p)
+					}
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,83 @@
+// Package rules is the analyzer suite run by `make lint` (via
+// internal/analysis/cmd/lint): project-specific rules that protect the
+// determinism and serving contracts, built on full go/types information
+// so aliased imports, dot imports, and method values cannot evade them.
+// docs/analysis.md catalogs every rule, what it protects, and how to
+// suppress a finding with a justification.
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mpcgraph/internal/analysis"
+)
+
+// Suite returns a fresh instance of every analyzer, in catalog order.
+// Instances carry per-run state (lockedio's reachability closure), so
+// callers that run the driver more than once must take fresh suites.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NewNoMathRand(),
+		NewNoWallClock(),
+		NewNoExit(),
+		NewMapRange(),
+		NewLockedIO(),
+		NewErrCheck(),
+	}
+}
+
+// corePackages lists the module-relative package prefixes of the
+// deterministic core: every package whose outputs feed audited costs or
+// cached Reports, where unordered map iteration is the #1
+// nondeterminism hazard. A prefix covers its subpackages
+// ("internal/machine" covers internal/machine/meter).
+var corePackages = []string{
+	"internal/graph",
+	"internal/machine",
+	"internal/mis",
+	"internal/matching",
+	"internal/mpc",
+	"internal/congest",
+	"internal/par",
+	"internal/rng",
+	"internal/registry",
+	"internal/scenario",
+	"internal/baseline",
+}
+
+// inCore reports whether a Pass.RelPath is inside the deterministic
+// core package set.
+func inCore(relPath string) bool {
+	for _, p := range corePackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// eachUse walks every identifier use in f and hands the resolved object
+// to fn — the type-aware replacement for matching "pkg.Name" selector
+// spellings, which is how the suite catches dot imports and method
+// values like `now := time.Now`.
+func eachUse(pass *analysis.Pass, f *ast.File, fn func(id *ast.Ident, obj types.Object)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				fn(id, obj)
+			}
+		}
+		return true
+	})
+}
+
+// fullName returns obj's package-qualified name ("time.Now",
+// "(*sync.Mutex).Lock") when obj is a function, else "".
+func fullName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

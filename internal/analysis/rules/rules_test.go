@@ -1,0 +1,40 @@
+package rules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpcgraph/internal/analysis"
+	"mpcgraph/internal/analysis/analysistest"
+	"mpcgraph/internal/analysis/rules"
+)
+
+// The testdata packages impersonate real module import paths (via the
+// harness's ImportPath knob) so the path-sensitive analyzers —
+// maprange's core-package set, no-wall-clock's allow list — fire or
+// stay quiet exactly as they would in the tree they guard.
+func TestRules(t *testing.T) {
+	cases := []struct {
+		dir        string
+		importPath string
+		analyzers  []*analysis.Analyzer
+	}{
+		{"norand", "mpcgraph/internal/graph", []*analysis.Analyzer{rules.NewNoMathRand()}},
+		{"wallclock", "mpcgraph/internal/mis", []*analysis.Analyzer{rules.NewNoWallClock()}},
+		{"wallclock_allowed", "mpcgraph/internal/service", []*analysis.Analyzer{rules.NewNoWallClock()}},
+		{"wallclock_main", "mpcgraph/cmd/testdata", []*analysis.Analyzer{rules.NewNoWallClock(), rules.NewNoExit()}},
+		{"noexit", "mpcgraph/internal/cli", []*analysis.Analyzer{rules.NewNoExit()}},
+		{"maprange", "mpcgraph/internal/registry", []*analysis.Analyzer{rules.NewMapRange()}},
+		{"maprange_noncore", "mpcgraph/internal/graphio", []*analysis.Analyzer{rules.NewMapRange()}},
+		{"lockedio", "mpcgraph/internal/service", []*analysis.Analyzer{rules.NewLockedIO()}},
+		{"errcheck", "mpcgraph/internal/graphio", []*analysis.Analyzer{rules.NewErrCheck()}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			analysistest.Run(t, filepath.Join("testdata", "src", tc.dir),
+				"mpcgraph", tc.importPath, tc.analyzers...)
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Package errcheck exercises the discarded-error analyzer: a call
+// whose error result vanishes in statement position is flagged unless
+// the discard is written down as `_ = ...`.
+package errcheck
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func cleanup(path string) {
+	os.Remove(path) // want "errcheck: os.Remove returns an error that is silently discarded"
+}
+
+// cleanupDeliberate records the decision: best-effort removal.
+func cleanupDeliberate(path string) {
+	_ = os.Remove(path)
+}
+
+// report uses the fmt printers, exempt by convention.
+func report(n int) {
+	fmt.Println("n =", n)
+}
+
+// digest writes to a hash.Hash, which never fails by contract.
+func digest(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data)
+	return h.Sum(nil)
+}
+
+// join writes to a strings.Builder, which never fails by contract.
+func join(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// readAll defers the Close; defer statements are exempt (the usual
+// read-path idiom where the read error dominates).
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,69 @@
+// Package lockedio poses as mpcgraph/internal/service and
+// reconstructs the PR-6 review bugs: disk I/O — an fsync, a stat
+// probe — performed while the store mutex was held, stalling every
+// reader behind the disk.
+package lockedio
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	idx   map[string]string
+	dirty *os.File
+}
+
+// syncUnderLock is PR-6 bug shape 1: the fsync runs with mu held.
+func (s *store) syncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirty.Sync() // want "lockedio: call reaches I/O"
+}
+
+// probe reaches the disk through os.Stat.
+func (s *store) probe(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// getUnderLock is PR-6 bug shape 2: the I/O is one call away, inside a
+// helper, but still executes within the critical section. The
+// interprocedural pass follows the chain.
+func (s *store) getUnderLock(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.probe(s.idx[key]) // want "lockedio: call reaches I/O"
+}
+
+// syncAfterUnlock is the PR-6 fix shape: snapshot under the lock, then
+// block on the disk with the lock released. No finding.
+func (s *store) syncAfterUnlock() error {
+	s.mu.Lock()
+	f := s.dirty
+	s.mu.Unlock()
+	return f.Sync()
+}
+
+type cache struct {
+	mu sync.RWMutex
+}
+
+// readProbe shows a read lock is no excuse: writers still queue behind
+// the disk while RLock is held.
+func (c *cache) readProbe(path string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, err := os.Stat(path) // want "lockedio: call reaches I/O"
+	return err == nil
+}
+
+// startupRemove documents the suppression path: the directive states
+// the invariant that makes the held-lock I/O safe.
+func (s *store) startupRemove(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockedio startup-only path; no concurrent readers exist yet
+	_ = os.Remove(path)
+}

@@ -1,0 +1,19 @@
+package lockedio
+
+import (
+	"context"
+	"sync"
+
+	"mpcgraph/internal/model"
+	"mpcgraph/internal/registry"
+)
+
+// solveUnderLock holds a lock across a whole solve — the worst
+// offender of the class: a multi-second computation inside a critical
+// section. registry.Solve is an I/O root by decree.
+func solveUnderLock(mu *sync.Mutex, ctx context.Context, in registry.Input, p registry.Problem, m model.Model, o registry.Options) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := registry.Solve(ctx, in, p, m, o) // want "lockedio: call reaches I/O"
+	return err
+}

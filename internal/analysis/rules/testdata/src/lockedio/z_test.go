@@ -1,0 +1,11 @@
+package lockedio
+
+import "os"
+
+// Test files are exempt from lockedio: fixtures may touch the disk
+// under a lock without a production reader to stall.
+func (s *store) testOnlyReset(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = os.RemoveAll(path)
+}

@@ -1,0 +1,49 @@
+// Package maprange poses as mpcgraph/internal/registry, a
+// deterministic core package. listJobs reconstructs the PR-6 review
+// bug class: a jobs map ranged directly into a list response, so the
+// response byte order changed from process to process.
+package maprange
+
+import "sort"
+
+type job struct{ id string }
+
+func listJobs(jobs map[string]*job) []string {
+	var ids []string
+	for id := range jobs { // want "maprange: ranging over map"
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// listJobsSorted is the fix shape: collect, then sort in the same
+// block. The analyzer recognizes the idiom and stays quiet.
+func listJobsSorted(jobs map[string]*job) []string {
+	ids := make([]string, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// countJobs iterates without binding the key or value; a pure
+// repetition cannot observe the order.
+func countJobs(jobs map[string]*job) int {
+	n := 0
+	for range jobs {
+		n++
+	}
+	return n
+}
+
+// sumIDLen documents the suppression path: the invariant (a
+// commutative reduction) is stated next to the directive.
+func sumIDLen(jobs map[string]*job) int {
+	total := 0
+	//lint:ignore maprange commutative sum; iteration order cannot reach the result
+	for _, j := range jobs {
+		total += len(j.id)
+	}
+	return total
+}

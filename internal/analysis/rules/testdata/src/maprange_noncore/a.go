@@ -1,0 +1,12 @@
+// Package maprange_noncore poses as mpcgraph/internal/graphio, which
+// is outside the deterministic core set: map ranging is legal there
+// (the package's own tests pin any order that matters). No findings.
+package maprange_noncore
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

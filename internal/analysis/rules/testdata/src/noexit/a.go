@@ -1,0 +1,15 @@
+// Package noexit exercises the no-exit analyzer: os.Exit referenced
+// outside package main bypasses deferred cleanup and the CLI's exit
+// code contract, whether called directly or captured as a value.
+package noexit
+
+import "os"
+
+func fail() {
+	os.Exit(2) // want "no-exit: reference to os.Exit"
+}
+
+func failer() func(int) {
+	die := os.Exit // want "no-exit: reference to os.Exit"
+	return die
+}

@@ -1,0 +1,16 @@
+// Package norand exercises the no-math-rand analyzer: importing
+// math/rand or math/rand/v2 — plainly or under an alias — is flagged
+// everywhere, because the seeded internal/rng primitives are the only
+// sanctioned randomness. crypto/rand stays legal: it never feeds
+// algorithmic choices.
+package norand
+
+import (
+	crand "crypto/rand"
+	"math/rand"       // want "no-math-rand: import of math/rand"
+	mr "math/rand/v2" // want "no-math-rand: import of math/rand/v2"
+)
+
+func roll() int { return rand.Intn(6) + mr.IntN(6) }
+
+func fill(b []byte) { _, _ = crand.Read(b) }

@@ -1,0 +1,21 @@
+// Package wallclock poses as mpcgraph/internal/mis, a deterministic
+// core package where every reference to time.Now must be flagged —
+// including the method-value form the old syntax linter missed.
+package wallclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "no-wall-clock: reference to time.Now"
+}
+
+func stampFn() func() time.Time {
+	now := time.Now // want "no-wall-clock: reference to time.Now"
+	return now
+}
+
+func planned() time.Duration {
+	//lint:ignore no-wall-clock the value is discarded; this documents the suppressed negative case
+	_ = time.Now
+	return 0
+}

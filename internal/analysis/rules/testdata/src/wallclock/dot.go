@@ -1,0 +1,11 @@
+package wallclock
+
+// A dot import hides the package qualifier entirely — the other blind
+// spot of the old text-matching linter. The type-resolved analyzer
+// still sees the reference.
+
+import . "time"
+
+func dotStamp() Time {
+	return Now() // want "no-wall-clock: reference to time.Now"
+}

@@ -1,0 +1,8 @@
+// Package service poses as mpcgraph/internal/service, which is on the
+// no-wall-clock allow list: job lifecycle timestamps and uptime are
+// operational metadata that never enters audited costs. No findings.
+package service
+
+import "time"
+
+func uptimeSince() time.Time { return time.Now() }

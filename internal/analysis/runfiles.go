@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FilesConfig parameterizes RunFiles: a single synthetic package,
+// type-checked against the real dependency closure.
+type FilesConfig struct {
+	// Dir holds the package's .go files (every .go file is used; names
+	// ending in _test.go are treated as test files, so testdata can
+	// exercise the analyzers' test-file exemptions).
+	Dir string
+
+	// ModulePath and ImportPath place the synthetic package: analyzers
+	// that key off module-relative paths (maprange's core-package set,
+	// no-wall-clock's allow list) see RelPath derived from these, so a
+	// testdata package can impersonate e.g. mpcgraph/internal/registry.
+	ModulePath string
+	ImportPath string
+
+	// ListDir is where `go list` resolves the imports (any directory
+	// inside a module; testdata directories qualify). Defaults to Dir.
+	ListDir string
+
+	Analyzers []*Analyzer
+	GoCmd     string
+}
+
+// RunFiles type-checks the synthetic package described by cfg — its
+// imports (standard library or real module packages alike) are loaded
+// and type-checked from source exactly as in Run, but only the
+// synthetic package is analyzed — then runs the analyzers and applies
+// suppressions. It is the engine behind the analysistest harness.
+func RunFiles(cfg FilesConfig) (*Result, error) {
+	goCmd := cfg.GoCmd
+	if goCmd == "" {
+		goCmd = "go"
+	}
+	listDir := cfg.ListDir
+	if listDir == "" {
+		listDir = cfg.Dir
+	}
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			fileNames = append(fileNames, ent.Name())
+		}
+	}
+	sort.Strings(fileNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", cfg.Dir)
+	}
+
+	// A first imports-only parse learns the dependency set to hand to
+	// `go list`; the loader then re-parses the files as its own unit.
+	importSet := map[string]bool{}
+	scratch := token.NewFileSet()
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(scratch, filepath.Join(cfg.Dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+
+	var pkgs []*listPkg
+	if len(importSet) > 0 {
+		pkgs, err = goList(goCmd, listDir, false, depKeys(importSet)...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Pass an unmatchable module path so every listed package — even a
+	// real module package a testdata file imports — is type-checked but
+	// not analyzed; the synthetic unit below is the only analysis
+	// target. Its key is distinct from its import path so it can
+	// impersonate a real package (maprange testdata posing as
+	// internal/registry) without shadowing the real one in the import
+	// resolution map.
+	units, _ := buildUnits(pkgs, "\x00none", false)
+	u := &unit{
+		key:       cfg.ImportPath + " [synthetic]",
+		checkPath: cfg.ImportPath,
+		relPath:   RelFromImportPath(cfg.ImportPath, cfg.ModulePath),
+		dir:       cfg.Dir,
+		files:     fileNames,
+		module:    true,
+		done:      make(chan struct{}),
+	}
+	u.testFrom = len(fileNames) // recomputed by name below
+	for _, d := range depKeys(importSet) {
+		if _, ok := units[d]; ok {
+			u.deps = append(u.deps, d)
+		}
+	}
+	units[u.key] = u
+
+	fset := token.NewFileSet()
+	if err := checkAll(fset, units); err != nil {
+		return nil, err
+	}
+	// Test files are interleaved by name in the synthetic unit, so mark
+	// them by file name rather than by the loader's testFrom split.
+	u.tests = map[*ast.File]bool{}
+	for _, f := range u.syntax {
+		name := filepath.Base(fset.Position(f.Pos()).Filename)
+		u.tests[f] = strings.HasSuffix(name, "_test.go")
+	}
+
+	mod := &Module{Fset: fset, Path: cfg.ModulePath}
+	var findings []Finding
+	pass := &Pass{
+		Fset:      fset,
+		Files:     u.syntax,
+		Pkg:       u.tpkg,
+		Info:      u.info,
+		RelPath:   u.relPath,
+		Module:    mod,
+		testFiles: u.tests,
+		report:    func(f Finding) { findings = append(findings, f) },
+	}
+	mod.Pkgs = []*Pass{pass}
+
+	for _, a := range cfg.Analyzers {
+		if a.Init != nil {
+			a.Init(mod)
+		}
+	}
+	for _, a := range cfg.Analyzers {
+		pass.rule = a.Name
+		a.Run(pass)
+	}
+	findings = ApplySuppressions(fset, u.syntax, findings)
+	sortFindings(findings)
+	return &Result{Findings: findings, Module: mod}, nil
+}

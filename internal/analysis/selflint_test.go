@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcgraph/internal/analysis"
+	"mpcgraph/internal/analysis/rules"
+)
+
+// TestSelfLint runs the full analyzer suite — tests included — over the
+// repository and demands zero unsuppressed findings: the tree the suite
+// ships in must itself be clean, and a regression anywhere in the repo
+// (a new map range in a core package, I/O creeping back under a store
+// lock, a silently dropped error) fails `go test` directly, not just
+// `make lint`. Under `go test -race` this also exercises the loader's
+// parallel type-checking for data races.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list + a full source type-check of the module")
+	}
+	res, err := analysis.Run(analysis.Config{
+		Dir:       moduleRoot(t),
+		Tests:     true,
+		Analyzers: rules.Suite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, note := range res.Notes {
+		t.Log(note)
+	}
+	for _, f := range res.Unsuppressed() {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the
+// enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

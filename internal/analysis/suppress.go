@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos  token.Position
+	rule string
+	why  string
+}
+
+// ApplySuppressions matches findings against //lint:ignore directives
+// in files and returns the updated slice: findings covered by a
+// directive are marked Suppressed with its justification, and every
+// malformed directive (missing rule or missing justification) is
+// appended as an unsuppressable "lint-ignore" finding.
+//
+// A directive covers findings for its named rule on its own line (a
+// trailing comment) and on the line directly below (a comment on its
+// own line above the flagged statement). The justification is the
+// directive's load-bearing half: it must state the invariant that makes
+// the site safe, because it is all a reviewer sees when auditing the
+// suppression inventory in docs/analysis.md's catalog order.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	const prefix = "//lint:ignore"
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	directives := map[key]*ignoreDirective{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //lint:ignoreXYZ token
+				}
+				pos := fset.Position(c.Pos())
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					findings = append(findings, Finding{
+						Pos:  pos,
+						Rule: "lint-ignore",
+						Msg:  "malformed directive: want //lint:ignore <rule> <justification naming the invariant that makes the site safe>",
+					})
+					continue
+				}
+				d := &ignoreDirective{
+					pos:  pos,
+					rule: parts[0],
+					why:  strings.Join(parts[1:], " "),
+				}
+				directives[key{pos.Filename, pos.Line, d.rule}] = d
+			}
+		}
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Rule == "lint-ignore" {
+			continue // the meta-rule cannot be suppressed
+		}
+		d := directives[key{f.Pos.Filename, f.Pos.Line, f.Rule}]
+		if d == nil {
+			d = directives[key{f.Pos.Filename, f.Pos.Line - 1, f.Rule}]
+		}
+		if d != nil {
+			f.Suppressed = true
+			f.Why = d.why
+		}
+	}
+	return findings
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// suppressSrc carries one directive of each shape: a trailing comment,
+// a comment on its own line above the statement, a directive for a
+// different rule (must not suppress), and a malformed directive with no
+// justification (must surface as a lint-ignore finding).
+const suppressSrc = `package p
+
+func f() {
+	a() //lint:ignore demo the result is idempotent
+	//lint:ignore demo the call is startup-only
+	b()
+	//lint:ignore other wrong rule entirely
+	c()
+	//lint:ignore demo
+	d()
+}
+`
+
+func TestApplySuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finding := func(line int) Finding {
+		return Finding{
+			Pos:  token.Position{Filename: "s.go", Line: line, Column: 2},
+			Rule: "demo",
+			Msg:  "demo finding",
+		}
+	}
+	// Lines: a() = 4 (trailing), b() = 6 (directive above), c() = 8
+	// (directive above names another rule), d() = 10 (malformed above).
+	in := []Finding{finding(4), finding(6), finding(8), finding(10)}
+	out := ApplySuppressions(fset, []*ast.File{f}, in)
+
+	byLine := map[int]Finding{}
+	var malformed []Finding
+	for _, f := range out {
+		if f.Rule == "lint-ignore" {
+			malformed = append(malformed, f)
+			continue
+		}
+		byLine[f.Pos.Line] = f
+	}
+	if !byLine[4].Suppressed || byLine[4].Why != "the result is idempotent" {
+		t.Errorf("trailing directive: got %+v", byLine[4])
+	}
+	if !byLine[6].Suppressed || byLine[6].Why != "the call is startup-only" {
+		t.Errorf("directive-above: got %+v", byLine[6])
+	}
+	if byLine[8].Suppressed {
+		t.Errorf("directive for another rule suppressed line 8: %+v", byLine[8])
+	}
+	if byLine[10].Suppressed {
+		t.Errorf("malformed directive suppressed line 10: %+v", byLine[10])
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("want exactly 1 lint-ignore finding, got %d: %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Msg, "malformed directive") || malformed[0].Pos.Line != 9 {
+		t.Errorf("lint-ignore finding: got %+v", malformed[0])
+	}
+}
+
+// TestMalformedDirectiveUnsuppressable pins the meta-rule: a
+// lint-ignore finding cannot itself be silenced by a directive.
+func TestMalformedDirectiveUnsuppressable(t *testing.T) {
+	src := `package p
+
+//lint:ignore lint-ignore trying to silence the meta-rule
+//lint:ignore demo
+func f() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ApplySuppressions(fset, []*ast.File{f}, nil)
+	n := 0
+	for _, fd := range out {
+		if fd.Rule == "lint-ignore" && !fd.Suppressed {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("want 1 unsuppressed lint-ignore finding, got %d: %v", n, out)
+	}
+}

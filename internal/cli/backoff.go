@@ -19,7 +19,7 @@ var ErrRetriesExhausted = errors.New("retries exhausted")
 // math/rand, not the clock), so a replayed invocation plans the exact
 // same delay sequence. The budget is likewise the *sum of planned
 // sleeps*, not elapsed wall time — package cli never reads the wall
-// clock (internal/tools/lint rule 2) — which keeps the exhaustion
+// clock (the no-wall-clock analyzer, docs/analysis.md) — which keeps the exhaustion
 // point reproducible too.
 //
 // Delays double from base to cap with jitter drawn uniformly from

@@ -232,7 +232,7 @@ func writeSolution(path string, env Env, rep *mpcgraph.Report) error {
 	}
 	if err := renderSolution(w, rep); err != nil {
 		if f != nil {
-			f.Close()
+			_ = f.Close() // the render error is the one worth reporting
 		}
 		return err
 	}

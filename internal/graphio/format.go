@@ -307,12 +307,12 @@ func WriteFileFormat(path string, d *Data, f Format) error {
 		w = zw
 	}
 	if err := Write(w, d, f); err != nil {
-		file.Close()
+		_ = file.Close() // the write error is the one worth reporting
 		return err
 	}
 	if zw != nil {
 		if err := zw.Close(); err != nil {
-			file.Close()
+			_ = file.Close() // ditto: surface the compression error
 			return err
 		}
 	}

@@ -111,7 +111,16 @@ func (s *Scenario) Generate(n int, seed uint64, params map[string]float64) (*Ins
 	for _, p := range s.Params {
 		resolved[p.Key] = p.Default
 	}
-	for key, v := range params {
+	// Overrides apply in sorted key order so that, when several keys are
+	// invalid, the reported error is a deterministic function of the
+	// input — not of Go's randomized map iteration.
+	overrides := make([]string, 0, len(params))
+	for key := range params {
+		overrides = append(overrides, key)
+	}
+	sort.Strings(overrides)
+	for _, key := range overrides {
+		v := params[key]
 		if _, ok := resolved[key]; !ok {
 			keys := make([]string, 0, len(s.Params))
 			for _, p := range s.Params {

@@ -19,7 +19,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is already on the wire; an encode failure means
+	// the client went away, and there is no second response to send.
+	_ = enc.Encode(v)
 }
 
 // errorBody is the uniform error rendering.

@@ -25,7 +25,7 @@ import (
 // damaged entry just costs one recompute. The store reads the wall
 // clock only to stamp file mtimes for its size janitor (recency-based
 // eviction); wall time never enters cache keys or the Report bytes
-// themselves (see internal/tools/lint rule 2).
+// themselves (see the no-wall-clock analyzer in docs/analysis.md).
 type diskStore struct {
 	dir        string
 	maxEntries int
@@ -70,7 +70,7 @@ func openDiskStore(dir string, maxEntries int, fp *failpoints) (*diskStore, erro
 		}
 		path := filepath.Join(dir, name)
 		if len(name) >= len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
-			os.Remove(path) // a write the crash interrupted before rename
+			_ = os.Remove(path) // a write the crash interrupted before rename
 			continue
 		}
 		if !validKeyName(name) {
@@ -114,35 +114,54 @@ func (d *diskStore) load(key string) (*mpcgraph.Report, error) {
 }
 
 // quarantine moves a damaged entry aside (falling back to deletion) so
-// it is never scanned, served, or overwritten-in-place again. Callers
-// hold d.mu or run single-threaded during the startup scan.
+// it is never scanned, served, or overwritten-in-place again. The file
+// moves happen before d.mu is taken, so a slow disk never stalls the
+// index; racing quarantines of one key are harmless (the second rename
+// fails, the fallback remove finds nothing).
 func (d *diskStore) quarantine(name string, reason error) {
 	src := filepath.Join(d.dir, name)
 	if err := os.Rename(src, filepath.Join(d.dir, quarantineDir, name)); err != nil {
-		os.Remove(src)
+		_ = os.Remove(src) // best effort: the entry may already be gone
 	}
+	d.mu.Lock()
 	d.quarantined++
 	d.lastErr = fmt.Sprintf("%s: %v", name, reason)
+	d.mu.Unlock()
 }
 
 // Get returns the persisted Report for key. A present-but-invalid
 // entry is quarantined and reported as a miss (the caller recomputes).
+//
+// Like Put, the disk I/O — read, quarantine rename, recency mtime —
+// runs outside d.mu: the lock covers only the index probe and counter
+// updates, so one slow read never serializes every other Get, Put and
+// Stats. Completed entries are immutable (atomic rename, re-puts are
+// no-ops), so an unlocked read is safe; the only unlocked/index race is
+// a janitor eviction between the probe and the read, which surfaces as
+// ENOENT and is treated as the miss it is.
 func (d *diskStore) Get(key string) (*mpcgraph.Report, bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.keys[key]; !ok {
+	_, ok := d.keys[key]
+	d.mu.Unlock()
+	if !ok {
 		return nil, false
 	}
 	rep, err := d.load(key)
 	if err != nil {
+		d.mu.Lock()
 		delete(d.keys, key)
-		d.quarantine(key, err)
+		d.mu.Unlock()
+		if !os.IsNotExist(err) {
+			d.quarantine(key, err)
+		}
 		return nil, false
 	}
+	d.mu.Lock()
 	d.hits++
+	d.mu.Unlock()
 	// Recency for the janitor only; never part of keys or entry bytes.
 	now := time.Now()
-	os.Chtimes(filepath.Join(d.dir, key), now, now)
+	_ = os.Chtimes(filepath.Join(d.dir, key), now, now) // best-effort recency
 	return rep, true
 }
 
@@ -172,17 +191,21 @@ func (d *diskStore) Put(key string, rep *mpcgraph.Report) {
 	err := d.write(key, rep)
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	delete(d.writing, key)
 	if err != nil {
 		d.writeErrors++
 		d.degraded = true
 		d.lastErr = err.Error()
+		d.mu.Unlock()
 		return
 	}
 	d.keys[key] = struct{}{}
 	d.writes++
-	d.janitorLocked()
+	overflow := d.maxEntries > 0 && len(d.keys) > d.maxEntries
+	d.mu.Unlock()
+	if overflow {
+		d.janitor()
+	}
 }
 
 // write performs the atomic temp+fsync+rename sequence.
@@ -205,33 +228,46 @@ func (d *diskStore) write(key string, rep *mpcgraph.Report) error {
 		err = os.Rename(tmp, filepath.Join(d.dir, key))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // the write already failed; report that error
 		return err
 	}
 	// Make the rename itself durable (best effort: not all platforms
 	// support fsync on directories).
 	if dirf, dirErr := os.Open(d.dir); dirErr == nil {
-		dirf.Sync()
-		dirf.Close()
+		_ = dirf.Sync()
+		_ = dirf.Close()
 	}
 	return nil
 }
 
-// janitorLocked evicts the oldest-mtime entries beyond maxEntries.
-// Called with d.mu held after every successful write.
-func (d *diskStore) janitorLocked() {
-	if d.maxEntries <= 0 || len(d.keys) <= d.maxEntries {
+// janitor evicts the oldest-mtime entries beyond maxEntries. Called
+// after a successful write pushed the index past capacity. The stats
+// and removals run outside d.mu against an index snapshot: eviction is
+// recency policy, not correctness, so racing a concurrent Get (which
+// treats a vanished file as a miss) or Put (whose new entry is counted
+// by the next janitor pass) is benign, and a slow disk never holds up
+// the index.
+func (d *diskStore) janitor() {
+	d.mu.Lock()
+	max := d.maxEntries
+	keys := make([]string, 0, len(d.keys))
+	for key := range d.keys {
+		keys = append(keys, key)
+	}
+	d.mu.Unlock()
+	if max <= 0 || len(keys) <= max {
 		return
 	}
 	type aged struct {
 		key   string
 		mtime time.Time
 	}
-	entries := make([]aged, 0, len(d.keys))
-	for key := range d.keys {
+	entries := make([]aged, 0, len(keys))
+	var drop []string
+	for _, key := range keys {
 		info, err := os.Stat(filepath.Join(d.dir, key))
 		if err != nil {
-			delete(d.keys, key) // vanished underneath us; drop the index entry
+			drop = append(drop, key) // vanished underneath us; drop the index entry
 			continue
 		}
 		entries = append(entries, aged{key, info.ModTime()})
@@ -242,13 +278,22 @@ func (d *diskStore) janitorLocked() {
 		}
 		return entries[i].key < entries[j].key
 	})
-	for _, ent := range entries {
-		if len(d.keys) <= d.maxEntries {
-			break
-		}
-		os.Remove(filepath.Join(d.dir, ent.key))
-		delete(d.keys, ent.key)
+	for _, ent := range entries[:max0(len(entries)-max)] {
+		_ = os.Remove(filepath.Join(d.dir, ent.key)) // eviction is best effort
+		drop = append(drop, ent.key)
 	}
+	d.mu.Lock()
+	for _, key := range drop {
+		delete(d.keys, key)
+	}
+	d.mu.Unlock()
+}
+
+func max0(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // diskStats is the /metrics and /healthz snapshot of the tier.

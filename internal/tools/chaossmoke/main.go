@@ -152,7 +152,7 @@ func run(bin, goldenPath string) error {
 	if err := cmdA.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
 		return err
 	}
-	cmdA.Wait()
+	_ = cmdA.Wait()
 	fmt.Printf("  phase 1: %d cases submitted, daemon SIGKILLed mid-queue\n", len(goldens))
 
 	// ---- Phase 2: the surviving directory. ----------------------------
@@ -414,8 +414,8 @@ func startDaemon(bin string, env []string, args ...string) (string, *exec.Cmd, e
 		}
 	}
 	if base == "" {
-		cmd.Process.Kill()
-		cmd.Wait()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
 		return "", nil, fmt.Errorf("daemon never printed its address")
 	}
 	go io.Copy(io.Discard, stdout)
@@ -425,8 +425,8 @@ func startDaemon(bin string, env []string, args ...string) (string, *exec.Cmd, e
 // reap kills a daemon that a failed phase left running.
 func reap(cmd *exec.Cmd) {
 	if cmd.ProcessState == nil {
-		cmd.Process.Kill()
-		cmd.Wait()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
 	}
 }
 
@@ -444,7 +444,7 @@ func drain(cmd *exec.Cmd) error {
 		}
 		return nil
 	case <-time.After(60 * time.Second):
-		cmd.Process.Kill()
+		_ = cmd.Process.Kill()
 		return fmt.Errorf("no exit within 60s of SIGTERM")
 	}
 }
@@ -457,7 +457,7 @@ func submit(base, body string) (map[string]any, error) {
 		return nil, err
 	}
 	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != 201 {
 		return nil, fmt.Errorf("submit: %s: %s", resp.Status, data)
 	}

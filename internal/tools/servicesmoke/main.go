@@ -88,8 +88,8 @@ func startDaemon(bin string, env []string, args ...string) (string, *exec.Cmd, e
 		}
 	}
 	if base == "" {
-		cmd.Process.Kill()
-		cmd.Wait()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
 		return "", nil, fmt.Errorf("daemon never printed its address")
 	}
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
@@ -109,8 +109,8 @@ func run(bin string) error {
 	}
 	defer func() {
 		if cmd.ProcessState == nil {
-			cmd.Process.Kill()
-			cmd.Wait()
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
 		}
 	}()
 
@@ -174,7 +174,7 @@ func run(bin string) error {
 			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
 		}
 	case <-time.After(60 * time.Second):
-		cmd.Process.Kill()
+		_ = cmd.Process.Kill()
 		return fmt.Errorf("daemon did not drain within 60s of SIGTERM")
 	}
 
@@ -192,8 +192,8 @@ func checkBackpressure(bin string) error {
 		return err
 	}
 	defer func() {
-		cmd.Process.Kill()
-		cmd.Wait()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
 	}()
 
 	saw429 := false
@@ -208,7 +208,7 @@ func checkBackpressure(bin string) error {
 			return err
 		}
 		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		switch resp.StatusCode {
 		case 201:
 		case 429:
@@ -248,7 +248,7 @@ func submitAndWait(base string, spec jobSpec) (map[string]any, error) {
 		return nil, err
 	}
 	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		return nil, err
 	}
