@@ -25,6 +25,8 @@
 #   make fuzz-smoke - short -fuzz run of every graphio structured-reader fuzzer
 #   make test       - fast test suite
 #   make race       - full test suite under -race
+#   make cover      - enforce the per-package coverage floors of
+#                     coverage_floors.txt (internal/service, internal/cli)
 #   make bench      - full benchmark pass with allocation counts
 #   make tables     - regenerate the experiment tables (text) at quick scale
 #   make json       - machine-readable experiment rows (BENCH_*.json input)
@@ -45,9 +47,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: ci fmt vet lint lint-fast test race bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check tables json
+.PHONY: ci fmt vet lint lint-fast test race cover bench bench-smoke bench-json fuzz-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check tables json
 
-ci: fmt vet lint race fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check
+ci: fmt vet lint race cover fuzz-smoke bench-smoke list-smoke cli-smoke service-smoke chaos-smoke docs-check
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -71,6 +73,24 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Statement-coverage floors for the packages whose behavior is pinned
+# by end-to-end suites (the daemon and its CLI): each package listed in
+# coverage_floors.txt must meet its checked-in minimum.
+cover:
+	@fail=0; \
+	while read -r pkg floor; do \
+		case "$$pkg" in ""|\#*) continue;; esac; \
+		pct=$$($(GO) test -cover "$$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg (test failure?)"; fail=1; continue; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" = 1 ]; then \
+			echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		else \
+			echo "cover: $$pkg $$pct% BELOW floor $$floor%"; fail=1; \
+		fi; \
+	done < coverage_floors.txt; \
+	exit $$fail
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

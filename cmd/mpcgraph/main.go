@@ -10,6 +10,8 @@
 //	mpcgraph solve -problem mis -model mpc -in web.mtx.gz -json
 //	mpcgraph solve -problem weighted-matching -scenario weighted-gnp -seed 7
 //	mpcgraph bench -experiment E5 -quick
+//	mpcgraph batch -scenarios gnp,ring -seeds 1:50 -problems mis -wait
+//	mpcgraph bench -experiment E18 -remote http://127.0.0.1:8080
 //	mpcgraph list
 //
 // Run "mpcgraph <command> -h" for per-command flags. The deprecated

@@ -3,8 +3,10 @@
 // in any supported format) exposed as an HTTP job API with a bounded
 // queue, a content-addressed deterministic result cache — an in-memory
 // LRU over an optional crash-safe disk tier — single-flight coalescing
-// of identical submissions, per-round trace streaming, and
-// Prometheus-style operational metrics.
+// of identical submissions, batch admission for experiment sweeps
+// (POST /v1/batches: server-side cache-aware dedup, aggregate views,
+// NDJSON completion streaming, one-DELETE cancellation), per-round
+// trace streaming, and Prometheus-style operational metrics.
 //
 // Usage:
 //
@@ -27,8 +29,10 @@
 // are rejected with 503, queued and running jobs finish (bounded by
 // -drain), and the process exits 0.
 //
-// Drive it with `mpcgraph submit`/`mpcgraph status`, or speak the HTTP
-// API directly — see docs/service.md for the wire contract, the job
+// Drive it with `mpcgraph submit`/`mpcgraph batch`/`mpcgraph status`
+// (or run the E18 registry sweep against it with `mpcgraph bench
+// -remote`, bit-identical to in-process), or speak the HTTP API
+// directly — see docs/service.md for the wire contract, the job
 // lifecycle, cache semantics and the /healthz and /metrics endpoints.
 package main
 

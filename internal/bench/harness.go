@@ -13,6 +13,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	reg "mpcgraph/internal/registry"
 )
 
 // Config controls experiment scale and randomness.
@@ -29,6 +31,22 @@ type Config struct {
 	// algorithm invocation (0 = all cores, 1 = sequential). Tables are
 	// bit-identical for every setting; only wall-clock time changes.
 	Workers int
+	// Solver, when non-nil, replaces registry.Solve for the experiments
+	// that dispatch through the public registry surface (the E18 sweep).
+	// `mpcgraph bench -remote` injects a daemon-backed SolveFunc here;
+	// results must be bit-identical to the in-process default, which is
+	// exactly what TestRemoteBenchBitIdentical pins. Experiments that
+	// measure internal phase structure (E1–E17) are not routable and
+	// always run in-process.
+	Solver reg.SolveFunc
+}
+
+// solve resolves the effective SolveFunc.
+func (c Config) solve() reg.SolveFunc {
+	if c.Solver != nil {
+		return c.Solver
+	}
+	return reg.Solve
 }
 
 func (c Config) withDefaults() Config {

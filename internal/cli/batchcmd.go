@@ -1,0 +1,363 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpcgraph"
+	"mpcgraph/internal/service"
+)
+
+// runBatch drives the POST /v1/batches API: it submits many jobs as
+// one unit — an explicit spec file, or a sweep assembled from flags
+// (scenarios × a seed range × problems) mirroring the bench harness's
+// registry sweep — then optionally follows the batch to completion.
+//
+//	mpcgraph batch -scenarios gnp,ring -seeds 1:50 -problems mis -wait
+//	mpcgraph batch -spec sweep.json -stream
+//	mpcgraph batch -cancel b000003
+//
+// The daemon dedups batch members against its result cache and
+// in-flight jobs before enqueueing, so resubmitting a sweep whose
+// cells are cached performs zero new solves; the final view's dedup
+// block reports exactly what was served from where.
+func runBatch(args []string, env Env) error {
+	fs := flag.NewFlagSet("mpcgraph batch", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		server      = fs.String("server", "http://127.0.0.1:8080", "base URL of the mpcgraphd daemon")
+		specPath    = fs.String("spec", "", "submit a raw BatchRequest JSON file ('-' reads stdin); exclusive with the sweep flags")
+		scenarios   = fs.String("scenarios", "", "comma-separated catalog scenarios to sweep")
+		n           = fs.Int("n", 0, "scenario vertex count (0 = each scenario's default)")
+		seeds       = fs.String("seeds", "1:1", "inclusive seed range from:to (a single value means one seed)")
+		problems    = fs.String("problems", "", "comma-separated problems to sweep (empty = every registered pair)")
+		modelName   = fs.String("model", "", "restrict the sweep to one model (empty = both where registered)")
+		eps         = fs.Float64("eps", 0.1, "approximation slack where applicable")
+		memFactor   = fs.Float64("memory-factor", 0, "per-machine memory = factor*n words (0 = default 16)")
+		strict      = fs.Bool("strict", false, "fail member jobs on any simulated memory/bandwidth violation")
+		workers     = fs.Int("workers", 0, "per-job parallel workers (0 = the server's default)")
+		timeout     = fs.Duration("timeout", 0, "server-side deadline per member job (0 = none)")
+		noCache     = fs.Bool("no-cache", false, "force cold runs past the deterministic result cache")
+		wait        = fs.Bool("wait", false, "poll the batch until every member settles, print the final view")
+		stream      = fs.Bool("stream", false, "follow per-job completions as NDJSON until the batch settles")
+		cancelID    = fs.String("cancel", "", "cancel the remainder of this batch id and exit")
+		statusID    = fs.String("status", "", "print the view of this batch id and exit")
+		retries     = fs.Int("retries", 8, "submission retries on 503 before giving up (exit code 6)")
+		retryBudget = fs.Duration("retry-budget", 2*time.Minute, "total planned retry sleep before giving up (exit code 6)")
+		params      = paramFlag{}
+	)
+	fs.Var(params, "param", "scenario parameter key=value, applied to every swept scenario (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	switch {
+	case *cancelID != "":
+		view, err := cancelBatch(*server, *cancelID)
+		return printBatchJSON(env, view, err)
+	case *statusID != "" && !*stream:
+		body, err := getJSON(*server, "/v1/batches/"+*statusID)
+		if err != nil {
+			return err
+		}
+		return printRaw(env, body)
+	case *statusID != "": // -status ID -stream: follow an existing batch
+		return streamBatch(env, *server, *statusID)
+	}
+
+	req, seedFrom, err := buildBatchRequest(env, fs, *specPath, *scenarios, *n, *seeds, *problems, *modelName,
+		params, *eps, *memFactor, *strict, *workers, *timeout, *noCache)
+	if err != nil {
+		return err
+	}
+
+	// Submission retry loop. Batches are admitted whole or rejected
+	// whole: the feeder applies queue backpressure server-side, so the
+	// only retryable rejection is 503 (draining behind a balancer).
+	bo := newBackoff(seedFrom, "batch-submit", 100*time.Millisecond, 5*time.Second, *retries, *retryBudget)
+	var view *service.BatchView
+	for {
+		view, err = postBatch(*server, req)
+		if err == nil {
+			break
+		}
+		var he *httpError
+		if !errors.As(err, &he) || !he.retryable() {
+			return err
+		}
+		delay, ok := bo.next(he.retryAfter)
+		if !ok {
+			return fmt.Errorf("batch: %v: %w after %d attempts", err, ErrRetriesExhausted, bo.attempts+1)
+		}
+		fmt.Fprintf(env.Stderr, "mpcgraph: batch rejected (%d), retrying in %v\n", he.status, delay.Round(time.Millisecond))
+		time.Sleep(delay)
+	}
+
+	switch {
+	case *stream:
+		return streamBatch(env, *server, view.ID)
+	case *wait:
+		view, err = waitBatch(*server, view.ID, seedFrom)
+		if err != nil {
+			return err
+		}
+	}
+	if err := printBatchJSON(env, view, nil); err != nil {
+		return err
+	}
+	if view.Counts.Failed > 0 {
+		return fmt.Errorf("batch %s: %d member job(s) failed", view.ID, view.Counts.Failed)
+	}
+	return nil
+}
+
+// buildBatchRequest assembles the wire request from -spec or the sweep
+// flags, and picks the backoff seed (the low end of the seed range, so
+// a scripted sweep plans one reproducible delay sequence).
+func buildBatchRequest(env Env, fs *flag.FlagSet, specPath, scenarios string, n int, seeds, problems, modelName string,
+	params paramFlag, eps, memFactor float64, strict bool, workers int, timeout time.Duration, noCache bool,
+) (*service.BatchRequest, uint64, error) {
+	if specPath != "" {
+		if scenarios != "" {
+			return nil, 0, fmt.Errorf("-spec and -scenarios are mutually exclusive")
+		}
+		raw, err := readAll(env, specPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		var req service.BatchRequest
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, 0, fmt.Errorf("bad batch spec %s: %v", specPath, err)
+		}
+		var seedFrom uint64
+		if req.Sweep != nil && req.Sweep.Seeds != nil {
+			seedFrom = req.Sweep.Seeds.From
+		}
+		return &req, seedFrom, nil
+	}
+	if scenarios == "" {
+		fmt.Fprintln(env.Stderr, "need a sweep: -scenarios <names> (plus -seeds, -problems) or -spec <file>")
+		fs.Usage()
+		return nil, 0, fmt.Errorf("batch requires -scenarios or -spec")
+	}
+	from, to, err := parseSeedRange(seeds)
+	if err != nil {
+		return nil, 0, err
+	}
+	sweep := &service.SweepRequest{
+		Seeds: &service.SeedRange{From: from, To: to},
+		Options: service.OptionsRequest{
+			Eps:          eps,
+			MemoryFactor: memFactor,
+			Strict:       strict,
+			Workers:      workers,
+		},
+	}
+	for _, name := range strings.Split(scenarios, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sweep.Scenarios = append(sweep.Scenarios, service.ScenarioRequest{Name: name, N: n, Params: params})
+	}
+	if problems != "" {
+		model := modelName
+		if model == "" {
+			model = mpcgraph.ModelMPC.String()
+		}
+		for _, p := range strings.Split(problems, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			sweep.Pairs = append(sweep.Pairs, service.PairRequest{Problem: p, Model: model})
+		}
+	} else if modelName != "" {
+		return nil, 0, fmt.Errorf("-model needs -problems (an empty problem list sweeps every registered pair)")
+	}
+	return &service.BatchRequest{
+		Sweep:     sweep,
+		TimeoutMs: timeout.Milliseconds(),
+		NoCache:   noCache,
+	}, from, nil
+}
+
+// parseSeedRange reads "from:to" (inclusive) or a single seed.
+func parseSeedRange(s string) (from, to uint64, err error) {
+	lo, hi, ranged := strings.Cut(s, ":")
+	from, err = strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %v", s, err)
+	}
+	if !ranged {
+		return from, from, nil
+	}
+	to, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %v", s, err)
+	}
+	if to < from {
+		return 0, 0, fmt.Errorf("bad -seeds %q: to < from", s)
+	}
+	return from, to, nil
+}
+
+// postBatch submits the batch and decodes the admission view.
+func postBatch(server string, req *service.BatchRequest) (*service.BatchView, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimSuffix(server, "/")+"/v1/batches", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	return decodeBatchResponse(resp, "batch")
+}
+
+// cancelBatch cancels the remainder of a batch (idempotent).
+func cancelBatch(server, id string) (*service.BatchView, error) {
+	req, err := http.NewRequest(http.MethodDelete, strings.TrimSuffix(server, "/")+"/v1/batches/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBatchResponse(resp, "cancel")
+}
+
+func decodeBatchResponse(resp *http.Response, op string) (*service.BatchView, error) {
+	defer resp.Body.Close()
+	body, err := readAllBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, &httpError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			msg:        fmt.Sprintf("%s: %s: %s", op, resp.Status, serverError(body)),
+		}
+	}
+	var view service.BatchView
+	if err := json.Unmarshal(body, &view); err != nil {
+		return nil, fmt.Errorf("%s: bad response: %v", op, err)
+	}
+	return &view, nil
+}
+
+// waitBatch polls the batch view until every member settles, pacing
+// like waitJob: jittered backoff from 20ms toward a 1s cap, tolerating
+// a bounded run of retryable errors from a proxy.
+func waitBatch(server, id string, seed uint64) (*service.BatchView, error) {
+	pace := newBackoff(seed, "batch-poll", 20*time.Millisecond, time.Second, int(^uint(0)>>1), 0)
+	consecutive := 0
+	for {
+		body, err := getJSON(server, "/v1/batches/"+id)
+		var retryAfter time.Duration
+		if err != nil {
+			var he *httpError
+			if !errors.As(err, &he) || !he.retryable() {
+				return nil, err
+			}
+			consecutive++
+			if consecutive > 10 {
+				return nil, fmt.Errorf("batch wait: %v: %w", err, ErrRetriesExhausted)
+			}
+			retryAfter = he.retryAfter
+		} else {
+			consecutive = 0
+			var view service.BatchView
+			if err := json.Unmarshal(body, &view); err != nil {
+				return nil, fmt.Errorf("batch wait: bad response: %v", err)
+			}
+			if view.State == "done" {
+				return &view, nil
+			}
+		}
+		delay, _ := pace.next(retryAfter)
+		time.Sleep(delay)
+	}
+}
+
+// streamBatch follows GET /v1/batches/{id}/stream, copying the NDJSON
+// per-job completion lines through to stdout until the final done
+// marker. The final line carries the aggregate batch view; a batch
+// with failed members exits non-zero after the full stream has been
+// relayed.
+func streamBatch(env Env, server, id string) error {
+	resp, err := http.Get(strings.TrimSuffix(server, "/") + "/v1/batches/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := readAllBody(resp)
+		return &httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("stream: %s: %s", resp.Status, serverError(body)),
+		}
+	}
+	var finalBatch *service.BatchView
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if _, err := env.Stdout.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+		// The done marker is the only line whose top-level "batch" is an
+		// object (member lines carry the batch id as a string, so they
+		// fail this decode and fall through).
+		var line struct {
+			Done  bool               `json:"done"`
+			Batch *service.BatchView `json:"batch"`
+		}
+		if json.Unmarshal(raw, &line) == nil && line.Done {
+			finalBatch = line.Batch
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: %v", err)
+	}
+	if finalBatch != nil && finalBatch.Counts.Failed > 0 {
+		return fmt.Errorf("batch %s: %d member job(s) failed", finalBatch.ID, finalBatch.Counts.Failed)
+	}
+	return nil
+}
+
+func readAllBody(resp *http.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func printBatchJSON(env Env, view *service.BatchView, err error) error {
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(env.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(view)
+}
+
+func printRaw(env Env, body []byte) error {
+	_, err := env.Stdout.Write(body)
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"mpcgraph/internal/bench"
 	"mpcgraph/internal/registry"
@@ -23,6 +24,7 @@ func runBench(args []string, env Env) error {
 		workers    = fs.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential); tables are identical for every value")
 		jsonOut    = fs.Bool("json", false, "emit one JSON object per table instead of aligned text")
 		check      = fs.Bool("check", false, "fail unless every registered (Problem, Model) pair has a valid benchmark entry")
+		remote     = fs.String("remote", "", "base URL of a running mpcgraphd; registry-sweep solves (E18) run against the daemon, bit-identical to in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -31,6 +33,9 @@ func runBench(args []string, env Env) error {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
+	if *remote != "" {
+		cfg.Solver = remoteSolver(*remote, 8, 2*time.Minute)
+	}
 	if *check {
 		if err := bench.VerifyRegistryCoverage(bench.Config{Seed: *seed, Trials: 1, Quick: true, Workers: *workers}); err != nil {
 			return err

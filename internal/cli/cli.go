@@ -1,5 +1,6 @@
 // Package cli implements the mpcgraph command-line tool: one binary
-// with gen, solve, bench, list, serve, submit and status subcommands
+// with gen, solve, bench, list, serve, submit, batch and status
+// subcommands
 // over the unified Solve registry, the scenario catalog, the
 // multi-format graphio layer and the internal/service solve daemon.
 // The deprecated mpcmis and mpcmatch commands are thin shims that
@@ -41,6 +42,7 @@ Commands:
   list    enumerate problems, models, algorithms, scenarios and formats
   serve   run the mpcgraphd solve daemon (job queue, result cache, trace streaming)
   submit  post one job to a running daemon (optionally wait for the result)
+  batch   post many jobs (or a sweep) to a running daemon as one unit
   status  inspect a running daemon's job table
 
 Run "mpcgraph <command> -h" for the flags of one command.
@@ -53,6 +55,8 @@ Examples:
   mpcgraph bench -experiment E5 -quick
   mpcgraph serve -addr 127.0.0.1:8080
   mpcgraph submit -problem mis -scenario gnp -n 4096 -seed 7 -wait
+  mpcgraph batch -scenarios gnp,ring -seeds 1:50 -problems mis,vertex-cover -wait
+  mpcgraph bench -experiment E18 -quick -remote http://127.0.0.1:8080
   mpcgraph list`
 
 // Env carries the process streams so tests (and the deprecated shims)
@@ -85,6 +89,8 @@ func Run(args []string, env Env) error {
 		return runServe(rest, env)
 	case "submit":
 		return runSubmit(rest, env)
+	case "batch":
+		return runBatch(rest, env)
 	case "status":
 		return runStatus(rest, env)
 	case "help", "-h", "-help", "--help":

@@ -254,3 +254,10 @@ func Solve(ctx context.Context, in Input, p Problem, m model.Model, opts Options
 	rep.Wall = time.Since(start)
 	return rep, nil
 }
+
+// SolveFunc is the signature of Solve. Consumers that can run against
+// either the in-process registry or a remote daemon (the bench harness
+// with mpcgraph bench -remote) accept a SolveFunc and default it to
+// Solve; determinism makes the two interchangeable — a conforming
+// remote implementation must return bit-identical Reports.
+type SolveFunc func(ctx context.Context, in Input, p Problem, m model.Model, opts Options) (*Report, error)

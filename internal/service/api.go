@@ -69,22 +69,21 @@ type OptionsRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// resolve validates the request and materializes the instance. The
-// returned source string describes the instance origin for job views.
-func (req *JobRequest) resolve(cfg Config) (mpcgraph.Problem, mpcgraph.Model, mpcgraph.Options, mpcgraph.Instance, string, error) {
+// resolvePair validates the problem/model names and that the pair is
+// registered — the cheap half of resolve, shared by batch expansion so
+// a malformed sweep cell rejects the whole batch before any job record
+// exists.
+func (req *JobRequest) resolvePair() (mpcgraph.Problem, mpcgraph.Model, error) {
 	var (
-		problem  mpcgraph.Problem
-		mod      mpcgraph.Model
-		opts     mpcgraph.Options
-		instance mpcgraph.Instance
-		source   string
+		problem mpcgraph.Problem
+		mod     mpcgraph.Model
 	)
 	if req.Problem == "" {
-		return problem, mod, opts, nil, "", fmt.Errorf("service: request needs a problem (see GET /v1/catalog)")
+		return problem, mod, fmt.Errorf("service: request needs a problem (see GET /v1/catalog)")
 	}
 	problem, err := registry.ParseProblem(req.Problem)
 	if err != nil {
-		return problem, mod, opts, nil, "", err
+		return problem, mod, err
 	}
 	modelName := req.Model
 	if modelName == "" {
@@ -92,10 +91,25 @@ func (req *JobRequest) resolve(cfg Config) (mpcgraph.Problem, mpcgraph.Model, mp
 	}
 	mod, err = model.ParseModel(modelName)
 	if err != nil {
-		return problem, mod, opts, nil, "", err
+		return problem, mod, err
 	}
 	if _, registered := registry.Lookup(problem, mod); !registered {
-		return problem, mod, opts, nil, "", fmt.Errorf("%w: %s/%s", mpcgraph.ErrUnsupported, problem, mod)
+		return problem, mod, fmt.Errorf("%w: %s/%s", mpcgraph.ErrUnsupported, problem, mod)
+	}
+	return problem, mod, nil
+}
+
+// resolve validates the request and materializes the instance. The
+// returned source string describes the instance origin for job views.
+func (req *JobRequest) resolve(cfg Config) (mpcgraph.Problem, mpcgraph.Model, mpcgraph.Options, mpcgraph.Instance, string, error) {
+	var (
+		opts     mpcgraph.Options
+		instance mpcgraph.Instance
+		source   string
+	)
+	problem, mod, err := req.resolvePair()
+	if err != nil {
+		return problem, mod, opts, nil, "", err
 	}
 
 	switch {
@@ -200,7 +214,10 @@ type JobView struct {
 	// Coalesced marks a job that rode another job's identical in-flight
 	// computation instead of occupying a queue slot itself. Like cache
 	// hits, coalesced jobs carry no trace of their own.
-	Coalesced  bool        `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Batch is the id of the batch this job was expanded from, when it
+	// was admitted through POST /v1/batches.
+	Batch      string      `json:"batch,omitempty"`
 	Error      string      `json:"error,omitempty"`
 	CreatedAt  string      `json:"createdAt"`
 	StartedAt  string      `json:"startedAt,omitempty"`
@@ -340,6 +357,7 @@ func (j *Job) view() *JobView {
 		CacheHit:  j.cacheHit,
 		CacheTier: j.cacheTier,
 		Coalesced: j.coalesced,
+		Batch:     j.batchID,
 		Error:     j.err,
 		CreatedAt: j.created.UTC().Format("2006-01-02T15:04:05.000Z"),
 		TraceLen:  len(j.trace),

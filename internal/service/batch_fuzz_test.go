@@ -1,0 +1,83 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzBatchRequest fuzzes the batch-spec decoder and expander with
+// hostile JSON. The invariant under attack: expansion either fails —
+// hostile cross-product sizes with the documented limit in the error —
+// or yields between 1 and MaxBatchJobs member specs. It must never
+// allocate work proportional to an attacker-chosen product (the 413
+// guard fires before any spec slice is sized from it), so arbitrary
+// inputs cannot OOM the daemon or enqueue unbounded work.
+func FuzzBatchRequest(f *testing.F) {
+	seed := func(v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed(&BatchRequest{Jobs: []JobRequest{{
+		Problem:  "mis",
+		Scenario: &ScenarioRequest{Name: "gnp", N: 100, Seed: 1},
+	}}})
+	seed(&BatchRequest{Sweep: &SweepRequest{
+		Scenarios: []ScenarioRequest{{Name: "gnp", N: 100}},
+		Seeds:     &SeedRange{From: 1, To: 4},
+		Pairs:     []PairRequest{{Problem: "mis"}, {Problem: "vertex-cover"}},
+	}})
+	// The hostile shapes the guard exists for: a full-width seed range
+	// and a cross product just past the limit.
+	seed(&BatchRequest{Sweep: &SweepRequest{
+		Scenarios: []ScenarioRequest{{Name: "gnp"}},
+		Seeds:     &SeedRange{From: 0, To: math.MaxUint64},
+		Pairs:     []PairRequest{{Problem: "mis"}},
+	}})
+	seed(&BatchRequest{Sweep: &SweepRequest{
+		Scenarios: []ScenarioRequest{{Name: "gnp"}, {Name: "ring"}, {Name: "grid"}},
+		Seeds:     &SeedRange{From: 0, To: 9999},
+	}})
+	f.Add([]byte(`{"sweep":{"scenarios":[{"name":"gnp"}],"seeds":{"from":18446744073709551615,"to":0}}}`))
+	f.Add([]byte(`{"jobs":[],"sweep":null}`))
+
+	cfg := Config{}.withDefaults()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req BatchRequest
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return // the handler rejects it with 400 before expansion
+		}
+		specs, err := req.expand(cfg)
+		if err != nil {
+			if errors.Is(err, ErrBatchTooLarge) {
+				if !strings.Contains(err.Error(), "limit") {
+					t.Fatalf("413 error does not name the documented limit: %v", err)
+				}
+				if batchErrorStatus(err) != 413 {
+					t.Fatalf("ErrBatchTooLarge mapped to %d, want 413", batchErrorStatus(err))
+				}
+			}
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("expansion accepted an empty batch: %s", data)
+		}
+		if len(specs) > cfg.MaxBatchJobs {
+			t.Fatalf("expansion yielded %d specs past the %d-job limit: %s",
+				len(specs), cfg.MaxBatchJobs, data)
+		}
+		for i, spec := range specs {
+			if spec.req == nil {
+				t.Fatalf("spec %d has no request", i)
+			}
+		}
+	})
+}

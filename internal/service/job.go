@@ -57,6 +57,15 @@ type Job struct {
 	flight    *flight
 	coalesced bool
 
+	// notify, when non-nil, observes the job's one terminal transition
+	// (done, failed or canceled). It is set before the job is visible
+	// and invoked exactly once, after j.mu is released — batches use it
+	// to stream member completions without holding any job lock.
+	notify func(*Job)
+	// batchID names the batch this job was expanded from (empty for
+	// single-job submissions). Set before the job is visible.
+	batchID string
+
 	mu        sync.Mutex
 	state     JobState
 	err       string
@@ -120,13 +129,17 @@ func (j *Job) stopDeadlineLocked() {
 // armDeadline schedules the per-job deadline, measured from submission
 // so it bounds queue wait plus execution. Exceeding it cancels only
 // this rider: a coalesced computation keeps running for the riders
-// that still want it.
+// that still want it. Idempotent: batch members arm at record creation
+// and again when placed, and must not leak the first timer.
 func (j *Job) armDeadline() {
 	if j.timeout <= 0 {
 		return
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.deadline != nil {
+		return
+	}
 	switch j.state {
 	case StateQueued, StateRunning:
 	default:
@@ -157,10 +170,10 @@ func (j *Job) appendTrace(ev mpcgraph.TraceEvent) {
 // visible and cancellable, so riders already terminal stay terminal).
 func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued, StateRunning:
 	default:
+		j.mu.Unlock()
 		return
 	}
 	now := time.Now()
@@ -172,6 +185,8 @@ func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.finished = now
 	j.stopDeadlineLocked()
 	j.signalLocked()
+	j.mu.Unlock()
+	j.notifyTerminal()
 }
 
 // markRunning transitions a queued rider to running when its flight's
@@ -191,10 +206,10 @@ func (j *Job) markRunning() {
 // canceled while the computation ran stay canceled.
 func (j *Job) complete(rep *mpcgraph.Report) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued, StateRunning:
 	default:
+		j.mu.Unlock()
 		return
 	}
 	j.state = StateDone
@@ -205,15 +220,17 @@ func (j *Job) complete(rep *mpcgraph.Report) {
 	j.finished = time.Now()
 	j.stopDeadlineLocked()
 	j.signalLocked()
+	j.mu.Unlock()
+	j.notifyTerminal()
 }
 
 // fail finishes a rider with the flight's error.
 func (j *Job) fail(err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued, StateRunning:
 	default:
+		j.mu.Unlock()
 		return
 	}
 	j.state = StateFailed
@@ -224,6 +241,8 @@ func (j *Job) fail(err error) {
 	j.finished = time.Now()
 	j.stopDeadlineLocked()
 	j.signalLocked()
+	j.mu.Unlock()
+	j.notifyTerminal()
 }
 
 // cancelJob moves a queued or running job to canceled. The job record
@@ -248,7 +267,17 @@ func (j *Job) cancelJob(reason string) bool {
 	if f != nil {
 		f.detach()
 	}
+	j.notifyTerminal()
 	return true
+}
+
+// notifyTerminal fires the terminal-transition observer. The state
+// machine admits exactly one terminal transition per job, so the
+// callback runs exactly once; callers invoke it with j.mu released.
+func (j *Job) notifyTerminal() {
+	if j.notify != nil {
+		j.notify(j)
+	}
 }
 
 // run executes the job's flight on a worker goroutine. j is always the
@@ -355,6 +384,77 @@ func (s *Server) dropFlight(f *flight) []*Job {
 	return append([]*Job(nil), f.riders...)
 }
 
+// placement classifies how place settled an admitted job — or that it
+// still needs a queue slot.
+type placement int
+
+const (
+	placedMemory    placement = iota // completed from the L1 cache
+	placedCoalesced                  // attached to an identical in-flight computation
+	placedDisk                       // completed from the persistent tier
+	placeEnqueue                     // new flight registered; the caller must enqueue the leader
+)
+
+// place runs the cache-aware dedup ladder for a job already recorded in
+// s.jobs: memory probe, single-flight attach, then (after registering a
+// fresh flight) the unlocked disk probe. It is shared by single-job
+// submission and the batch feeder — the dedup semantics of a batch are
+// exactly those of its members submitted one by one. When it returns
+// placeEnqueue the returned flight's leader must be enqueued (or the
+// flight dropped) by the caller.
+func (s *Server) place(job *Job) (*flight, placement) {
+	s.mu.Lock()
+	if !job.noCache {
+		// Only the in-memory tier is probed under s.mu: a disk probe here
+		// would stall every endpoint that takes s.mu behind one file read.
+		if rep, ok := s.cache.memGet(job.cacheKey); ok {
+			job.completeCached(rep, TierMemory)
+			s.mu.Unlock()
+			return nil, placedMemory
+		}
+		// Single-flight: an identical computation is already in flight —
+		// ride it instead of burning a second worker on a bit-identical
+		// result. The follower keeps its own record, deadline and cancel.
+		// Attach only to a live flight: one whose context survived (a
+		// canceled flight still registered until its leader dequeues
+		// would complete no one) and that has not already fanned out.
+		if f, ok := s.flights[job.cacheKey]; ok && !f.done && f.ctx.Err() == nil {
+			f.attachLocked(job)
+			s.coalesces++
+			s.mu.Unlock()
+			job.armDeadline()
+			return f, placedCoalesced
+		}
+	}
+
+	// Register the flight before the unlocked disk probe so identical
+	// submissions arriving meanwhile coalesce onto this one — the probe
+	// itself is single-flighted. noCache flights stay private: their
+	// contract is a forced cold run, so others must not ride them.
+	f := newFlight(job.cacheKey, job)
+	if !job.noCache {
+		s.flights[job.cacheKey] = f
+	}
+	s.mu.Unlock()
+
+	// Armed before the queue send so a worker can never complete the job
+	// while the timer is still being created (the late timer would leak
+	// until it fired); armDeadline skips already-terminal jobs.
+	job.armDeadline()
+
+	if !job.noCache {
+		if rep, ok := s.cache.diskGet(job.cacheKey); ok {
+			// Recovered from the persistent tier: complete every rider
+			// (followers may have attached during the probe) as a disk hit.
+			for _, r := range s.dropFlight(f) {
+				r.completeCached(rep, TierDisk)
+			}
+			return f, placedDisk
+		}
+	}
+	return f, placeEnqueue
+}
+
 // submit resolves a request into a Job, serves it from cache when
 // possible, coalesces it onto an identical in-flight computation, or
 // admits it to the queue as a new flight's leader. It returns the job
@@ -384,58 +484,16 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.evictTerminalLocked()
-
-	if !job.noCache {
-		// Only the in-memory tier is probed under s.mu: a disk probe here
-		// would stall every endpoint that takes s.mu behind one file read.
-		if rep, ok := s.cache.memGet(key); ok {
-			job.completeCached(rep, TierMemory)
-			s.mu.Unlock()
-			return job, 0, nil
-		}
-		// Single-flight: an identical computation is already in flight —
-		// ride it instead of burning a second worker on a bit-identical
-		// result. The follower keeps its own record, deadline and cancel.
-		// Attach only to a live flight: one whose context survived (a
-		// canceled flight still registered until its leader dequeues
-		// would complete no one) and that has not already fanned out.
-		if f, ok := s.flights[key]; ok && !f.done && f.ctx.Err() == nil {
-			f.attachLocked(job)
-			s.coalesces++
-			s.mu.Unlock()
-			job.armDeadline()
-			return job, 0, nil
-		}
-	}
-
-	// Register the flight before the unlocked disk probe so identical
-	// submissions arriving meanwhile coalesce onto this one — the probe
-	// itself is single-flighted. noCache flights stay private: their
-	// contract is a forced cold run, so others must not ride them.
-	f := newFlight(key, job)
-	if !job.noCache {
-		s.flights[key] = f
-	}
 	s.mu.Unlock()
 
-	// Armed before the queue send so a worker can never complete the job
-	// while the timer is still being created (the late timer would leak
-	// until it fired); armDeadline skips already-terminal jobs.
-	job.armDeadline()
-
-	if !job.noCache {
-		if rep, ok := s.cache.diskGet(key); ok {
-			// Recovered from the persistent tier: complete every rider
-			// (followers may have attached during the probe) as a disk hit.
-			for _, r := range s.dropFlight(f) {
-				r.completeCached(rep, TierDisk)
-			}
-			return job, 0, nil
-		}
+	f, p := s.place(job)
+	if p != placeEnqueue {
+		return job, 0, nil
 	}
 
 	// The draining re-check and the queue send stay under one critical
-	// section so Drain cannot close the queue between them.
+	// section so a submission admitted past the check is visible to the
+	// backlog sweep of a Drain that starts right after.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()

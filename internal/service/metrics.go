@@ -78,6 +78,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	solves := s.solves
 	coalesces := s.coalesces
 	draining := s.draining
+	batchesTotal := s.nextBatchID
+	batchJobs := s.batchJobs
+	batchesActive := 0
+	// done takes b.mu under s.mu — the established lock order (s.mu
+	// before b.mu, see batch.go).
+	for _, id := range s.batchOrder {
+		if !s.batches[id].done() {
+			batchesActive++
+		}
+	}
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -115,6 +125,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP mpcgraphd_coalesced_total Submissions that rode an identical in-flight computation.\n")
 	p("# TYPE mpcgraphd_coalesced_total counter\n")
 	p("mpcgraphd_coalesced_total %d\n", coalesces)
+	p("# HELP mpcgraphd_batches_total Batches ever admitted through POST /v1/batches.\n")
+	p("# TYPE mpcgraphd_batches_total counter\n")
+	p("mpcgraphd_batches_total %d\n", batchesTotal)
+	p("# HELP mpcgraphd_batch_jobs_total Jobs ever admitted as batch members.\n")
+	p("# TYPE mpcgraphd_batch_jobs_total counter\n")
+	p("mpcgraphd_batch_jobs_total %d\n", batchJobs)
+	p("# HELP mpcgraphd_batches_active Retained batches with at least one non-terminal member.\n")
+	p("# TYPE mpcgraphd_batches_active gauge\n")
+	p("mpcgraphd_batches_active %d\n", batchesActive)
 	p("# HELP mpcgraphd_cache_entries Resident entries of the result cache, by tier.\n")
 	p("# TYPE mpcgraphd_cache_entries gauge\n")
 	p("mpcgraphd_cache_entries{tier=\"memory\"} %d\n", mem.Entries)

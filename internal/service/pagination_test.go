@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// Table-driven cursor-pagination coverage for GET /v1/jobs: empty
+// pages, cursors past the end, the state filter interacting with the
+// cursor, and order stability across inserts. The server is workerless
+// so lifecycle states are fully deterministic: submissions stay queued
+// until the test cancels them.
+
+type listPage struct {
+	Jobs []*JobView `json:"jobs"`
+	Next string     `json:"next,omitempty"`
+}
+
+// listJobs fetches one page and asserts the HTTP status.
+func listJobs(t *testing.T, base string, query url.Values, wantStatus int) *listPage {
+	t.Helper()
+	resp, data := getBody(t, base+"/v1/jobs?"+query.Encode())
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET /v1/jobs?%s: status %d, want %d: %s", query.Encode(), resp.StatusCode, wantStatus, data)
+	}
+	if wantStatus != 200 {
+		return nil
+	}
+	var page listPage
+	if err := json.Unmarshal(data, &page); err != nil {
+		t.Fatalf("bad list page %s: %v", data, err)
+	}
+	return &page
+}
+
+func pageIDs(p *listPage) []string {
+	ids := make([]string, len(p.Jobs))
+	for i, j := range p.Jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+// queueJob submits one uniquely-keyed job to a workerless server and
+// returns its id (state: queued, forever).
+func queueJob(t *testing.T, base string, seed uint64) string {
+	t.Helper()
+	resp, data := postJSON(t, base+"/v1/jobs", &JobRequest{
+		Problem:  "mis",
+		Scenario: &ScenarioRequest{Name: "gnp", N: 100, Seed: seed},
+		Options:  OptionsRequest{Seed: seed},
+	})
+	if resp.StatusCode != 201 {
+		t.Fatalf("submit: %s: %s", resp.Status, data)
+	}
+	return decodeView(t, data).ID
+}
+
+func TestListCursorPagination(t *testing.T) {
+	q := func(kv ...string) url.Values {
+		v := url.Values{}
+		for i := 0; i < len(kv); i += 2 {
+			v.Set(kv[i], kv[i+1])
+		}
+		return v
+	}
+
+	t.Run("empty table", func(t *testing.T) {
+		s := idleServer(t, Config{})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		for _, query := range []url.Values{q(), q("limit", "5"), q("state", "done")} {
+			page := listJobs(t, ts.URL, query, 200)
+			if len(page.Jobs) != 0 || page.Next != "" {
+				t.Errorf("empty table, query %s: %d jobs, next %q", query.Encode(), len(page.Jobs), page.Next)
+			}
+		}
+	})
+
+	// One populated server for the cursor cases: six queued jobs, the
+	// 2nd and 4th canceled.
+	s := idleServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(time.Second)
+	})
+	var ids []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		ids = append(ids, queueJob(t, ts.URL, seed))
+	}
+	for _, id := range []string{ids[1], ids[3]} {
+		if status := cancelJobHTTP(t, ts, id); status != 200 {
+			t.Fatalf("DELETE %s: status %d", id, status)
+		}
+	}
+
+	cases := []struct {
+		name     string
+		query    url.Values
+		status   int
+		wantIDs  []string
+		wantNext string
+	}{
+		{"full listing", q(), 200, ids, ""},
+		{"first page", q("limit", "2"), 200, ids[:2], ids[1]},
+		{"second page", q("limit", "2", "after", ids[1]), 200, ids[2:4], ids[3]},
+		{"final page is exactly full", q("limit", "2", "after", ids[3]), 200, ids[4:6], ""},
+		{"cursor at last id", q("after", ids[5]), 200, nil, ""},
+		{"cursor past end with limit", q("after", ids[5], "limit", "1"), 200, nil, ""},
+		{"unknown cursor", q("after", "j99999999"), 400, nil, ""},
+		{"state filter", q("state", "canceled"), 200, []string{ids[1], ids[3]}, ""},
+		{"state filter + cursor", q("state", "canceled", "after", ids[1]), 200, []string{ids[3]}, ""},
+		{"state filter + cursor + limit", q("state", "queued", "after", ids[0], "limit", "2"), 200,
+			[]string{ids[2], ids[4]}, ids[4]},
+		{"cursor may be a filtered-out job", q("state", "queued", "after", ids[3]), 200,
+			[]string{ids[4], ids[5]}, ""},
+		{"bad limit", q("limit", "zero"), 400, nil, ""},
+		{"zero limit", q("limit", "0"), 400, nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			page := listJobs(t, ts.URL, tc.query, tc.status)
+			if tc.status != 200 {
+				return
+			}
+			got := pageIDs(page)
+			if fmt.Sprint(got) != fmt.Sprint(tc.wantIDs) {
+				t.Errorf("page ids %v, want %v", got, tc.wantIDs)
+			}
+			if page.Next != tc.wantNext {
+				t.Errorf("next cursor %q, want %q", page.Next, tc.wantNext)
+			}
+		})
+	}
+
+	t.Run("stable order across inserts", func(t *testing.T) {
+		// Walk one page, insert new jobs, resume from the cursor: the
+		// resumed page starts exactly after the cursor in the original
+		// order, and the inserts appear at the end, never earlier.
+		first := listJobs(t, ts.URL, q("limit", "3"), 200)
+		if len(first.Jobs) != 3 || first.Next == "" {
+			t.Fatalf("first page: %d jobs, next %q", len(first.Jobs), first.Next)
+		}
+		newID := queueJob(t, ts.URL, 100)
+		rest := listJobs(t, ts.URL, q("after", first.Next), 200)
+		got := pageIDs(rest)
+		want := append(append([]string{}, ids[3:]...), newID)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("resumed page %v, want %v (insert must append, not reorder)", got, want)
+		}
+		// The pre-insert prefix is untouched.
+		again := listJobs(t, ts.URL, q("limit", "3"), 200)
+		if fmt.Sprint(pageIDs(again)) != fmt.Sprint(pageIDs(first)) {
+			t.Errorf("first page changed across insert: %v vs %v", pageIDs(again), pageIDs(first))
+		}
+	})
+}

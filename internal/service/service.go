@@ -84,6 +84,15 @@ type Config struct {
 	// environment variable (see failpoint.go). Empty disables them all;
 	// production deployments leave this empty.
 	Failpoints string
+	// MaxBatchJobs bounds the number of jobs one POST /v1/batches may
+	// expand to (default 4096). A request whose explicit job list or
+	// cross-product exceeds it is rejected with 413 before any job is
+	// created — the admission-control guard against hostile sweep specs.
+	MaxBatchJobs int
+	// MaxBatchesRetained bounds the number of finished batches kept for
+	// GET /v1/batches inspection (default 256). The oldest fully
+	// terminal batches are evicted first; live batches never are.
+	MaxBatchesRetained int
 }
 
 // withDefaults resolves the documented defaults.
@@ -103,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.DiskEntries <= 0 {
 		c.DiskEntries = 65536
 	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 4096
+	}
+	if c.MaxBatchesRetained <= 0 {
+		c.MaxBatchesRetained = 256
+	}
 	return c
 }
 
@@ -115,18 +130,28 @@ type Server struct {
 	fp    *failpoints
 	start time.Time
 
-	mu        sync.Mutex
-	jobs      map[string]*Job
-	order     []string           // job ids in submission order (pagination, eviction)
-	flights   map[string]*flight // in-progress computations by cache key
-	nextID    uint64
-	inflight  int
-	solves    uint64 // Solve calls actually made (excludes cache hits and coalesced riders)
-	coalesces uint64 // submissions that rode an existing flight
-	draining  bool
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string           // job ids in submission order (pagination, eviction)
+	flights     map[string]*flight // in-progress computations by cache key
+	batches     map[string]*Batch
+	batchOrder  []string // batch ids in submission order (listing, eviction)
+	nextID      uint64
+	nextBatchID uint64
+	batchJobs   uint64 // jobs ever admitted through POST /v1/batches
+	inflight    int
+	solves      uint64 // Solve calls actually made (excludes cache hits and coalesced riders)
+	coalesces   uint64 // submissions that rode an existing flight
+	draining    bool
 
 	queue chan *Job
-	wg    sync.WaitGroup // worker goroutines
+	// quit is closed by Drain. Workers select on it next to the queue:
+	// once it closes they finish the backlog already admitted and exit.
+	// Batch feeders select on it in their blocking queue sends, so a
+	// drain can never leave a feeder wedged against full admission.
+	quit    chan struct{}
+	wg      sync.WaitGroup // worker goroutines
+	feeders sync.WaitGroup // batch feeder goroutines
 }
 
 // New constructs a Server and starts its worker pool. It fails only on
@@ -165,7 +190,9 @@ func build(cfg Config) (*Server, error) {
 		start:   time.Now(),
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
+		batches: make(map[string]*Batch),
 		queue:   make(chan *Job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
 	}, nil
 }
 
@@ -178,6 +205,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches", s.handleBatchList)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /v1/batches/{id}/stream", s.handleBatchStream)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -187,7 +219,8 @@ func (s *Server) Handler() http.Handler {
 // Drain gracefully stops the server: new submissions are rejected with
 // 503, queued and running jobs are given until deadline to finish, and
 // any still running after that are canceled. Drain returns when every
-// worker has exited. It is the SIGTERM path of mpcgraphd.
+// worker and every batch feeder has exited. It is the SIGTERM path of
+// mpcgraphd.
 func (s *Server) Drain(deadline time.Duration) {
 	s.mu.Lock()
 	if s.draining {
@@ -195,14 +228,16 @@ func (s *Server) Drain(deadline time.Duration) {
 		return
 	}
 	s.draining = true
-	// Closed under the same lock that guards submissions, so a submit
-	// can never send on the closed queue.
-	close(s.queue)
+	// The queue channel itself is never closed: workers and feeders
+	// observe the drain through quit, so a racing feeder send can never
+	// panic on a closed channel.
+	close(s.quit)
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.feeders.Wait()
 		close(done)
 	}()
 	var timeout <-chan time.Time
@@ -217,12 +252,23 @@ func (s *Server) Drain(deadline time.Duration) {
 		// Deadline passed: cancel everything still live and wait for the
 		// workers to observe it. Cancellation is checked between metered
 		// rounds, so this converges quickly.
-		s.mu.Lock()
-		for _, id := range s.order {
-			s.jobs[id].cancelJob("server draining")
-		}
-		s.mu.Unlock()
+		s.cancelAllJobs()
 		<-done
+	}
+	// A feeder's queue send can win its race against quit, parking one
+	// last job in the queue after the workers exited. Nothing will ever
+	// run it — cancel any such straggler so every admitted job is
+	// terminal when Drain returns.
+	s.cancelAllJobs()
+}
+
+// cancelAllJobs cancels every retained non-terminal job; cancelJob is a
+// no-op on terminal ones.
+func (s *Server) cancelAllJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		s.jobs[id].cancelJob("server draining")
 	}
 }
 
@@ -233,18 +279,36 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// worker drains the queue until Drain closes it.
+// worker drains the queue until Drain signals quit, then finishes the
+// backlog admitted before the drain and exits.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.mu.Lock()
-		s.inflight++
-		s.mu.Unlock()
-		job.run(s)
-		s.mu.Lock()
-		s.inflight--
-		s.mu.Unlock()
+	for {
+		select {
+		case job := <-s.queue:
+			s.runJob(job)
+		case <-s.quit:
+			for {
+				select {
+				case job := <-s.queue:
+					s.runJob(job)
+				default:
+					return
+				}
+			}
+		}
 	}
+}
+
+// runJob executes one dequeued job, maintaining the inflight gauge.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	job.run(s)
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
 }
 
 // snapshotCounts returns (queued, inflight) for health and metrics.

@@ -4,7 +4,10 @@
 // re-submits each and verifies the deterministic result cache returned
 // a hit whose job view is bit-identical to the cold run (volatile
 // fields aside), checks the /metrics counters and the disk-tier health
-// report, then sends SIGTERM and requires a clean graceful exit.
+// report, round-trips the same jobs once more as one POST /v1/batches
+// (server-side dedup must serve every member from the memory cache
+// tier with zero new solves, and the NDJSON stream must replay every
+// completion), then sends SIGTERM and requires a clean graceful exit.
 // Finally it boots a second, deliberately saturated daemon (one
 // stalled worker, queue depth 1) and verifies the backpressure
 // convention: overload produces HTTP 429 with a Retry-After header.
@@ -162,6 +165,10 @@ func run(bin string) error {
 		return fmt.Errorf("healthz does not report a healthy disk tier: %s", health)
 	}
 
+	if err := checkBatch(base); err != nil {
+		return err
+	}
+
 	// Graceful drain: SIGTERM must produce a zero exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
@@ -179,6 +186,122 @@ func run(bin string) error {
 	}
 
 	return checkBackpressure(bin)
+}
+
+// checkBatch round-trips POST /v1/batches on the production binary:
+// the batch resubmits exactly the jobs the per-problem probes already
+// solved, so server-side dedup must serve every member from the memory
+// cache tier and enqueue zero new solves — pinned by the dedup block
+// of the batch view and an unchanged mpcgraphd_solves_total. The
+// NDJSON stream of the settled batch must replay one line per member
+// plus the final done marker.
+func checkBatch(base string) error {
+	solvesBefore, err := metricValue(base, "mpcgraphd_solves_total")
+	if err != nil {
+		return err
+	}
+
+	var jobs []string
+	for _, spec := range specs {
+		jobs = append(jobs, fmt.Sprintf(`{
+			"problem": %q, "model": %q,
+			"scenario": {"name": %q, "n": 500, "seed": 7},
+			"options": {"seed": 7}
+		}`, spec.problem, spec.model, spec.scenario))
+	}
+	body := `{"jobs": [` + strings.Join(jobs, ",") + `]}`
+	resp, err := http.Post(base+"/v1/batches", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 201 {
+		return fmt.Errorf("batch submit: %s: %s", resp.Status, data)
+	}
+	var view map[string]any
+	if err := json.Unmarshal(data, &view); err != nil {
+		return err
+	}
+	id, _ := view["id"].(string)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if state, _ := view["state"].(string); state == "done" {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("batch %s did not settle", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+		data, err := get(base + "/v1/batches/" + id)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &view); err != nil {
+			return err
+		}
+	}
+
+	counts, _ := view["counts"].(map[string]any)
+	if done, _ := counts["done"].(float64); int(done) != len(specs) {
+		return fmt.Errorf("batch %s: %v of %d members done: %s", id, done, len(specs), data)
+	}
+	dedup, _ := view["dedup"].(map[string]any)
+	hits, _ := dedup["cacheHits"].(map[string]any)
+	if mem, _ := hits["memory"].(float64); int(mem) != len(specs) {
+		return fmt.Errorf("batch %s: %v memory-tier hits, want %d: %s", id, mem, len(specs), data)
+	}
+	if enq, _ := dedup["enqueued"].(float64); enq != 0 {
+		return fmt.Errorf("batch %s: enqueued %v jobs, want 0 (all cached): %s", id, enq, data)
+	}
+
+	solvesAfter, err := metricValue(base, "mpcgraphd_solves_total")
+	if err != nil {
+		return err
+	}
+	if solvesAfter != solvesBefore {
+		return fmt.Errorf("fully cached batch performed %v new solves, want 0", solvesAfter-solvesBefore)
+	}
+
+	stream, err := get(base + "/v1/batches/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(stream)), "\n")
+	if len(lines) != len(specs)+1 {
+		return fmt.Errorf("batch stream replayed %d lines, want %d members + done marker", len(lines), len(specs))
+	}
+	var marker struct {
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &marker); err != nil || !marker.Done {
+		return fmt.Errorf("batch stream's last line is not the done marker: %s", lines[len(lines)-1])
+	}
+
+	fmt.Printf("  batch: %d members all memory-tier hits, 0 new solves, stream replay intact\n", len(specs))
+	return nil
+}
+
+// metricValue scrapes one counter/gauge from /metrics.
+func metricValue(base, name string) (float64, error) {
+	data, err := get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, found := strings.CutPrefix(line, name+" "); found {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%f", &v); err != nil {
+				return 0, fmt.Errorf("metric %s: bad value %q", name, rest)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
 }
 
 // checkBackpressure pins the overload convention against a saturated
