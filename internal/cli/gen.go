@@ -9,6 +9,11 @@ import (
 )
 
 // runGen materializes a catalog scenario to a graph file (or stdout).
+// The path is memory-flat in the output size: every catalog generator
+// passes an edge-capacity hint to the builder (no re-grow churn while
+// generating), and the graphio writers stream through a small reused
+// buffer rather than rendering the file in memory — peak RSS is pinned
+// by the scale-smoke gate (see docs/performance.md).
 func runGen(args []string, env Env) error {
 	fs := flag.NewFlagSet("mpcgraph gen", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)

@@ -2,10 +2,12 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +32,7 @@ func runServe(args []string, env Env) error {
 		diskEntries  = fs.Int("disk-entries", 0, "persistent-tier entry bound (0 = default 65536); oldest entries by access time are evicted")
 		jobWorkers   = fs.Int("job-workers", 0, "per-job parallel workers when a request leaves workers unset (0 = all cores); results are identical for every value")
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown before running jobs are canceled")
+		pprofAddr    = fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables; keep it loopback-only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,30 @@ func runServe(args []string, env Env) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux: the job API mux
+		// stays free of debug handlers, and a firewalled deployment can
+		// bind profiling to loopback while serving jobs externally.
+		pprofLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(env.Stdout, "mpcgraphd pprof on http://%s/debug/pprof/\n", pprofLn.Addr())
+		go func() {
+			// net.ErrClosed is the normal shutdown path: the deferred
+			// listener close fires when serve returns.
+			if err := http.Serve(pprofLn, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(env.Stderr, "mpcgraphd: pprof server stopped: %v\n", err)
+			}
+		}()
+		defer pprofLn.Close()
 	}
 	// The one parseable line scripts (and the service-smoke harness)
 	// wait for before submitting.

@@ -3,6 +3,8 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/signal"
@@ -205,6 +207,61 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "drained") {
 		t.Errorf("drain message missing from stderr: %s", stderr.String())
+	}
+}
+
+// TestServePprof boots serve with -pprof-addr and checks the profiling
+// endpoints answer on their own listener, separate from the job API.
+func TestServePprof(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1", "-pprof-addr", "127.0.0.1:0"},
+			Env{Stdin: strings.NewReader(""), Stdout: &stdout, Stderr: &stderr})
+	}()
+
+	var pprofURL string
+	for attempt := 0; pprofURL == "" && attempt < 2000; attempt++ { // ~10s
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "mpcgraphd pprof on "); ok {
+				pprofURL = strings.TrimSpace(rest)
+			}
+		}
+		if pprofURL == "" {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if pprofURL == "" {
+		t.Fatalf("serve never printed the pprof address (stderr: %s)", stderr.String())
+	}
+
+	resp, err := http.Get(pprofURL) // the printed URL includes /debug/pprof/
+	if err != nil {
+		t.Fatalf("GET %s: %v", pprofURL, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %q", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
 	}
 }
 

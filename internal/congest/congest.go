@@ -107,6 +107,11 @@ func New(cfg Config) (*Clique, error) {
 // Players returns n.
 func (q *Clique) Players() int { return q.cfg.Players }
 
+// Close releases the clique's pooled routing scratch for reuse by the
+// next network. Call it when the metered computation is finished; the
+// clique must not be used afterwards. Idempotent.
+func (q *Clique) Close() { q.core.Release() }
+
 // Metrics returns a snapshot of the accumulated metrics.
 func (q *Clique) Metrics() Metrics {
 	m := q.core.Metrics()

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"testing"
+
+	"mpcgraph/internal/raceflag"
+	"mpcgraph/internal/rng"
+)
+
+// The allocation ceilings below are regression guards for the PR 9 cold
+// path: the radix builder and the single-pass edge-list accessors run in
+// a constant number of allocations regardless of edge count, and these
+// tests pin that property so a reflection sort, a per-edge append, or a
+// forgotten capacity hint cannot sneak back in. Ceilings are ~2× the
+// measured steady state, loose enough to survive runtime drift but far
+// below any O(m) regression. Skipped under race (raceflag): the race
+// runtime adds allocations of its own.
+
+func allocEdges(n, m int) [][2]int32 {
+	src := rng.New(42)
+	edges := make([][2]int32, 0, m)
+	for len(edges) < m {
+		u, v := int32(src.Intn(n)), int32(src.Intn(n))
+		if u != v {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	return edges
+}
+
+func TestBuilderAllocsCeiling(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	const n = 1 << 12
+	edges := allocEdges(n, 4*n)
+	for _, workers := range []int{1, 4} {
+		allocs := testing.AllocsPerRun(10, func() {
+			b := NewBuilderCap(n, len(edges))
+			b.AddEdges(edges)
+			if _, err := b.BuildWorkers(workers); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const ceiling = 96
+		if allocs > ceiling {
+			t.Errorf("builder build (workers=%d): %.0f allocs/op, ceiling %d", workers, allocs, ceiling)
+		}
+	}
+}
+
+func TestEdgeListAllocsCeiling(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	const n = 1 << 12
+	g, err := FromEdges(n, allocEdges(n, 4*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = g.EdgeList()
+	})
+	const ceiling = 2
+	if allocs > ceiling {
+		t.Errorf("EdgeList: %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+	allocs = testing.AllocsPerRun(10, func() {
+		count := 0
+		g.ForEachEdge(func(u, v int32) { count++ })
+	})
+	const iterCeiling = 1
+	if allocs > iterCeiling {
+		t.Errorf("ForEachEdge: %.0f allocs/op, ceiling %d", allocs, iterCeiling)
+	}
+}

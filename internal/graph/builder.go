@@ -3,7 +3,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"mpcgraph/internal/par"
 )
@@ -11,9 +10,13 @@ import (
 // Builder accumulates edges and produces an immutable Graph. Duplicate
 // edges are deduplicated at Build time; self-loops are rejected eagerly
 // because no algorithm in the paper is defined on them.
+//
+// Edges are held as packed uint64 keys (min endpoint in the high word,
+// max in the low word) so that Build can sort them with a byte-wise
+// radix sort and the accumulation slice costs one word per edge.
 type Builder struct {
-	n     int
-	edges [][2]int32
+	n    int
+	keys []uint64 // u<<32 | v with u < v
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -22,6 +25,18 @@ func NewBuilder(n int) *Builder {
 		panic("graph: negative vertex count")
 	}
 	return &Builder{n: n}
+}
+
+// NewBuilderCap is NewBuilder with an edge-capacity hint: generators
+// and readers that know (or can bound) their edge count ahead of time
+// allocate the accumulation slice once instead of growing it
+// incrementally. The hint is only a capacity — exceeding it is legal.
+func NewBuilderCap(n, edgeCap int) *Builder {
+	b := NewBuilder(n)
+	if edgeCap > 0 {
+		b.keys = make([]uint64, 0, edgeCap)
+	}
+	return b
 }
 
 // NumVertices returns the number of vertices the built graph will have.
@@ -40,7 +55,20 @@ func (b *Builder) AddEdge(u, v int32) {
 	if u > v {
 		u, v = v, u
 	}
-	b.edges = append(b.edges, [2]int32{u, v})
+	b.keys = append(b.keys, uint64(u)<<32|uint64(v))
+}
+
+// AddEdges bulk-records a batch of undirected edges, growing the
+// accumulation slice once. It validates exactly like AddEdge.
+func (b *Builder) AddEdges(edges [][2]int32) {
+	if need := len(b.keys) + len(edges); need > cap(b.keys) {
+		grown := make([]uint64, len(b.keys), need)
+		copy(grown, b.keys)
+		b.keys = grown
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
 }
 
 // Build constructs the graph, deduplicating parallel edges. It runs on
@@ -50,82 +78,103 @@ func (b *Builder) Build() (*Graph, error) {
 }
 
 // BuildWorkers is Build with an explicit Workers knob (0 = all cores,
-// 1 = sequential). The edge list is parallel-merge-sorted, then the CSR
-// arrays are built with a sharded counting sort: each worker counts the
-// per-vertex degrees of its edge shard, the shard-order prefix sums fix
-// every worker's write cursors, and the fill lands each adjacency entry
-// exactly where the sequential pass would — the output is bit-identical
-// for every worker count.
+// 1 = sequential). The packed edge keys are sorted with a parallel LSD
+// radix sort (see sortPackedKeys), deduplicated in place, and the CSR
+// arrays are filled with one sharded counting pass that lands every
+// adjacency entry directly in its final, sorted slot:
+//
+// In the sorted key order, the entries of vertex x's list arrive as
+// (a) back entries — keys (u, x) with u < x, in increasing u — and
+// (b) forward entries — keys (x, w) with w > x, in increasing w.
+// Every back neighbor is smaller than every forward neighbor, so
+// writing back entries from offsets[x] and forward entries from
+// offsets[x] + backDeg(x), each in arrival order, produces each list
+// fully sorted with no per-vertex fixup. Shards write in shard order
+// through shard-major cursors, so the output is bit-identical for every
+// worker count — and identical to the unique sorted-CSR form.
 func (b *Builder) BuildWorkers(workers int) (*Graph, error) {
-	if b.n == 0 && len(b.edges) > 0 {
+	if b.n == 0 && len(b.keys) > 0 {
 		return nil, errors.New("graph: edges on zero vertices")
 	}
-	par.Sort(workers, b.edges, func(x, y [2]int32) bool {
-		if x[0] != y[0] {
-			return x[0] < y[0]
+	sortPackedKeys(workers, b.keys)
+	// Deduplicate in place, lazily: scan to the first duplicate before
+	// moving anything — generator and reader inputs are usually
+	// duplicate-free, making this a read-only pass.
+	keys := b.keys
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1] {
+			continue
 		}
-		return x[1] < y[1]
-	})
-	dedup := b.edges[:0]
-	for i, e := range b.edges {
-		if i == 0 || e != b.edges[i-1] {
-			dedup = append(dedup, e)
+		w := i
+		for i++; i < len(keys); i++ {
+			if keys[i] != keys[w-1] {
+				keys[w] = keys[i]
+				w++
+			}
 		}
+		keys = keys[:w]
+		break
 	}
-	b.edges = dedup
+	b.keys = keys
 
-	m := len(b.edges)
+	m := len(keys)
+	n := b.n
 	shards := par.ShardCount(workers, m)
-	// counts[w][v] = adjacency entries vertex v receives from shard w.
-	counts := make([][]int32, shards)
-	for w := range counts {
-		counts[w] = make([]int32, b.n)
+	// cur[w][x] is shard w's back-entry cursor for vertex x and
+	// cur[w][n+x] its forward-entry cursor; the first pass counts into
+	// the same layout, the prefix pass converts counts to cursors.
+	// Both passes exploit that the sorted keys group each high word u
+	// into one run, touching u's forward slot once per run.
+	cur := make([][]int32, shards)
+	for w := range cur {
+		cur[w] = make([]int32, 2*n)
 	}
 	par.For(workers, m, func(lo, hi, w int) {
-		c := counts[w]
-		for _, e := range b.edges[lo:hi] {
-			c[e[0]]++
-			c[e[1]]++
+		c := cur[w]
+		for i := lo; i < hi; {
+			hiWord := keys[i] >> 32
+			run := int32(0)
+			for ; i < hi && keys[i]>>32 == hiWord; i++ {
+				c[uint32(keys[i])]++ // back entry in v's list
+				run++
+			}
+			c[n+int(hiWord)] += run // forward entries in u's list
 		}
 	})
-	offsets := make([]int32, b.n+1)
-	// cursors[w][v] = first slot of v's list that shard w writes; shards
-	// write in shard order, so the fill reproduces the sequential entry
-	// order exactly.
-	cursors := make([][]int32, shards)
-	for w := range cursors {
-		cursors[w] = make([]int32, b.n)
-	}
-	for v := 0; v < b.n; v++ {
-		deg := int32(0)
+	offsets := make([]int32, n+1)
+	for x := 0; x < n; x++ {
+		base := offsets[x]
+		// Back entries first (all neighbors < x), then forward.
 		for w := 0; w < shards; w++ {
-			cursors[w][v] = deg
-			deg += counts[w][v]
+			c := cur[w][x]
+			cur[w][x] = base
+			base += c
 		}
-		offsets[v+1] = offsets[v] + deg
+		for w := 0; w < shards; w++ {
+			c := cur[w][n+x]
+			cur[w][n+x] = base
+			base += c
+		}
+		offsets[x+1] = base
 	}
 	adj := make([]int32, 2*m)
 	par.For(workers, m, func(lo, hi, w int) {
-		cur := cursors[w]
-		for _, e := range b.edges[lo:hi] {
-			u, v := e[0], e[1]
-			adj[offsets[u]+cur[u]] = v
-			cur[u]++
-			adj[offsets[v]+cur[v]] = u
-			cur[v]++
+		c := cur[w]
+		for i := lo; i < hi; {
+			hiWord := keys[i] >> 32
+			u := int32(hiWord)
+			pos := c[n+int(hiWord)]
+			for ; i < hi && keys[i]>>32 == hiWord; i++ {
+				v := int32(uint32(keys[i]))
+				adj[pos] = v // forward entries land sequentially
+				pos++
+				adj[c[v]] = u // back entries scatter through v cursors
+				c[v]++
+			}
+			c[n+int(hiWord)] = pos
 		}
 	})
-	g := &Graph{n: b.n, m: m, offsets: offsets, adj: adj}
-	// Each per-vertex list must be sorted; inputs were sorted by (u,v) so
-	// the lists of smaller endpoints are sorted, but entries pointing back
-	// from larger endpoints interleave. Sort each list.
-	par.For(workers, b.n, func(lo, hi, _ int) {
-		for v := lo; v < hi; v++ {
-			nb := g.adj[g.offsets[v]:g.offsets[v+1]]
-			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		}
-	})
-	return g, nil
+	return &Graph{n: n, m: m, offsets: offsets, adj: adj}, nil
 }
 
 // MustBuild is Build for programmatic construction where failure is a bug.
@@ -139,12 +188,31 @@ func (b *Builder) MustBuild() *Graph {
 
 // FromEdges constructs a graph directly from an edge list.
 func FromEdges(n int, edges [][2]int32) (*Graph, error) {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, len(edges))
 	for _, e := range edges {
 		if e[0] < 0 || e[1] < 0 || int(e[0]) >= n || int(e[1]) >= n || e[0] == e[1] {
 			return nil, fmt.Errorf("graph: invalid edge {%d,%d} for n=%d", e[0], e[1], n)
 		}
 		b.AddEdge(e[0], e[1])
 	}
+	return b.Build()
+}
+
+// PackEdge packs an undirected edge into the builder's key form: the
+// smaller endpoint in the high 32 bits, the larger in the low 32 bits.
+func PackEdge(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// FromPackedEdges constructs a graph from a slice of PackEdge keys —
+// the zero-copy bulk path for the graphio readers. The slice is taken
+// over and sorted in place. Callers must have validated every edge
+// (0 ≤ u < v < n), exactly as AddEdge would; endpoints at or beyond n
+// fail the CSR fill's bounds checks, they are never built silently.
+func FromPackedEdges(n int, keys []uint64) (*Graph, error) {
+	b := &Builder{n: n, keys: keys}
 	return b.Build()
 }

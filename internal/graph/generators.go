@@ -11,13 +11,15 @@ import (
 // edge independently with probability p. Skip-sampling makes the cost
 // O(n + m) rather than O(n^2).
 func GNP(n int, p float64, src *rng.Source) *Graph {
-	b := NewBuilder(n)
 	if p <= 0 || n < 2 {
-		return b.MustBuild()
+		return NewBuilder(n).MustBuild()
 	}
 	if p >= 1 {
 		return Complete(n)
 	}
+	// Capacity hint at the expected edge count; the builder stores one
+	// packed word per edge, so a mild over- or undershoot is cheap.
+	b := NewBuilderCap(n, int(p*float64(n)*float64(n-1)/2))
 	// Enumerate pairs (u,v), u<v, in row-major order and jump by
 	// geometric gaps. v == u is the sentinel "just before (u, u+1)".
 	u, v := int32(0), int32(0)
@@ -46,7 +48,7 @@ func GNM(n, m int, src *rng.Source) *Graph {
 	if m > maxEdges {
 		panic(fmt.Sprintf("graph: GNM(%d, %d) exceeds %d possible edges", n, m, maxEdges))
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, m)
 	seen := make(map[[2]int32]bool, m)
 	for len(seen) < m {
 		u := int32(src.Intn(n))
@@ -81,7 +83,7 @@ type Bipartite struct {
 // Left vertices occupy ids [0, nLeft).
 func RandomBipartite(nLeft, nRight int, p float64, src *rng.Source) *Bipartite {
 	n := nLeft + nRight
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, int(p*float64(nLeft)*float64(nRight)))
 	if p > 0 && nLeft > 0 && nRight > 0 {
 		if p > 1 {
 			p = 1
@@ -121,7 +123,7 @@ func RandomRegular(n, d int, src *rng.Source) *Graph {
 			stubs = append(stubs, int32(v))
 		}
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*d/2)
 	seen := make(map[[2]int32]bool, n*d/2)
 	// A few re-shuffles resolve most collisions; leftover stubs are
 	// dropped, which only shaves the degree of O(1) vertices.
@@ -162,7 +164,7 @@ func PreferentialAttachment(n, k int, src *rng.Source) *Graph {
 	if k < 1 {
 		panic("graph: PreferentialAttachment requires k >= 1")
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*k)
 	// targets holds one entry per half-edge endpoint plus one per vertex,
 	// realizing degree-proportional (plus smoothing) sampling by uniform
 	// choice.
@@ -204,7 +206,7 @@ func PlantedMatching(n int, p float64, src *rng.Source) (*Graph, [][2]int32) {
 		panic("graph: PlantedMatching requires even n")
 	}
 	noise := GNP(n, p, src)
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n/2+noise.NumEdges())
 	planted := make([][2]int32, 0, n/2)
 	for i := 0; i < n; i += 2 {
 		b.AddEdge(int32(i), int32(i+1))
@@ -227,7 +229,7 @@ func RMAT(n, edges int, a, b, c float64, src *rng.Source) *Graph {
 	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
 		panic(fmt.Sprintf("graph: RMAT quadrant probabilities (%v, %v, %v) invalid", a, b, c))
 	}
-	bld := NewBuilder(n)
+	bld := NewBuilderCap(n, edges)
 	if n < 2 || edges <= 0 {
 		return bld.MustBuild()
 	}
@@ -285,7 +287,7 @@ func ChungLu(n int, beta, avgDeg float64, src *rng.Source) *Graph {
 	if beta <= 1 {
 		panic(fmt.Sprintf("graph: ChungLu exponent beta=%v must exceed 1", beta))
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, int(avgDeg*float64(n)/2))
 	if n < 2 || avgDeg <= 0 {
 		return b.MustBuild()
 	}
@@ -345,7 +347,7 @@ func RingOfCliques(k, s int) *Graph {
 	if k < 1 || s < 1 {
 		panic(fmt.Sprintf("graph: RingOfCliques(%d, %d) requires positive counts", k, s))
 	}
-	b := NewBuilder(k * s)
+	b := NewBuilderCap(k*s, k*s*(s-1)/2+k)
 	base := func(i int) int32 { return int32(i * s) }
 	for i := 0; i < k; i++ {
 		for u := 0; u < s; u++ {
@@ -377,7 +379,7 @@ func HighGirth(n, d, girth int, src *rng.Source) *Graph {
 	if girth < 3 {
 		panic(fmt.Sprintf("graph: HighGirth girth=%d below 3", girth))
 	}
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*d/2)
 	deg := make([]int, n)
 	adj := make([][]int32, n)
 	// BFS scratch: dist[v] = -1 means unvisited this probe.
@@ -439,7 +441,7 @@ func HighGirth(n, d, girth int, src *rng.Source) *Graph {
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*(n-1)/2)
 	for u := int32(0); int(u) < n; u++ {
 		for v := u + 1; int(v) < n; v++ {
 			b.AddEdge(u, v)
@@ -456,7 +458,7 @@ func Empty(n int) *Graph {
 // Ring returns the n-cycle (n >= 3), or a path/edge/empty graph for
 // smaller n.
 func Ring(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n)
 	if n == 2 {
 		b.AddEdge(0, 1)
 	}
@@ -470,7 +472,7 @@ func Ring(n int) *Graph {
 
 // Path returns the path graph on n vertices.
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n-1)
 	for v := 0; v+1 < n; v++ {
 		b.AddEdge(int32(v), int32(v+1))
 	}
@@ -479,7 +481,7 @@ func Path(n int) *Graph {
 
 // Star returns the star K_{1,n-1} with center 0.
 func Star(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n-1)
 	for v := 1; v < n; v++ {
 		b.AddEdge(0, int32(v))
 	}
@@ -488,7 +490,7 @@ func Star(n int) *Graph {
 
 // Grid returns the rows x cols grid graph.
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderCap(rows*cols, 2*rows*cols)
 	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {

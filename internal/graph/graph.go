@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -81,22 +82,34 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.m) / float64(g.n)
 }
 
-// ForEachEdge calls fn once per undirected edge with u < v.
+// ForEachEdge calls fn once per undirected edge with u < v. Each sorted
+// neighbor list is entered at its first neighbor greater than u (a
+// binary search), so the walk touches each edge once instead of
+// filtering all 2m adjacency entries.
 func (g *Graph) ForEachEdge(fn func(u, v int32)) {
 	for u := int32(0); u < int32(g.n); u++ {
-		for _, v := range g.Neighbors(u) {
-			if u < v {
-				fn(u, v)
-			}
+		nb := g.Neighbors(u)
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+		for _, v := range nb[i:] {
+			fn(u, v)
 		}
 	}
 }
 
 // EdgeList materializes all undirected edges with u < v, in lexicographic
-// order. The result has length NumEdges.
+// order. The result has length NumEdges and is written in one exact-size
+// pass — no append growth, no per-vertex allocation.
 func (g *Graph) EdgeList() [][2]int32 {
-	edges := make([][2]int32, 0, g.m)
-	g.ForEachEdge(func(u, v int32) { edges = append(edges, [2]int32{u, v}) })
+	edges := make([][2]int32, g.m)
+	k := 0
+	for u := int32(0); u < int32(g.n); u++ {
+		nb := g.Neighbors(u)
+		i := sort.Search(len(nb), func(i int) bool { return nb[i] > u })
+		for _, v := range nb[i:] {
+			edges[k] = [2]int32{u, v}
+			k++
+		}
+	}
 	return edges
 }
 
@@ -281,8 +294,7 @@ func (g *Graph) CompactInducedWorkers(vertices []int32, workers int) (*Graph, []
 			// The original neighbor order follows original ids; the new
 			// ids follow the order of the vertices argument, so each list
 			// must be re-sorted.
-			nb := adj[offsets[i]:pos]
-			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+			slices.Sort(adj[offsets[i]:pos])
 		}
 	})
 	return &Graph{n: k, m: int(offsets[k]) / 2, offsets: offsets, adj: adj}, orig
@@ -340,8 +352,7 @@ func (g *Graph) LineGraphWorkers(workers int) (*Graph, *EdgeIndex) {
 					pos++
 				}
 			}
-			nb := adj[offsets[e]:pos]
-			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+			slices.Sort(adj[offsets[e]:pos])
 		}
 	})
 	return &Graph{n: mL, m: int(offsets[mL]) / 2, offsets: offsets, adj: adj}, ix

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"slices"
+
+	"mpcgraph/internal/par"
+)
+
+// radixSortThreshold is the edge count below which a comparison sort
+// beats the fixed histogram/scatter overhead of the radix passes.
+const radixSortThreshold = 1 << 11
+
+// sortPackedKeys sorts keys ascending with a parallel least-significant-
+// digit radix sort over the 8 bytes of each packed (u,v) key. The sort
+// is deterministic by construction — the sorted permutation of a
+// multiset is unique — so the result is bit-identical for every worker
+// count. Byte digits that are constant across the whole slice (the
+// common case: vertex ids far below 2³¹ leave the upper bytes of both
+// halves zero) are skipped entirely, so a graph on n vertices pays only
+// for the ⌈log₂₅₆ n⌉ informative bytes of each endpoint.
+//
+// The scatter is stable: workers own contiguous shards and drain them
+// in shard order into cursors laid out shard-major, which reproduces
+// the sequential stable scatter exactly.
+func sortPackedKeys(workers int, keys []uint64) {
+	m := len(keys)
+	if slices.IsSorted(keys) {
+		// Already sorted — the common cold-path case: generators emit
+		// edges in ascending vertex order and files written by graphio
+		// store the canonical sorted edge list, so parse-side builds
+		// skip the sort entirely. The check costs one early-exit scan.
+		return
+	}
+	if m < radixSortThreshold {
+		slices.Sort(keys)
+		return
+	}
+	// A byte digit carries information only if some pair of keys
+	// differs in it: OR and AND agree on a byte iff every key holds the
+	// same value there.
+	type bits struct{ or, and uint64 }
+	folded := par.Reduce(workers, m,
+		func(lo, hi, _ int) bits {
+			acc := bits{0, ^uint64(0)}
+			for _, k := range keys[lo:hi] {
+				acc.or |= k
+				acc.and &= k
+			}
+			return acc
+		},
+		func(a, b bits) bits { return bits{a.or | b.or, a.and & b.and} })
+	orAll, andAll := folded.or, folded.and
+
+	shards := par.ShardCount(workers, m)
+	// hist[w*256+d] = keys of shard w whose current digit is d; reused
+	// as the shard's write cursors after the prefix pass.
+	hist := make([]int32, shards*256)
+	tmp := make([]uint64, m)
+	src, dst := keys, tmp
+	for shift := 0; shift < 64; shift += 8 {
+		if byte(orAll>>shift) == byte(andAll>>shift) {
+			continue // constant digit: every key lands where it started
+		}
+		for i := range hist {
+			hist[i] = 0
+		}
+		par.For(workers, m, func(lo, hi, w int) {
+			h := hist[w*256 : w*256+256]
+			for _, k := range src[lo:hi] {
+				h[byte(k>>shift)]++
+			}
+		})
+		// Digit-major, shard-minor prefix sum: shard w's digit-d block
+		// starts after every smaller digit and after the d-blocks of
+		// earlier shards — exactly the sequential stable order.
+		next := int32(0)
+		for d := 0; d < 256; d++ {
+			for w := 0; w < shards; w++ {
+				c := hist[w*256+d]
+				hist[w*256+d] = next
+				next += c
+			}
+		}
+		par.For(workers, m, func(lo, hi, w int) {
+			h := hist[w*256 : w*256+256]
+			for _, k := range src[lo:hi] {
+				d := byte(k >> shift)
+				dst[h[d]] = k
+				h[d]++
+			}
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}

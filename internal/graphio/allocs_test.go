@@ -1,0 +1,64 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/raceflag"
+	"mpcgraph/internal/rng"
+)
+
+// TestReaderAllocsCeiling pins the chunk-parallel edge-list reader to a
+// constant allocation count: one window buffer, one key slice (amortized
+// by the capacity-doubling append), and per-window shard state — never
+// the per-line Scanner/strconv garbage of the pre-PR-9 reader (which
+// cost two allocations per edge). The ceiling is ~2× the measured
+// steady state. Skipped under race: the race runtime allocates on its
+// own behalf.
+func TestReaderAllocsCeiling(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	g := graph.GNP(1<<12, 1.0/32, rng.New(7))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	input := buf.String()
+	allocs := testing.AllocsPerRun(10, func() {
+		got, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumEdges() != g.NumEdges() {
+			t.Fatalf("read %d edges, want %d", got.NumEdges(), g.NumEdges())
+		}
+	})
+	const ceiling = 120
+	if allocs > ceiling {
+		t.Errorf("ReadEdgeList: %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+}
+
+// TestWriterAllocsCeiling pins the streaming writer: one reused append
+// buffer, flushed in 64 KiB slabs — independent of edge count.
+func TestWriterAllocsCeiling(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	g := graph.GNP(1<<12, 1.0/32, rng.New(7))
+	var buf bytes.Buffer
+	buf.Grow(1 << 22)
+	allocs := testing.AllocsPerRun(10, func() {
+		buf.Reset()
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 8
+	if allocs > ceiling {
+		t.Errorf("WriteEdgeList: %.0f allocs/op, ceiling %d", allocs, ceiling)
+	}
+}

@@ -1,0 +1,105 @@
+package graphio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mpcgraph/internal/graph"
+	"mpcgraph/internal/rng"
+)
+
+// benchData is a mid-size G(n, p) instance (~1M edges), the same
+// density regime as internal/graph's builder benchmarks; the read
+// benchmarks measure pure parse throughput from memory.
+func benchData(b *testing.B) *graph.Graph {
+	b.Helper()
+	g := graph.GNP(1<<14, 1/float64(int(1)<<7), rng.New(99))
+	return g
+}
+
+func renderEL(b *testing.B, g *graph.Graph) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func renderWEL(b *testing.B, g *graph.Graph) []byte {
+	b.Helper()
+	weights := make([]float64, g.NumEdges())
+	src := rng.New(7)
+	for i := range weights {
+		weights[i] = src.Float64() + 0.5
+	}
+	wg, err := graph.NewWeighted(g, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeWeightedEdgeList(&buf, wg); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadEdgeList(b *testing.B) {
+	data := renderEL(b, benchData(b))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadEdgeList(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadWEL(b *testing.B) {
+	data := renderWEL(b, benchData(b))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data), FormatWeightedEdgeList); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteEdgeList(b *testing.B) {
+	g := benchData(b)
+	data := renderEL(b, g)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteEdgeList(io.Discard, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteWEL(b *testing.B) {
+	g := benchData(b)
+	weights := make([]float64, g.NumEdges())
+	src := rng.New(7)
+	for i := range weights {
+		weights[i] = src.Float64() + 0.5
+	}
+	wg, err := graph.NewWeighted(g, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := renderWEL(b, g)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeWeightedEdgeList(io.Discard, wg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,11 @@ func FuzzReadEdgeList(f *testing.F) {
 		if declaresHugeGraph(data) {
 			return
 		}
+		// The fast reader must match the scanner reference bit for bit
+		// on arbitrary bytes — same graph or same error string.
+		for _, workers := range []int{1, 4} {
+			readBoth(t, string(data), false, workers)
+		}
 		g, err := ReadEdgeList(bytes.NewReader(data))
 		if err != nil {
 			return // rejected inputs just need to not panic
@@ -130,7 +135,14 @@ func FuzzReadWEL(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
-	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, data, FormatWeightedEdgeList) })
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !declaresHugeGraph(data) {
+			for _, workers := range []int{1, 4} {
+				readBoth(t, string(data), true, workers)
+			}
+		}
+		fuzzFormat(t, data, FormatWeightedEdgeList)
+	})
 }
 
 // FuzzReadDIMACS exercises the DIMACS edge-format reader, mirroring

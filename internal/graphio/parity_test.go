@@ -1,0 +1,378 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/scenario"
+)
+
+// The fast readers (fastread.go) promise strict parity with the
+// scanner-based reference readers: the same graph and the same error
+// string — byte for byte — on every input, for every worker count.
+// This file pins that promise on a table of adversarial inputs, on
+// large multi-shard inputs with planted faults, and on every scenario
+// in the catalog.
+
+// renderGraphEL renders a parsed graph back to canonical edge-list
+// bytes; two parses are CSR-identical iff their renders match.
+func renderGraphEL(t *testing.T, d *Data) string {
+	t.Helper()
+	if d == nil {
+		return "<nil>"
+	}
+	var buf bytes.Buffer
+	var err error
+	if d.WG != nil {
+		err = writeWeightedEdgeList(&buf, d.WG)
+	} else {
+		err = WriteEdgeList(&buf, d.G)
+	}
+	if err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.String()
+}
+
+// readBoth parses input through the reference scanner reader and the
+// fast reader at the given worker count, demanding identical outcomes.
+// It returns the scanner outcome.
+func readBoth(t *testing.T, input string, weighted bool, workers int) (*Data, error) {
+	t.Helper()
+	var refD *Data
+	var refErr error
+	if weighted {
+		refD, refErr = readWELScanner(strings.NewReader(input))
+	} else {
+		g, err := readEdgeListScanner(strings.NewReader(input))
+		refErr = err
+		if err == nil {
+			refD = Unweighted(g)
+		}
+	}
+	var fastD *Data
+	var fastErr error
+	if weighted {
+		fastD, fastErr = readWELFast(strings.NewReader(input), workers)
+	} else {
+		g, err := readEdgeListFast(strings.NewReader(input), workers)
+		fastErr = err
+		if err == nil {
+			fastD = Unweighted(g)
+		}
+	}
+	switch {
+	case (refErr == nil) != (fastErr == nil):
+		t.Fatalf("workers=%d: scanner err %v, fast err %v", workers, refErr, fastErr)
+	case refErr != nil:
+		if refErr.Error() != fastErr.Error() {
+			t.Fatalf("workers=%d: error mismatch:\nscanner: %s\nfast:    %s", workers, refErr, fastErr)
+		}
+	default:
+		if want, got := renderGraphEL(t, refD), renderGraphEL(t, fastD); want != got {
+			t.Fatalf("workers=%d: graph mismatch:\nscanner:\n%s\nfast:\n%s", workers, want, got)
+		}
+	}
+	return refD, refErr
+}
+
+// parityInputs is the adversarial corpus. Every ParseInt/ParseFloat
+// corner the custom parsers replicate has a row, as do Unicode
+// whitespace (which forces the per-line fallback), header precedence,
+// arity faults and line accounting (CRLF, blanks, unterminated tails).
+func parityInputs() map[string]string {
+	return map[string]string{
+		"empty":                 "",
+		"blank-lines":           "\n \t \n\n",
+		"comment-only":          "# just a comment\n",
+		"indented-comment":      "  \t# indented\n",
+		"no-trailing-newline":   "n 4\n0 1\n2 3",
+		"crlf":                  "n 2\r\n0 1\r\n",
+		"plain":                 "n 4\n0 1\n2 3\n",
+		"no-header":             "5 3\n2 7\n",
+		"dup-edges":             "0 1\n1 0\n0 1\n",
+		"minus-zero-vertex":     "-0 1\n",
+		"plus-sign-vertex":      "+5 6\n",
+		"negative-vertex":       "-3 4\n",
+		"leading-zeros":         "007 008\n",
+		"int64-overflow":        "9223372036854775808 1\n",
+		"uint64-overflow":       "99999999999999999999999 1\n",
+		"vertex-at-cap":         "134217728 1\n",
+		"trailing-junk-vertex":  "1x 2\n",
+		"float-vertex":          "1e3 2\n",
+		"empty-sign":            "+ 1\n",
+		"self-loop":             "7 7\n",
+		"self-loop-minus-zero":  "-0 0\n",
+		"arity-short":           "3\n",
+		"arity-long":            "0 1 2 3\n",
+		"header-bare":           "n\n",
+		"header-extra":          "n 2 3\n",
+		"header-minus-zero":     "n -0\n",
+		"header-plus":           "n +3\n0 1\n",
+		"header-negative":       "n -2\n",
+		"header-overflow":       "n 134217729\n",
+		"header-junk":           "n x\n",
+		"multi-header":          "n 3\n0 1\nn 5\n2 4\n",
+		"header-after-edges":    "0 5\nn 2\n",
+		"out-of-declared-range": "n 2\n0 5\n",
+		"nbsp-separator":        "0 1\n",
+		"unicode-line-sep":      "0 1\n",
+		"nbsp-then-comment":     " # comment\n",
+		"nbsp-bad-token":        "0 1 x\n",
+		"high-byte-token":       "0 \xffb\n",
+		"error-line-number":     "# c\n\n0 1\n\nbad line here\n",
+	}
+}
+
+// welOnlyInputs exercises the weight column.
+func welOnlyInputs() map[string]string {
+	return map[string]string{
+		"weights-plain":      "n 4\n0 1 1.5\n2 3 0.25\n",
+		"weight-zero":        "0 1 0\n",
+		"weight-negative":    "0 1 -2\n",
+		"weight-nan":         "0 1 nan\n",
+		"weight-inf":         "0 1 +Inf\n",
+		"weight-1e309":       "0 1 1e309\n",
+		"weight-hex-float":   "0 1 0x1p-2\n",
+		"weight-underscore":  "0 1 1_0\n",
+		"weight-junk":        "0 1 abc\n",
+		"weight-missing":     "0 1\n",
+		"weight-exact":       "0 1 0.1\n2 3 3.0000000000000004\n",
+		"weight-conflict":    "0 1 2\n1 0 3\n",
+		"weight-dup-agree":   "0 1 2\n1 0 2\n0 1 2\n",
+		"weight-error-order": "x 1 1\n",
+	}
+}
+
+func TestReaderParityTable(t *testing.T) {
+	for name, input := range parityInputs() {
+		elInput := input
+		// Reuse the corpus for WEL by appending a weight column to edge
+		// rows; error rows stay as-is (the u/v/header errors fire before
+		// the weight parse, so the corpus still hits the same corners).
+		welInput := addWeightColumn(input)
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("el/%s/workers=%d", name, workers), func(t *testing.T) {
+				readBoth(t, elInput, false, workers)
+			})
+			t.Run(fmt.Sprintf("wel/%s/workers=%d", name, workers), func(t *testing.T) {
+				readBoth(t, welInput, true, workers)
+			})
+		}
+	}
+	for name, input := range welOnlyInputs() {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("wel/%s/workers=%d", name, workers), func(t *testing.T) {
+				readBoth(t, input, true, workers)
+			})
+		}
+	}
+}
+
+// addWeightColumn appends " 1" to every line that looks like an edge
+// row (two fields, not a header/comment), leaving faults untouched.
+func addWeightColumn(input string) string {
+	lines := strings.Split(input, "\n")
+	for i, line := range lines {
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] != "n" && !strings.HasPrefix(strings.TrimSpace(line), "#") {
+			lines[i] = line + " 1"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestReaderParityMultiShard plants faults deep inside inputs large
+// enough to split across shards and windows: the reported error must be
+// the earliest bad line with the exact global line number, headers must
+// resolve last-one-wins, and clean parses must agree edge-for-edge.
+func TestReaderParityMultiShard(t *testing.T) {
+	build := func(lines int, mutate func(i int) (string, bool)) string {
+		var sb strings.Builder
+		for i := 0; i < lines; i++ {
+			if s, ok := mutate(i); ok {
+				sb.WriteString(s)
+				continue
+			}
+			fmt.Fprintf(&sb, "%d %d\n", i%977, 1000+(i*7)%997)
+		}
+		return sb.String()
+	}
+	cases := map[string]string{
+		"clean": build(20000, func(int) (string, bool) { return "", false }),
+		"error-mid": build(20000, func(i int) (string, bool) {
+			if i == 12345 {
+				return "bogus row\n", true
+			}
+			if i == 19999 {
+				return "later error\n", true
+			}
+			return "", false
+		}),
+		"error-first-line": build(20000, func(i int) (string, bool) {
+			if i == 0 {
+				return "x y\n", true
+			}
+			return "", false
+		}),
+		"late-header": build(20000, func(i int) (string, bool) {
+			if i == 15000 {
+				return "n 3000\n", true
+			}
+			if i == 17000 {
+				return "n 2500\n", true
+			}
+			return "", false
+		}),
+		"comment-dense": build(20000, func(i int) (string, bool) {
+			if i%3 == 0 {
+				return "# filler\n", true
+			}
+			if i%7 == 0 {
+				return "\n", true
+			}
+			return "", false
+		}),
+	}
+	for name, input := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				readBoth(t, input, false, workers)
+				readBoth(t, addWeightColumn(input), true, workers)
+			})
+		}
+	}
+}
+
+// TestReaderParityTooLong pins the token-too-long behavior: a line
+// whose content reaches the format's cap must produce the scanner's
+// exact ErrTooLong-wrapped error, while parse errors on earlier lines
+// still win.
+func TestReaderParityTooLong(t *testing.T) {
+	long := strings.Repeat("x", elMaxLine+16)
+	cases := map[string]string{
+		"bare-long-line":   long,
+		"after-good-lines": "n 8\n0 1\n" + long,
+		"after-bad-line":   "zz 1\n" + long,
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := readBoth(t, input, false, 4)
+			if name != "after-bad-line" && !strings.Contains(err.Error(), "token too long") {
+				t.Fatalf("want token-too-long error, got %v", err)
+			}
+		})
+	}
+}
+
+// failReader yields its payload and then a non-EOF error, the way a
+// broken pipe would.
+type failReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// TestReaderParityIOError pins the scanner's error ordering on stream
+// failures: buffered complete and partial lines parse first (a parse
+// error there wins), and only then does the I/O error surface.
+func TestReaderParityIOError(t *testing.T) {
+	boom := errors.New("boom")
+	cases := map[string]struct {
+		input     string
+		wantIOErr bool
+	}{
+		"clean-buffered-lines":  {"n 4\n0 1\n2 3", true},
+		"parse-error-buffered":  {"n 4\nx y\n0 1", false},
+		"partial-line-buffered": {"0 1\n2 3", true},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			ref, refErr := readEdgeListScanner(&failReader{data: []byte(tc.input), err: boom})
+			for _, workers := range []int{1, 4} {
+				fast, fastErr := readEdgeListFast(&failReader{data: []byte(tc.input), err: boom}, workers)
+				if (refErr == nil) != (fastErr == nil) || (refErr != nil && refErr.Error() != fastErr.Error()) {
+					t.Fatalf("workers=%d: scanner err %v, fast err %v", workers, refErr, fastErr)
+				}
+				if tc.wantIOErr != errors.Is(fastErr, boom) {
+					t.Fatalf("workers=%d: wantIOErr=%v, got %v", workers, tc.wantIOErr, fastErr)
+				}
+				_ = ref
+				_ = fast
+			}
+		})
+	}
+}
+
+// TestReaderParityScenarios renders every catalog scenario to both
+// native formats and demands the fast and scanner readers agree on the
+// bytes, for sequential and forced multi-shard parses.
+func TestReaderParityScenarios(t *testing.T) {
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			inst, err := scenario.Generate(name, 200, 7, nil)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteEdgeList(&buf, inst.G); err != nil {
+				t.Fatalf("write el: %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				readBoth(t, buf.String(), false, workers)
+			}
+			if inst.WG != nil {
+				var wbuf bytes.Buffer
+				if err := writeWeightedEdgeList(&wbuf, inst.WG); err != nil {
+					t.Fatalf("write wel: %v", err)
+				}
+				for _, workers := range []int{1, 4} {
+					readBoth(t, wbuf.String(), true, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowBoundaryParity slides a small input across the window
+// boundary via a reader that returns one byte per Read call, making the
+// windower accumulate in the smallest possible increments.
+func TestWindowBoundaryParity(t *testing.T) {
+	input := "n 9\n0 1\n# c\n2 3\n\n4 5\n"
+	fast, err := readEdgeListFast(iotest1{strings.NewReader(input)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := readEdgeListScanner(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderGraphEL(t, Unweighted(ref))
+	got := renderGraphEL(t, Unweighted(fast))
+	if want != got {
+		t.Fatalf("graph mismatch:\nscanner:\n%s\nfast:\n%s", want, got)
+	}
+}
+
+// iotest1 is a one-byte-at-a-time reader (iotest.OneByteReader without
+// the import).
+type iotest1 struct{ r io.Reader }
+
+func (o iotest1) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return o.r.Read(p[:1])
+}

@@ -1,9 +1,9 @@
 package graphio
 
 import (
-	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"mpcgraph/internal/graph"
@@ -20,6 +20,13 @@ import (
 // See docs/formats.md.
 
 func readWeightedEdgeList(r io.Reader) (*Data, error) {
+	return readWELFast(r, 0)
+}
+
+// readWELScanner is the bufio.Scanner-based reference reader; the fast
+// path in fastread.go is pinned against it by the parity and fuzz
+// suites.
+func readWELScanner(r io.Reader) (*Data, error) {
 	sc := newScanner(r)
 	var (
 		edges   [][2]int32
@@ -86,15 +93,32 @@ func readWeightedEdgeList(r io.Reader) (*Data, error) {
 }
 
 func writeWeightedEdgeList(w io.Writer, wg *graph.Weighted) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "n %d\n", wg.NumVertices()); err != nil {
-		return err
-	}
+	buf := make([]byte, 0, writeFlush+96)
+	buf = append(buf, 'n', ' ')
+	buf = strconv.AppendInt(buf, int64(wg.NumVertices()), 10)
+	buf = append(buf, '\n')
 	if err := forEachWeightedEdge(wg, func(u, v int32, wt float64) error {
-		_, err := fmt.Fprintf(bw, "%d %d %s\n", u, v, formatWeight(wt))
-		return err
+		buf = strconv.AppendInt(buf, int64(u), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ' ')
+		// AppendFloat('g', -1, 64) renders the same shortest round-trip
+		// form as formatWeight.
+		buf = strconv.AppendFloat(buf, wt, 'g', -1, 64)
+		buf = append(buf, '\n')
+		if len(buf) >= writeFlush {
+			_, err := w.Write(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
 	}); err != nil {
 		return err
 	}
-	return bw.Flush()
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -36,6 +36,7 @@ package machine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"mpcgraph/internal/model"
 	"mpcgraph/internal/par"
@@ -142,30 +143,85 @@ type Core struct {
 	pairWords  [][]int64 // lazily allocated per-shard pair tallies
 	pairTouch  [][]int   // per-shard scratch listing the dirtied tallies
 	outbox     [][]Message
+	released   bool
 }
 
-// NewCore builds a core for cfg. The owning model package validates
+// corePool recycles routing scratch across Cores. Solve-style callers
+// build one network per job; without the pool, every job re-allocates
+// the full O(shards × nodes) tally scratch just to drop it at job end.
+// Release feeds a finished Core back; NewCore re-sizes whatever it
+// gets, so pooled scratch survives changes in node or worker counts.
+var corePool = sync.Pool{}
+
+// grow returns s with length n, reusing its backing array when the
+// capacity suffices. Contents are unspecified; every consumer either
+// zeroes or fully overwrites its scratch per round.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// NewCore builds a core for cfg, reusing pooled routing scratch from a
+// Released core when available. The owning model package validates
 // cfg.Nodes before calling.
 func NewCore(cfg Config) *Core {
 	shards := par.ShardCount(cfg.Workers, cfg.Nodes)
-	c := &Core{
+	c, _ := corePool.Get().(*Core)
+	if c == nil {
+		c = &Core{}
+	}
+	n := cfg.Nodes
+	*c = Core{
 		cfg:        cfg,
 		shards:     shards,
-		outWords:   make([]int64, cfg.Nodes),
-		inWords:    make([]int64, cfg.Nodes),
-		recvCnt:    make([]int32, cfg.Nodes),
-		shardIn:    make([][]int64, shards),
-		shardCnt:   make([][]int32, shards),
-		shardTotal: make([]int64, shards),
-		shardErr:   make([]error, shards),
-		shardAux:   make([]error, shards),
-		shardViol:  make([]int, shards),
+		outWords:   grow(c.outWords, n),
+		inWords:    grow(c.inWords, n),
+		recvCnt:    grow(c.recvCnt, n),
+		shardIn:    grow(c.shardIn, shards),
+		shardCnt:   grow(c.shardCnt, shards),
+		shardTotal: grow(c.shardTotal, shards),
+		shardErr:   grow(c.shardErr, shards),
+		shardAux:   grow(c.shardAux, shards),
+		shardViol:  grow(c.shardViol, shards),
+		outbox:     c.outbox,
+		// pairWords/pairTouch stay lazily allocated: their shape depends
+		// on the spec of the first budgeted Route, and only clique-style
+		// callers ever need them.
+	}
+	if c.outbox != nil {
+		// Keep pooled outboxes too; Outboxes() re-trims them per call and
+		// Release cleared their contents.
+		c.outbox = grow(c.outbox, n)
 	}
 	for w := 0; w < shards; w++ {
-		c.shardIn[w] = make([]int64, cfg.Nodes)
-		c.shardCnt[w] = make([]int32, cfg.Nodes)
+		c.shardIn[w] = grow(c.shardIn[w], n)
+		c.shardCnt[w] = grow(c.shardCnt[w], n)
 	}
 	return c
+}
+
+// Release returns the Core's routing scratch to the pool. Callers that
+// are done metering (job finished, cluster torn down) call it to let
+// the next NewCore skip the scratch allocations; the Core must not be
+// used afterwards. Release is idempotent and keeps no caller-visible
+// state: pooled outboxes are cleared so no message Payload stays
+// reachable through the pool.
+func (c *Core) Release() {
+	if c == nil || c.released {
+		return
+	}
+	c.released = true
+	for i := range c.outbox {
+		b := c.outbox[i][:cap(c.outbox[i])]
+		for k := range b {
+			b[k] = Message{}
+		}
+		c.outbox[i] = c.outbox[i][:0]
+	}
+	c.cfg = Config{} // drop context and trace references
+	corePool.Put(c)
 }
 
 // Nodes returns the node count.

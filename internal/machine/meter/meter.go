@@ -58,6 +58,10 @@ type Meter interface {
 	SetActive(vertices int)
 	// Costs returns the audited totals so far.
 	Costs() Costs
+	// Close releases the backend's pooled routing scratch for reuse by
+	// the next meter. Call it after the final Costs snapshot; the meter
+	// must not be used afterwards. Idempotent.
+	Close()
 }
 
 // Config carries everything needed to stand up either backend.
@@ -231,6 +235,8 @@ func (mm *mpcMeter) Costs() Costs {
 	return FoldCosts(met.Rounds, met.MaxInWords, met.MaxOutWords, met.TotalWords, met.Violations)
 }
 
+func (mm *mpcMeter) Close() { mm.cluster.Close() }
+
 // cliqueMeter charges a CONGESTED-CLIQUE of n players with the standard
 // one-word pair budget. Bulk deliveries ride Lenzen's routing scheme in
 // n-word chunks; broadcasts ride the relay tree at n-1 words per player
@@ -339,3 +345,5 @@ func (cm *cliqueMeter) Costs() Costs {
 	met := cm.q.Metrics()
 	return FoldCosts(met.Rounds, met.MaxPlayerIn, met.MaxPlayerOut, met.TotalWords, met.Violations)
 }
+
+func (cm *cliqueMeter) Close() { cm.q.Close() }

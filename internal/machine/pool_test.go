@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcgraph/internal/rng"
+)
+
+// poolOut builds a deterministic all-to-some outbox for nodes.
+func poolOut(nodes, fanout int) [][]Message {
+	out := make([][]Message, nodes)
+	for i := range out {
+		for k := 0; k < fanout; k++ {
+			to := int(rng.Hash(uint64(i), uint64(k)) % uint64(nodes))
+			if to == i {
+				to = (to + 1) % nodes
+			}
+			out[i] = append(out[i], Message{To: to, Words: int64(k%5) + 1})
+		}
+	}
+	return out
+}
+
+// routeSnapshot runs one plain round and renders the delivered inboxes
+// plus the metrics into a comparable string.
+func routeSnapshot(t *testing.T, c *Core, out [][]Message) string {
+	t.Helper()
+	in, err := c.Route(out, RouteSpec{Rounds: 1, Verb: "sent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%v|%+v", in, c.Metrics())
+}
+
+// TestCorePoolReuseAcrossShapes pins the pooling contract: a Core built
+// from recycled scratch — including scratch released by a Core of a
+// different node and worker count — routes bit-identically to a fresh
+// one. The scratch is resized in NewCore and zeroed or overwritten per
+// round, so shape changes must be invisible.
+func TestCorePoolReuseAcrossShapes(t *testing.T) {
+	const nodes, fanout = 48, 7
+	out := poolOut(nodes, fanout)
+	fresh := NewCore(Config{Nodes: nodes, Workers: 2, Name: "test", Unit: "node"})
+	want := routeSnapshot(t, fresh, out)
+	fresh.Release()
+
+	// Cycle differently shaped cores through the pool, ending on the
+	// reference shape each time; every rebuild must match `want`.
+	for _, shape := range []struct{ nodes, workers int }{
+		{8, 1}, {nodes, 2}, {512, 4}, {1, 1},
+	} {
+		other := NewCore(Config{Nodes: shape.nodes, Workers: shape.workers, Name: "test", Unit: "node"})
+		if _, err := other.Route(poolOut(shape.nodes, 3), RouteSpec{Rounds: 1, Verb: "sent"}); err != nil {
+			t.Fatal(err)
+		}
+		other.Release()
+
+		c := NewCore(Config{Nodes: nodes, Workers: 2, Name: "test", Unit: "node"})
+		if got := routeSnapshot(t, c, out); got != want {
+			t.Errorf("after pooling a %d-node/%d-worker core: routing diverged\ngot  %s\nwant %s",
+				shape.nodes, shape.workers, got, want)
+		}
+		c.Release()
+	}
+}
+
+// TestCoreReleaseIdempotent pins that double-Release (and Release of a
+// nil core) is safe — Close() is deferred at several layers, and a
+// meter plus its owning cluster may both release the same core.
+func TestCoreReleaseIdempotent(t *testing.T) {
+	c := NewCore(Config{Nodes: 4, Workers: 1, Name: "test", Unit: "node"})
+	if _, err := c.Route(poolOut(4, 2), RouteSpec{Rounds: 1, Verb: "sent"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+	c.Release()
+	var nilCore *Core
+	nilCore.Release()
+}

@@ -64,6 +64,7 @@ func MaximalMatching(g *graph.Graph, opts MaximalOptions) (*MaximalResult, error
 	if err != nil {
 		return nil, err
 	}
+	defer mt.Close()
 	mt.SetActive(n)
 	fr := FilteringMaximalMatching(g, int64(opts.MemoryFactor*float64(n)), rng.New(opts.Seed).SplitString("maximal"))
 	for _, w := range fr.RoundWords {

@@ -172,6 +172,9 @@ func Simulate(g *graph.Graph, opts SimOptions) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// simulateOn snapshots the meter's costs before returning, so the
+	// backend scratch can go back to the pool here.
+	defer mt.Close()
 	return simulateOn(g, opts, mt)
 }
 

@@ -125,6 +125,7 @@ func ApproxMaxMatching(g *graph.Graph, opts PipelineOptions) (*PipelineResult, e
 	if err != nil {
 		return nil, err
 	}
+	defer mt.Close()
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true

@@ -171,6 +171,7 @@ func ApproxMaxWeightedMatchingMPC(wg *graph.Weighted, opts WeightedMPCOptions) (
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 	cluster.SetActive(n)
 	res := &WeightedMPCResult{WeightedResult: WeightedResult{M: graph.NewMatching(n)}}
 	iters := int(math.Ceil(math.Log(1/eps)/eps)) + 1

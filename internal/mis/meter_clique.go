@@ -201,6 +201,8 @@ func (cm *cliqueMISMeter) Costs() meter.Costs {
 	return meter.FoldCosts(met.Rounds, met.MaxPlayerIn, met.MaxPlayerOut, met.TotalWords, met.Violations)
 }
 
+func (cm *cliqueMISMeter) Close() { cm.q.Close() }
+
 // aliveDegreeProfile returns the maximum alive-induced degree and the
 // number of alive-induced edges.
 func aliveDegreeProfile(g *graph.Graph, alive []bool, workers int) (maxDeg int, edges int64) {

@@ -213,3 +213,5 @@ func (mm *mpcMISMeter) Costs() meter.Costs {
 	met := mm.cluster.Metrics()
 	return meter.FoldCosts(met.Rounds, met.MaxInWords, met.MaxOutWords, met.TotalWords, met.Violations)
 }
+
+func (mm *mpcMISMeter) Close() { mm.cluster.Close() }

@@ -48,6 +48,9 @@ type misMeter interface {
 	SetActive(vertices int)
 	// Costs returns the audited totals so far.
 	Costs() meter.Costs
+	// Close releases the deployment's pooled routing scratch after the
+	// final Costs snapshot; the meter must not be used afterwards.
+	Close()
 }
 
 // newMISMeter builds the deployment for the selected model.
@@ -78,6 +81,7 @@ func randGreedy(g *graph.Graph, opts Options, m model.Model) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer mt.Close()
 	mt.SetActive(n)
 
 	src := rng.New(opts.Seed)

@@ -122,6 +122,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// Close releases the cluster's pooled routing scratch for reuse by the
+// next cluster. Call it when the metered computation is finished; the
+// cluster must not be used afterwards. Idempotent; metrics snapshots
+// taken before Close stay valid.
+func (c *Cluster) Close() { c.core.Release() }
+
 // Metrics returns a snapshot of the accumulated metrics.
 func (c *Cluster) Metrics() Metrics {
 	m := c.core.Metrics()

@@ -1,0 +1,5 @@
+// Package raceflag reports whether the binary was compiled with the
+// race detector. Allocation-ceiling regression tests skip under race:
+// the race runtime adds its own allocations, so a ceiling tight enough
+// to catch real regressions would flake under `make race`.
+package raceflag

@@ -1,0 +1,146 @@
+// Command scalesmoke is the cold-path scale gate: generate an R-MAT
+// instance of roughly -edges edges, write it to disk as an edge list,
+// read it back, and solve MIS — then fail unless the write→read→solve
+// wall time and the process peak RSS stay under pinned ceilings. It
+// exists to catch the regressions micro-benchmarks miss: quadratic
+// buffering in a writer, a reader that holds the whole file in memory,
+// a builder that forgets its capacity hint. Run directly via `make
+// scale-smoke` (~10⁷ edges) or race-instrumented at reduced size inside
+// `make ci` (see the scale-smoke-short target for the ceiling
+// rationale).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpcgraph"
+)
+
+func main() {
+	edges := flag.Int("edges", 10_000_000, "approximate edge count of the generated R-MAT instance")
+	wall := flag.Duration("wall", time.Minute, "ceiling on write+read+solve wall time")
+	rssMB := flag.Int("rss-mb", 1024, "ceiling on process peak RSS (VmHWM) in MiB; 0 disables")
+	seed := flag.Uint64("seed", 2018, "generation and solve seed")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "scalesmoke: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	// R-MAT vertex counts are powers of two; aim for average degree ~16
+	// (edge-factor ~8 before dedup), the skewed regime the experiments
+	// use. The generator dedups and drops self-loops, so the realized
+	// edge count lands a little under the target — reported, not pinned.
+	n := 1
+	for n*16 < *edges {
+		n *= 2
+	}
+	ef := float64(*edges) / float64(n)
+
+	start := time.Now()
+	in, err := mpcgraph.GenerateScenario("rmat", n, *seed, map[string]float64{"edge-factor": ef})
+	if err != nil {
+		fail("generate: %v", err)
+	}
+	fmt.Printf("scalesmoke: gen    n=%d m=%d in %v\n", in.NumVertices(), in.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	dir, err := os.MkdirTemp("", "scalesmoke")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "scale.el")
+
+	wStart := time.Now()
+	if err := mpcgraph.WriteInstanceFile(path, in); err != nil {
+		fail("write: %v", err)
+	}
+	wTime := time.Since(wStart)
+	st, err := os.Stat(path)
+	if err != nil {
+		fail("stat: %v", err)
+	}
+	fmt.Printf("scalesmoke: write  %d bytes in %v\n", st.Size(), wTime.Round(time.Millisecond))
+
+	rStart := time.Now()
+	back, err := mpcgraph.ReadInstanceFile(path)
+	if err != nil {
+		fail("read: %v", err)
+	}
+	rTime := time.Since(rStart)
+	if back.NumVertices() != in.NumVertices() || back.NumEdges() != in.NumEdges() {
+		fail("round trip mismatch: wrote n=%d m=%d, read n=%d m=%d",
+			in.NumVertices(), in.NumEdges(), back.NumVertices(), back.NumEdges())
+	}
+	fmt.Printf("scalesmoke: read   n=%d m=%d in %v\n", back.NumVertices(), back.NumEdges(), rTime.Round(time.Millisecond))
+
+	sStart := time.Now()
+	rep, err := mpcgraph.Solve(context.Background(), back, mpcgraph.ProblemMIS, mpcgraph.Options{Seed: *seed})
+	if err != nil {
+		fail("solve: %v", err)
+	}
+	sTime := time.Since(sStart)
+	misSize := 0
+	for _, v := range rep.InMIS {
+		if v {
+			misSize++
+		}
+	}
+	fmt.Printf("scalesmoke: solve  mis=%d rounds=%d in %v\n", misSize, rep.Rounds, sTime.Round(time.Millisecond))
+
+	cold := wTime + rTime + sTime
+	peak, peakErr := peakRSSKiB()
+	if peakErr != nil {
+		fmt.Printf("scalesmoke: peak RSS unavailable (%v); skipping the memory ceiling\n", peakErr)
+	} else {
+		fmt.Printf("scalesmoke: cold path %v (ceiling %v), peak RSS %d MiB (ceiling %d MiB)\n",
+			cold.Round(time.Millisecond), *wall, peak>>10, *rssMB)
+	}
+	if cold > *wall {
+		fail("cold path took %v, ceiling %v", cold.Round(time.Millisecond), *wall)
+	}
+	if *rssMB > 0 && peakErr == nil && peak>>10 > int64(*rssMB) {
+		fail("peak RSS %d MiB exceeds ceiling %d MiB", peak>>10, *rssMB)
+	}
+	fmt.Println("scalesmoke: PASS")
+}
+
+// peakRSSKiB reads the process high-water resident set from
+// /proc/self/status (VmHWM) in KiB — Linux only, which is where this
+// gate runs; other platforms skip the memory ceiling.
+func peakRSSKiB() (int64, error) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		return strconv.ParseInt(fields[1], 10, 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no VmHWM line in /proc/self/status")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalesmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
