@@ -30,7 +30,7 @@
 #   make bench      - full benchmark pass with allocation counts
 #   make tables     - regenerate the experiment tables (text) at quick scale
 #   make json       - machine-readable experiment rows (BENCH_*.json input)
-#   make bench-json - run the smoke sweep with -json and write BENCH_PR9.json
+#   make bench-json - run the smoke sweep with -json and write BENCH_PR10.json
 #   make list-smoke - mpcbench -list + registry/benchmark coverage check
 #   make cli-smoke  - mpcgraph gen|solve pipe, one scenario per problem
 #   make service-smoke - boot mpcgraphd, one job per problem, cache-hit
@@ -102,11 +102,11 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/graph/ ./internal/mpc/ ./internal/mis/
 
 # The perf trajectory artifact: the E1..E18 smoke sweep in machine-
-# readable form, committed as BENCH_PR9.json so successive PRs can diff
-# audited costs (BENCH_PR4.json is the retained PR 4 snapshot).
-# Regenerate after any intentional cost change.
+# readable form, committed as BENCH_PR10.json so successive PRs can diff
+# audited costs (BENCH_PR4.json and BENCH_PR9.json are the retained
+# earlier snapshots). Regenerate after any intentional cost change.
 bench-json:
-	$(GO) run ./cmd/mpcbench -quick -trials 1 -json > BENCH_PR9.json
+	$(GO) run ./cmd/mpcbench -quick -trials 1 -json > BENCH_PR10.json
 
 # Short-run fuzz smoke of the structured graph readers, so the strict
 # parse/error grammars of docs/formats.md stay exercised pre-merge

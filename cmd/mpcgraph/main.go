@@ -1,8 +1,10 @@
 // Command mpcgraph is the unified CLI over the paper reproduction: it
 // materializes catalog scenarios to portable graph files, solves any
 // registered (problem, model) pair on instances from disk or from the
-// catalog, regenerates the experiment tables, and lists every registry
-// it dispatches on.
+// catalog, regenerates the experiment tables, lists every registry it
+// dispatches on, and drives a running mpcgraphd — submitting jobs and
+// batches, streaming traces, and rendering a live `top` dashboard of
+// queue depth, cache hit rates, and latency percentiles.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	mpcgraph bench -experiment E5 -quick
 //	mpcgraph batch -scenarios gnp,ring -seeds 1:50 -problems mis -wait
 //	mpcgraph bench -experiment E18 -remote http://127.0.0.1:8080
+//	mpcgraph top -interval 2s
 //	mpcgraph list
 //
 // Run "mpcgraph <command> -h" for per-command flags. The deprecated

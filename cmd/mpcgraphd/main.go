@@ -13,6 +13,7 @@
 //	mpcgraphd [-addr 127.0.0.1:8080] [-workers 2] [-queue 64]
 //	          [-cache 1024] [-cache-dir DIR] [-disk-entries 65536]
 //	          [-job-workers 0] [-drain 30s]
+//	          [-log-level info] [-log-format json]
 //
 // With -cache-dir, completed results are persisted atomically (one
 // file per cache key) and recovered on restart: a daemon killed at any
@@ -28,6 +29,16 @@
 // SIGINT/SIGTERM, at which point it drains gracefully: new submissions
 // are rejected with 503, queued and running jobs finish (bounded by
 // -drain), and the process exits 0.
+//
+// The daemon is fully observable: /metrics exposes latency histograms
+// (HTTP requests, queue wait, solve time per (problem, model), job
+// end-to-end, disk ops, cache probes) alongside Go runtime gauges;
+// stderr carries leveled structured logs (one JSON object per event,
+// correlated by request/job/batch IDs — `-log-format text` for
+// key=value lines, `-log-level debug` for per-request detail); and
+// every job view includes a `timings` block of ordered per-phase
+// lifecycle stamps. Watch it all live with `mpcgraph top`. See
+// docs/observability.md.
 //
 // Drive it with `mpcgraph submit`/`mpcgraph batch`/`mpcgraph status`
 // (or run the E18 registry sweep against it with `mpcgraph bench

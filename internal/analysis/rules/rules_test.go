@@ -23,6 +23,8 @@ func TestRules(t *testing.T) {
 		{"wallclock", "mpcgraph/internal/mis", []*analysis.Analyzer{rules.NewNoWallClock()}},
 		{"wallclock_allowed", "mpcgraph/internal/service", []*analysis.Analyzer{rules.NewNoWallClock()}},
 		{"wallclock_main", "mpcgraph/cmd/testdata", []*analysis.Analyzer{rules.NewNoWallClock(), rules.NewNoExit()}},
+		{"wallclock_obs", "mpcgraph/internal/obs", []*analysis.Analyzer{rules.NewNoWallClock()}},
+		{"wallclock_obs_boundary", "mpcgraph/internal/obsolete", []*analysis.Analyzer{rules.NewNoWallClock()}},
 		{"noexit", "mpcgraph/internal/cli", []*analysis.Analyzer{rules.NewNoExit()}},
 		{"maprange", "mpcgraph/internal/registry", []*analysis.Analyzer{rules.NewMapRange()}},
 		{"maprange_noncore", "mpcgraph/internal/graphio", []*analysis.Analyzer{rules.NewMapRange()}},

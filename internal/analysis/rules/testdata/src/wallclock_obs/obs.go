@@ -1,0 +1,11 @@
+// Package obs poses as mpcgraph/internal/obs, which is on the
+// no-wall-clock allow list: the telemetry core touches the host clock
+// only to form monotonic durations (histogram observations, the
+// logger's seconds-since-start field). No findings.
+package obs
+
+import "time"
+
+func observeSince(start time.Time) time.Duration { return time.Since(start) }
+
+func stamp() time.Time { return time.Now() }

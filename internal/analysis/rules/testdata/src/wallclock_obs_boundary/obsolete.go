@@ -1,0 +1,11 @@
+// Package obsolete poses as mpcgraph/internal/obsolete: a path that
+// merely shares the "internal/obs" prefix as a string but is a
+// different package, so the allow list's path-segment matching must
+// still flag it.
+package obsolete
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "no-wall-clock: reference to time.Now"
+}

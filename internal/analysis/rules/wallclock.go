@@ -10,18 +10,24 @@ import (
 
 // wallClockAllowed reports whether a package may reference time.Now:
 // package main (operational tooling and binaries), internal/registry
-// (which stamps the one advisory Wall field of the Report), and
+// (which stamps the one advisory Wall field of the Report),
 // internal/service (job lifecycle timestamps, daemon uptime, and the
 // disk store's file-mtime recency janitor — operational metadata that
-// never enters audited costs, cache keys, or serialized Report bytes).
+// never enters audited costs, cache keys, or serialized Report bytes),
+// and internal/obs (the telemetry core, which touches the host clock
+// only to form monotonic durations — histogram observations and the
+// logger's seconds-since-start field; never a wall-clock timestamp,
+// see the obs package doc for the contract).
 // Package cli is deliberately NOT allowed: the client's retry budget is
 // the sum of planned sleeps (internal/cli/backoff.go), not measured
-// elapsed time, which keeps retry exhaustion reproducible.
+// elapsed time, which keeps retry exhaustion reproducible — and
+// `mpcgraph top` computes rates over its nominal -interval for the same
+// reason.
 func wallClockAllowed(pass *analysis.Pass) bool {
 	if pass.Pkg.Name() == "main" {
 		return true
 	}
-	for _, allowed := range []string{"internal/registry", "internal/service"} {
+	for _, allowed := range []string{"internal/registry", "internal/service", "internal/obs"} {
 		if pass.RelPath == allowed || strings.HasPrefix(pass.RelPath, allowed+"/") {
 			return true
 		}
@@ -37,7 +43,7 @@ func wallClockAllowed(pass *analysis.Pass) bool {
 func NewNoWallClock() *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name: "no-wall-clock",
-		Doc: "forbids referencing time.Now outside package main, internal/registry, and internal/service; " +
+		Doc: "forbids referencing time.Now outside package main, internal/registry, internal/service, and internal/obs; " +
 			"audited costs are rounds and words, never host time",
 		Run: func(pass *analysis.Pass) {
 			if wallClockAllowed(pass) {
@@ -49,7 +55,7 @@ func NewNoWallClock() *analysis.Analyzer {
 						return
 					}
 					pass.Reportf(id.Pos(),
-						"reference to time.Now outside package main, internal/registry (the Report's advisory Wall stamp), or internal/service (job lifecycle timestamps and uptime; store.go may stamp only file mtimes for its recency janitor — wall time never enters audited costs, cache keys, or serialized Report bytes)")
+						"reference to time.Now outside package main, internal/registry (the Report's advisory Wall stamp), internal/service (job lifecycle timestamps and uptime; store.go may stamp only file mtimes for its recency janitor), or internal/obs (monotonic durations only — histogram observations and the logger's seconds-since-start field; wall time never enters audited costs, cache keys, or serialized Report bytes)")
 				})
 			}
 		},

@@ -1,5 +1,5 @@
 // Package cli implements the mpcgraph command-line tool: one binary
-// with gen, solve, bench, list, serve, submit, batch and status
+// with gen, solve, bench, list, serve, submit, batch, status and top
 // subcommands
 // over the unified Solve registry, the scenario catalog, the
 // multi-format graphio layer and the internal/service solve daemon.
@@ -44,6 +44,7 @@ Commands:
   submit  post one job to a running daemon (optionally wait for the result)
   batch   post many jobs (or a sweep) to a running daemon as one unit
   status  inspect a running daemon's job table
+  top     live daemon dashboard: queue, cache hit rates, latency percentiles
 
 Run "mpcgraph <command> -h" for the flags of one command.
 
@@ -57,6 +58,7 @@ Examples:
   mpcgraph submit -problem mis -scenario gnp -n 4096 -seed 7 -wait
   mpcgraph batch -scenarios gnp,ring -seeds 1:50 -problems mis,vertex-cover -wait
   mpcgraph bench -experiment E18 -quick -remote http://127.0.0.1:8080
+  mpcgraph top -interval 2s
   mpcgraph list`
 
 // Env carries the process streams so tests (and the deprecated shims)
@@ -93,6 +95,8 @@ func Run(args []string, env Env) error {
 		return runBatch(rest, env)
 	case "status":
 		return runStatus(rest, env)
+	case "top":
+		return runTop(rest, env)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprintln(env.Stdout, usage)
 		return nil

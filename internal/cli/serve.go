@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpcgraph/internal/obs"
 	"mpcgraph/internal/service"
 )
 
@@ -33,12 +34,22 @@ func runServe(args []string, env Env) error {
 		jobWorkers   = fs.Int("job-workers", 0, "per-job parallel workers when a request leaves workers unset (0 = all cores); results are identical for every value")
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown before running jobs are canceled")
 		pprofAddr    = fs.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables; keep it loopback-only)")
+		logLevel     = fs.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
+		logFormat    = fs.String("log-format", "json", "structured-log encoding on stderr: json (one object per line) or text (key=value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	jsonLines, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		return err
 	}
 
 	// Fault injection is an env var, not a flag: it exists for the
@@ -51,6 +62,7 @@ func runServe(args []string, env Env) error {
 		DiskEntries:       *diskEntries,
 		DefaultJobWorkers: *jobWorkers,
 		Failpoints:        os.Getenv("MPCGRAPHD_FAILPOINTS"),
+		Logger:            obs.NewLogger(env.Stderr, level, jsonLines),
 	})
 	if err != nil {
 		return err

@@ -265,6 +265,119 @@ func TestServePprof(t *testing.T) {
 	}
 }
 
+// TestServeStructuredLogs boots serve with JSON debug logging, runs one
+// job through it, and checks the lifecycle shows up both as structured
+// stderr events and as the ordered timings block on the wire view.
+func TestServeStructuredLogs(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	var stdout, stderr syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Run([]string{"serve", "-addr", "127.0.0.1:0", "-workers", "1",
+			"-log-level", "debug", "-log-format", "json"},
+			Env{Stdin: strings.NewReader(""), Stdout: &stdout, Stderr: &stderr})
+	}()
+
+	var url string
+	for attempt := 0; url == "" && attempt < 2000; attempt++ { // ~10s
+		if line := stdout.String(); strings.Contains(line, "listening on ") {
+			url = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "mpcgraphd listening on "))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if url == "" {
+		t.Fatalf("serve never printed its address (stderr: %s)", stderr.String())
+	}
+
+	out, _, err := runCLI(t,
+		"submit", "-server", url, "-problem", "mis",
+		"-scenario", "gnp", "-n", "200", "-seed", "3", "-wait")
+	if err != nil {
+		t.Fatalf("submit against serve: %v", err)
+	}
+	var view service.JobView
+	if err := json.Unmarshal([]byte(out), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.State != service.StateDone {
+		t.Fatalf("job state %s", view.State)
+	}
+	// The timings block — what `mpcgraph status -job` renders — carries
+	// the full cold-run lifecycle in order.
+	if view.Timings == nil || len(view.Timings.Phases) == 0 {
+		t.Fatalf("terminal view has no timings block: %s", out)
+	}
+	prev := -1.0
+	var phases []string
+	for _, p := range view.Timings.Phases {
+		if p.AtMs < prev {
+			t.Errorf("phase %s atMs %.3f out of order", p.Phase, p.AtMs)
+		}
+		prev = p.AtMs
+		phases = append(phases, p.Phase)
+	}
+	for _, want := range []string{"received", "queued", "dequeued", "solving", "settled"} {
+		if !strings.Contains(strings.Join(phases, ","), want) {
+			t.Errorf("timings phases %v missing %q", phases, want)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain after SIGTERM")
+	}
+
+	logs := stderr.String()
+	for _, event := range []string{
+		`"event":"job.submit"`, `"event":"job.queued"`, `"event":"job.solve.start"`,
+		`"event":"job.solve.done"`, `"event":"job.terminal"`, `"event":"http.request"`,
+		`"event":"daemon.drain.done"`,
+	} {
+		if !strings.Contains(logs, event) {
+			t.Errorf("structured log stream missing %s:\n%s", event, logs)
+		}
+	}
+	// Every line on stderr that is not the two human drain notices must
+	// be a parseable JSON object carrying level and event.
+	for _, line := range strings.Split(logs, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "mpcgraphd:") {
+			continue
+		}
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Errorf("non-JSON log line %q: %v", line, err)
+			continue
+		}
+		if entry["level"] == nil || entry["event"] == nil {
+			t.Errorf("log line missing level/event: %q", line)
+		}
+	}
+}
+
+// TestServeLogFlagErrors: bad logging flags fail before binding.
+func TestServeLogFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-log-level", "loud"},
+		{"serve", "-log-format", "xml"},
+	} {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
 // syncBuffer is a goroutine-safe bytes.Buffer for the serve goroutine's
 // stdout.
 type syncBuffer struct {

@@ -1,0 +1,189 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mpcgraph/internal/service"
+)
+
+func writeTestJSON(t *testing.T, w http.ResponseWriter, v any) {
+	t.Helper()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		t.Errorf("encode fake response: %v", err)
+	}
+}
+
+// fakeTopDaemon serves a scripted /metrics and /v1/jobs: the first
+// scrape shows 100 solves all in the (8.192ms, 16.384ms] bucket, the
+// second adds 200 solves in the (0, 1.024ms] bucket. Bucket bounds are
+// identical across scrapes, matching the daemon's fixed layout — which
+// is what makes positional Snapshot.Sub valid.
+func fakeTopDaemon(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var scrapes atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		n := scrapes.Add(1)
+		solves, lowBucket, inf := 100, 0, 100
+		if n > 1 {
+			solves, lowBucket, inf = 300, 200, 300
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, `# TYPE mpcgraphd_up gauge
+mpcgraphd_up 1
+# TYPE mpcgraphd_uptime_seconds gauge
+mpcgraphd_uptime_seconds 10
+# TYPE mpcgraphd_queue_depth gauge
+mpcgraphd_queue_depth 3
+# TYPE mpcgraphd_queue_capacity gauge
+mpcgraphd_queue_capacity 64
+# TYPE mpcgraphd_jobs_inflight gauge
+mpcgraphd_jobs_inflight 2
+# TYPE mpcgraphd_workers gauge
+mpcgraphd_workers 2
+# TYPE go_goroutines gauge
+go_goroutines 12
+# TYPE go_heap_inuse_bytes gauge
+go_heap_inuse_bytes 3145728
+# TYPE mpcgraphd_jobs gauge
+mpcgraphd_jobs{state="queued"} 3
+mpcgraphd_jobs{state="running"} 2
+mpcgraphd_jobs{state="done"} 40
+mpcgraphd_jobs{state="failed"} 0
+mpcgraphd_jobs{state="canceled"} 1
+# TYPE mpcgraphd_jobs_submitted_total counter
+mpcgraphd_jobs_submitted_total %d
+# TYPE mpcgraphd_solves_total counter
+mpcgraphd_solves_total %d
+# TYPE mpcgraphd_coalesced_total counter
+mpcgraphd_coalesced_total 0
+# TYPE mpcgraphd_cache_hits_total counter
+mpcgraphd_cache_hits_total{tier="memory"} 40
+mpcgraphd_cache_hits_total{tier="disk"} 5
+# TYPE mpcgraphd_cache_misses_total counter
+mpcgraphd_cache_misses_total 5
+# TYPE mpcgraphd_solve_seconds histogram
+mpcgraphd_solve_seconds_bucket{problem="mis",model="mpc",le="0.001024"} %d
+mpcgraphd_solve_seconds_bucket{problem="mis",model="mpc",le="0.008192"} %d
+mpcgraphd_solve_seconds_bucket{problem="mis",model="mpc",le="0.016384"} %d
+mpcgraphd_solve_seconds_bucket{problem="mis",model="mpc",le="+Inf"} %d
+mpcgraphd_solve_seconds_sum{problem="mis",model="mpc"} 1.2
+mpcgraphd_solve_seconds_count{problem="mis",model="mpc"} %d
+`, solves, solves, lowBucket, lowBucket, inf, inf, inf)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeTestJSON(t, w, map[string]any{
+			"jobs": []*service.JobView{{
+				ID: "j00000007", State: service.StateDone, Problem: "mis", Model: "mpc",
+				CacheHit: true, CacheTier: service.TierMemory,
+			}},
+		})
+	})
+	return httptest.NewServer(mux), &scrapes
+}
+
+// TestTopFrames drives two frames against the fake daemon and pins the
+// dashboard numbers: gauges on both frames, lifetime percentiles on the
+// first, interval-delta percentiles and counter rates on the second.
+func TestTopFrames(t *testing.T) {
+	ts, scrapes := fakeTopDaemon(t)
+	defer ts.Close()
+	env, out, _ := testEnv("")
+	err := Run([]string{"top", "-server", ts.URL, "-count", "2", "-interval", "100ms", "-plain"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scrapes.Load(); got != 2 {
+		t.Fatalf("scraped /metrics %d times, want 2", got)
+	}
+	text := out.String()
+	if strings.Contains(text, "\x1b[") {
+		t.Errorf("-plain output contains ANSI escapes:\n%s", text)
+	}
+	frames := strings.Split(strings.TrimRight(text, "\n"), "\n\n")
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2:\n%s", len(frames), text)
+	}
+
+	for i, frame := range frames {
+		for _, want := range []string{
+			"mpcgraphd up",
+			"queue 3/64",
+			"inflight 2/2 workers",
+			"goroutines 12",
+			"heap 3.0MiB",
+			"jobs: queued 3   running 2   done 40   failed 0   canceled 1",
+			"cache: memory 80.0% (40)   disk 10.0% (5)   miss 10.0% (5)",
+			"j00000007  done      mis",
+			"hit:memory",
+		} {
+			if !strings.Contains(frame, want) {
+				t.Errorf("frame %d missing %q:\n%s", i+1, want, frame)
+			}
+		}
+	}
+
+	// Frame 1: no previous scrape, so the percentiles quantile the
+	// lifetime distribution — 100 observations in (8.192ms, 16.384ms]:
+	// p50 = 8.192+8.192·0.50, p95 = ·0.95, p99 = ·0.99.
+	for _, want := range []string{
+		"latency (lifetime):",
+		"rates (lifetime): 10.00 submits/s   10.00 solves/s",
+		"12.29ms", "15.97ms", "16.30ms",
+		"solves (lifetime): mis/mpc 100×12.29ms",
+	} {
+		if !strings.Contains(frames[0], want) {
+			t.Errorf("frame 1 missing %q:\n%s", want, frames[0])
+		}
+	}
+
+	// Frame 2: the interval delta is 200 observations, all in
+	// (0, 1.024ms] — the first frame's 100 slower solves subtract out —
+	// and the solve counter moved 100→300 over the nominal 100ms:
+	// p50 = 1.024ms·0.50 = 512µs, p95 = 973µs, p99 = 1.01ms.
+	for _, want := range []string{
+		"latency (interval):",
+		"rates (interval): 2000.00 submits/s   2000.00 solves/s",
+		"512µs", "973µs", "1.01ms",
+		"solves (interval): mis/mpc 200×512µs",
+	} {
+		if !strings.Contains(frames[1], want) {
+			t.Errorf("frame 2 missing %q:\n%s", want, frames[1])
+		}
+	}
+	if strings.Contains(frames[1], "12.29ms") {
+		t.Errorf("frame 2 still shows the lifetime p50 — interval delta not applied:\n%s", frames[1])
+	}
+}
+
+// TestTopClearsScreenByDefault: without -plain each frame starts with
+// the ANSI clear+home sequence.
+func TestTopClearsScreenByDefault(t *testing.T) {
+	ts, _ := fakeTopDaemon(t)
+	defer ts.Close()
+	env, out, _ := testEnv("")
+	if err := Run([]string{"top", "-server", ts.URL, "-count", "1", "-interval", "1ms"}, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "\x1b[2J\x1b[H") {
+		t.Errorf("default top frame does not clear the screen")
+	}
+}
+
+// TestTopBadFlags: argument validation fails fast.
+func TestTopBadFlags(t *testing.T) {
+	env, _, _ := testEnv("")
+	if err := Run([]string{"top", "-interval", "0s", "-count", "1"}, env); err == nil {
+		t.Errorf("zero interval accepted")
+	}
+	if err := Run([]string{"top", "extra"}, env); err == nil {
+		t.Errorf("positional arguments accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The histograms use one fixed, log-spaced bucket layout: upper bounds
+// at 1µs·2^i for i = 0..numFiniteBuckets-1 (1µs up to ~134s), plus the
+// implicit +Inf bucket. One layout for every metric keeps exposition
+// cheap (no per-histogram bound storage), makes cross-metric quantiles
+// comparable, and lets `mpcgraph top` merge label sets by summing
+// bucket counts without re-bucketing. Doubling bounds bound the
+// quantile estimation error at one bucket width — a factor of 2 in the
+// worst case — which is the right resolution for latency percentiles
+// (the interesting differences are orders of magnitude, not percents).
+const numFiniteBuckets = 28
+
+// baseBucketNanos is the first upper bound: 1µs in nanoseconds.
+const baseBucketNanos = 1000
+
+// BucketBounds returns the finite upper bounds in seconds, ascending.
+// The slice is freshly allocated; callers may keep it.
+func BucketBounds() []float64 {
+	bounds := make([]float64, numFiniteBuckets)
+	for i := range bounds {
+		bounds[i] = float64(int64(baseBucketNanos)<<uint(i)) / 1e9
+	}
+	return bounds
+}
+
+// bucketIndex returns the bucket for a duration of nanos nanoseconds:
+// the smallest i with nanos <= 1000·2^i, or numFiniteBuckets (+Inf)
+// when it exceeds the last finite bound. ceil(nanos/1000) rounded up
+// to a power of two is exactly bits.Len64 of the predecessor.
+func bucketIndex(nanos int64) int {
+	if nanos <= baseBucketNanos {
+		return 0
+	}
+	q := (uint64(nanos) + baseBucketNanos - 1) / baseBucketNanos
+	i := bits.Len64(q - 1)
+	if i >= numFiniteBuckets {
+		return numFiniteBuckets
+	}
+	return i
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram: Observe is
+// two atomic adds, cheap enough for any request path (though the solve
+// path still records only at Solve boundaries, never per metered
+// round). The zero value is ready to use.
+type Histogram struct {
+	counts [numFiniteBuckets + 1]atomic.Uint64 // per-bucket; last is +Inf
+	sum    atomic.Int64                        // nanoseconds
+}
+
+// Observe records one duration. Negative durations (a clock that
+// jumped mid-measurement can in principle produce one through a
+// non-monotonic source; ours are monotonic) clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d.Nanoseconds())].Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Snapshot is a point-in-time copy of a histogram: per-bucket (not
+// cumulative) counts over the shared bucket layout. Reads are atomic
+// per bucket but not a consistent cut across buckets — an Observe
+// racing the snapshot may appear in the count but not yet the sum, or
+// vice versa. For monitoring that skew is at most the in-flight
+// observations; nothing here feeds audited costs.
+type Snapshot struct {
+	Bounds     []float64 // finite upper bounds in seconds, ascending
+	Counts     []uint64  // len(Bounds)+1; last is the +Inf bucket
+	SumSeconds float64
+	Count      uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Bounds: BucketBounds(), Counts: make([]uint64, numFiniteBuckets+1)}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumSeconds = float64(h.sum.Load()) / 1e9
+	return s
+}
+
+// Sub returns the per-bucket difference s - prev: the observations
+// recorded between the two snapshots. `mpcgraph top` quantiles these
+// deltas so the percentiles describe the last interval, not the
+// process lifetime.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Bounds:     s.Bounds,
+		Counts:     make([]uint64, len(s.Counts)),
+		SumSeconds: s.SumSeconds - prev.SumSeconds,
+	}
+	for i := range s.Counts {
+		c := s.Counts[i]
+		if i < len(prev.Counts) && prev.Counts[i] <= c {
+			c -= prev.Counts[i]
+		}
+		out.Counts[i] = c
+		out.Count += c
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes. The estimate is
+// within one bucket width of the exact value; observations beyond the
+// last finite bound report that bound. An empty snapshot reports 0.
+func (s Snapshot) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Bounds, s.Counts, s.Count, q)
+}
+
+// quantileFromBuckets is the shared interpolation over per-bucket
+// counts, reused by the promtext side for parsed exposition data.
+func quantileFromBuckets(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1 // the rank of the first observation
+	}
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(bounds) {
+				// +Inf bucket: the best point estimate is the largest
+				// finite bound.
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}
+
+// HistogramVec is a histogram family sharing one name and label-key
+// set, one child histogram per label-value tuple. With is the hot
+// call: an RLock map probe on the established path, a short exclusive
+// section only the first time a tuple appears.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	hist   Histogram
+}
+
+// With returns the child histogram for the given label values (their
+// order matches the label keys the vec was registered with). It panics
+// on an arity mismatch — that is a programming error, not input.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return &c.hist
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &vecChild{values: append([]string(nil), values...)}
+		v.children[key] = c
+	}
+	return &c.hist
+}
+
+// Registry holds histogram families for exposition. Families render in
+// registration order; children render sorted by label values, so one
+// state always exposes one byte stream.
+type Registry struct {
+	mu   sync.Mutex
+	vecs []*HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Histogram registers (or returns the existing) family under name.
+// Re-registration must repeat the same label keys.
+func (r *Registry) Histogram(name, help string, labels ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.vecs {
+		if v.name == name {
+			if len(v.labels) != len(labels) {
+				panic(fmt.Sprintf("obs: %s re-registered with different labels", name))
+			}
+			return v
+		}
+	}
+	v := &HistogramVec{
+		name:     name,
+		help:     help,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*vecChild),
+	}
+	r.vecs = append(r.vecs, v)
+	return v
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format: # HELP / # TYPE histogram, cumulative
+// _bucket series with an le label per bound plus le="+Inf", then _sum
+// and _count per child.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	vecs := append([]*HistogramVec(nil), r.vecs...)
+	r.mu.Unlock()
+	bounds := BucketBounds()
+	for _, v := range vecs {
+		v.writeProm(w, bounds)
+	}
+}
+
+func (v *HistogramVec) writeProm(w io.Writer, bounds []float64) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	children := make([]*vecChild, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, v.children[k])
+	}
+	v.mu.RUnlock()
+	if len(children) == 0 {
+		return // a family no one observed yet exposes nothing
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", v.name, v.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", v.name)
+	for _, c := range children {
+		snap := c.hist.Snapshot()
+		cum := uint64(0)
+		for i, bound := range bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", v.name, v.labelPairs(c.values, formatBound(bound)), cum)
+		}
+		cum += snap.Counts[len(bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", v.name, v.labelPairs(c.values, "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", v.name, v.labelPairs(c.values, ""), strconv.FormatFloat(snap.SumSeconds, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count%s %d\n", v.name, v.labelPairs(c.values, ""), snap.Count)
+	}
+}
+
+// formatBound renders a bucket bound so it parses back to the same
+// float64 ('g', full precision).
+func formatBound(bound float64) string {
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// labelPairs renders the label block for one series: the vec's own
+// labels in key order plus, when le is non-empty, the bucket bound.
+func (v *HistogramVec) labelPairs(values []string, le string) string {
+	if len(values) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, key := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q produces exactly the \\, \" and \n escaping the text format
+		// wants (and keeps any other control byte visible); the promtext
+		// parser unquotes with strconv.Unquote, its inverse.
+		fmt.Fprintf(&b, "%s=%q", key, values[i])
+	}
+	if le != "" {
+		if len(values) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"math"
+	"mpcgraph/internal/rng"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsDoubling(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != numFiniteBuckets {
+		t.Fatalf("len(bounds) = %d, want %d", len(bounds), numFiniteBuckets)
+	}
+	if bounds[0] != 1e-6 {
+		t.Fatalf("bounds[0] = %g, want 1e-6 (1µs)", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds[%d] = %g, want double of %g", i, bounds[i], bounds[i-1])
+		}
+	}
+	if last := bounds[len(bounds)-1]; last < 100 {
+		t.Fatalf("last bound %gs does not cover multi-minute solves", last)
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	bounds := BucketBounds()
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clamped by Observe; index itself also tolerates
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{time.Duration(bounds[numFiniteBuckets-1] * 1e9), numFiniteBuckets - 1},
+		{time.Duration(bounds[numFiniteBuckets-1]*1e9) + 1, numFiniteBuckets},
+		{time.Hour, numFiniteBuckets},
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0
+		}
+		if got := bucketIndex(d.Nanoseconds()); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Exhaustive boundary agreement with the naive linear search.
+	for i, b := range bounds {
+		nanos := int64(math.Round(b * 1e9))
+		if got := bucketIndex(nanos); got != i {
+			t.Errorf("bucketIndex(bound %d = %v ns) = %d, want %d", i, nanos, got, i)
+		}
+		if got := bucketIndex(nanos + 1); got != i+1 {
+			t.Errorf("bucketIndex(bound %d + 1ns) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramConservation checks sum/count conservation and bucket
+// placement on seeded random inputs: every observation lands in
+// exactly one bucket, counts sum to the number of observations, and
+// the sum matches the input total exactly (integer nanoseconds).
+func TestHistogramConservation(t *testing.T) {
+	r := rng.New(10)
+	var h Histogram
+	const n = 10000
+	var wantSum int64
+	for i := 0; i < n; i++ {
+		// Log-uniform over ~9 decades so every bucket sees traffic.
+		d := time.Duration(math.Exp(r.Float64()*20) * 1e3)
+		wantSum += d.Nanoseconds()
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d", s.Count, n)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != n {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketTotal, n)
+	}
+	if got := int64(math.Round(s.SumSeconds * 1e9)); got != wantSum {
+		t.Fatalf("SumSeconds = %v ns, want %d ns", got, wantSum)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this doubles as the data-race check for the atomic
+// recording path.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(r.Intn(int(10 * time.Second))))
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := uint64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != Count %d", total, s.Count)
+	}
+}
+
+// TestQuantileWithinBucketWidth checks the satellite bound: on seeded
+// inputs the estimate is within one bucket width of the exact
+// order-statistic quantile.
+func TestQuantileWithinBucketWidth(t *testing.T) {
+	r := rng.New(42)
+	var h Histogram
+	const n = 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		d := time.Duration(math.Exp(r.Float64()*16) * 1e3) // ~1µs..~9s
+		samples[i] = d.Seconds()
+		h.Observe(d)
+	}
+	sort.Float64s(samples)
+	s := h.Snapshot()
+	bounds := s.Bounds
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(math.Ceil(q*float64(n)))-1]
+		got := s.Quantile(q)
+		// One bucket width around the exact value: the bucket holding it.
+		bi := sort.SearchFloat64s(bounds, exact)
+		lo := 0.0
+		if bi > 0 {
+			lo = bounds[bi-1]
+		}
+		hi := bounds[len(bounds)-1]
+		if bi < len(bounds) {
+			hi = bounds[bi]
+		}
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %g, want within bucket [%g, %g] holding exact %g", q, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	got := s.Quantile(0.5)
+	// 3ms lands in the (2.048ms, 4.096ms] bucket.
+	if got <= 0.002048 || got > 0.004096 {
+		t.Errorf("single-sample Quantile = %g, want in (0.002048, 0.004096]", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if g := s.Quantile(-1); g <= 0 {
+		t.Errorf("Quantile(-1) = %g, want positive (clamped to 0 -> first obs)", g)
+	}
+	if g := s.Quantile(2); g <= 0 {
+		t.Errorf("Quantile(2) = %g, want positive", g)
+	}
+	// Observations beyond the last finite bound report that bound.
+	var inf Histogram
+	inf.Observe(10 * time.Hour)
+	if got := inf.Snapshot().Quantile(0.5); got != s.Bounds[len(s.Bounds)-1] {
+		t.Errorf("+Inf-bucket Quantile = %g, want last bound %g", got, s.Bounds[len(s.Bounds)-1])
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	before := h.Snapshot()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 2 {
+		t.Fatalf("delta Count = %d, want 2", delta.Count)
+	}
+	if math.Abs(delta.SumSeconds-0.005) > 1e-9 {
+		t.Fatalf("delta Sum = %g, want 0.005", delta.SumSeconds)
+	}
+	// The median of the delta is ~2-3ms, not the 1s from before.
+	if q := delta.Quantile(0.5); q > 0.01 {
+		t.Fatalf("delta median = %g, want < 0.01", q)
+	}
+}
+
+func TestVecWithAndExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("test_req_seconds", "Test latency.", "route", "status")
+	v.With("/v1/jobs", "200").Observe(5 * time.Millisecond)
+	v.With("/v1/jobs", "200").Observe(10 * time.Millisecond)
+	v.With("/metrics", "200").Observe(time.Millisecond)
+	// Empty families expose nothing.
+	r.Histogram("test_unused_seconds", "Never observed.")
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	if strings.Contains(text, "test_unused_seconds") {
+		t.Errorf("unobserved family leaked into exposition:\n%s", text)
+	}
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, text)
+	}
+	if errs := ValidateExposition(e); len(errs) != 0 {
+		t.Fatalf("exposition invariants violated: %v\n%s", errs, text)
+	}
+	if got, ok := e.Value("test_req_seconds_count", "route", "/v1/jobs", "status", "200"); !ok || got != 2 {
+		t.Fatalf("parsed _count = %v (ok=%v), want 2", got, ok)
+	}
+	hists := e.Histograms()["test_req_seconds"]
+	if len(hists) != 2 {
+		t.Fatalf("got %d histogram series, want 2", len(hists))
+	}
+	merged := MergedSnapshot(hists)
+	if merged.Count != 3 {
+		t.Fatalf("merged Count = %d, want 3", merged.Count)
+	}
+}
+
+func TestVecLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.Histogram("test_escape_seconds", "Escaping.", "path")
+	hostile := `a"b\c` + "\nd"
+	v.With(hostile).Observe(time.Millisecond)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	e, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, b.String())
+	}
+	if _, ok := e.Value("test_escape_seconds_count", "path", hostile); !ok {
+		t.Fatalf("hostile label did not round-trip:\n%s", b.String())
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("test_arity_seconds", "Arity.", "a", "b").With("only-one")
+}

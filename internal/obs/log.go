@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelInfo, so a
+// zero-configured logger speaks at the conventional default.
+type Level int
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way log lines carry it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// ParseLogFormat resolves a -log-format flag value to the json toggle.
+func ParseLogFormat(s string) (jsonLines bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "json":
+		return true, nil
+	case "text":
+		return false, nil
+	}
+	return false, fmt.Errorf("obs: unknown log format %q (json, text)", s)
+}
+
+// Field is one structured key/value pair on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field; the short name keeps call sites readable.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger emits leveled structured events as JSON lines (or a text
+// rendering of the same fields) to one writer. Every line carries
+// "up": seconds since the logger was created — a monotonic duration,
+// deliberately not a wall-clock timestamp (see the package comment).
+//
+// A nil *Logger is valid and discards everything, so instrumented code
+// logs unconditionally instead of nil-checking at every site.
+type Logger struct {
+	level Level
+	json  bool
+	start time.Time
+	base  []Field
+
+	mu *sync.Mutex // shared across With-derived loggers; guards w
+	w  io.Writer
+}
+
+// NewLogger builds a logger writing to w at the given level. jsonLines
+// selects JSON-lines framing; false renders the same fields as
+// space-separated key=value text.
+func NewLogger(w io.Writer, level Level, jsonLines bool) *Logger {
+	return &Logger{level: level, json: jsonLines, start: time.Now(), mu: &sync.Mutex{}, w: w}
+}
+
+// With returns a logger that adds fields to every line. The derived
+// logger shares the writer and its mutex, so lines from every
+// derivative interleave whole.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	d := *l
+	d.base = append(append([]Field(nil), l.base...), fields...)
+	return &d
+}
+
+// Enabled reports whether a line at level would be emitted — the guard
+// for call sites whose field rendering is itself expensive.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Log emits one event. Field order on the line: up, level, event, the
+// logger's base fields, the context's correlation fields (WithFields),
+// then the call's own fields. Later duplicates win in JSON consumers
+// that keep the last key; the line keeps all of them for greppability.
+func (l *Logger) Log(ctx context.Context, level Level, event string, fields ...Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	all := make([]Field, 0, 3+len(l.base)+len(fields)+4)
+	all = append(all,
+		F("up", roundDurSeconds(time.Since(l.start))),
+		F("level", level.String()),
+		F("event", event))
+	all = append(all, l.base...)
+	all = append(all, ContextFields(ctx)...)
+	all = append(all, fields...)
+
+	var b strings.Builder
+	if l.json {
+		b.WriteByte('{')
+		for i, f := range all {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			key, _ := json.Marshal(f.Key)
+			b.Write(key)
+			b.WriteByte(':')
+			val, err := json.Marshal(f.Value)
+			if err != nil {
+				val, _ = json.Marshal(fmt.Sprint(f.Value))
+			}
+			b.Write(val)
+		}
+		b.WriteString("}\n")
+	} else {
+		for i, f := range all {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			switch f.Key {
+			case "up", "level", "event":
+				fmt.Fprintf(&b, "%v", f.Value)
+			default:
+				fmt.Fprintf(&b, "%s=%v", f.Key, f.Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug, Info, Warn and Error are the leveled shorthands.
+func (l *Logger) Debug(ctx context.Context, event string, fields ...Field) {
+	l.Log(ctx, LevelDebug, event, fields...)
+}
+func (l *Logger) Info(ctx context.Context, event string, fields ...Field) {
+	l.Log(ctx, LevelInfo, event, fields...)
+}
+func (l *Logger) Warn(ctx context.Context, event string, fields ...Field) {
+	l.Log(ctx, LevelWarn, event, fields...)
+}
+func (l *Logger) Error(ctx context.Context, event string, fields ...Field) {
+	l.Log(ctx, LevelError, event, fields...)
+}
+
+// roundDurSeconds renders a duration as seconds at millisecond
+// precision — enough to correlate lines, small enough to read.
+func roundDurSeconds(d time.Duration) float64 {
+	return float64(d.Milliseconds()) / 1e3
+}
+
+// ctxKey is the private context key for correlation fields.
+type ctxKey struct{}
+
+// WithFields returns a context carrying fields (appended to any it
+// already carries). The daemon threads request, job and batch IDs this
+// way, so every log line along one submission's path — submit, queue,
+// flight, solve, persist — carries the same correlation keys and the
+// whole lifecycle is one grep.
+func WithFields(ctx context.Context, fields ...Field) context.Context {
+	if len(fields) == 0 {
+		return ctx
+	}
+	prev := ContextFields(ctx)
+	merged := make([]Field, 0, len(prev)+len(fields))
+	merged = append(merged, prev...)
+	merged = append(merged, fields...)
+	return context.WithValue(ctx, ctxKey{}, merged)
+}
+
+// ContextFields returns the correlation fields carried by ctx.
+func ContextFields(ctx context.Context) []Field {
+	if ctx == nil {
+		return nil
+	}
+	fields, _ := ctx.Value(ctxKey{}).([]Field)
+	return fields
+}
+
+// SortFields orders fields by key — a test helper for asserting on
+// field sets without depending on call-site order.
+func SortFields(fields []Field) {
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Key < fields[j].Key })
+}

@@ -1,0 +1,16 @@
+// Package obs is the stdlib-only telemetry core shared by the daemon
+// and the CLI: lock-cheap fixed-bucket latency histograms with
+// Prometheus text exposition and snapshot quantile estimation, a
+// leveled structured logger with context-threaded correlation fields,
+// Go runtime telemetry, and a parser/validator for the Prometheus text
+// format (used by `mpcgraph top` and the service-smoke gate).
+//
+// Clock discipline: this package touches the host clock only to form
+// monotonic durations — an observation is time.Since of an earlier
+// stamp, and a log line carries seconds since the logger was created,
+// never a wall-clock timestamp. That is the contract under which the
+// no-wall-clock analyzer (docs/analysis.md) allows time.Now here: host
+// time measures latency, it never enters payloads, audited costs, or
+// cache keys. Log shippers that need absolute timestamps stamp lines
+// on arrival, where clock skew is their problem, not the daemon's.
+package obs

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP mpcgraphd_up Whether the daemon is up.
+# TYPE mpcgraphd_up gauge
+mpcgraphd_up 1
+# HELP test_seconds Test histogram.
+# TYPE test_seconds histogram
+test_seconds_bucket{route="/a",le="0.001"} 1
+test_seconds_bucket{route="/a",le="0.01"} 3
+test_seconds_bucket{route="/a",le="+Inf"} 4
+test_seconds_sum{route="/a"} 0.55
+test_seconds_count{route="/a"} 4
+`
+
+func TestParseExposition(t *testing.T) {
+	e, err := ParseExposition(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Value("mpcgraphd_up"); !ok || v != 1 {
+		t.Errorf("up = %v, ok=%v", v, ok)
+	}
+	if v, ok := e.Value("test_seconds_bucket", "route", "/a", "le", "0.01"); !ok || v != 3 {
+		t.Errorf("bucket = %v, ok=%v", v, ok)
+	}
+	if e.Type["test_seconds"] != "histogram" {
+		t.Errorf("TYPE = %q", e.Type["test_seconds"])
+	}
+	if e.Help["mpcgraphd_up"] != "Whether the daemon is up." {
+		t.Errorf("HELP = %q", e.Help["mpcgraphd_up"])
+	}
+	if errs := ValidateExposition(e); len(errs) != 0 {
+		t.Errorf("unexpected violations: %v", errs)
+	}
+	series := e.Histograms()["test_seconds"]
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+	h := series[0]
+	if h.Count != 4 || h.Sum != 0.55 {
+		t.Errorf("count=%d sum=%g", h.Count, h.Sum)
+	}
+	deltas := h.Deltas()
+	if len(deltas) != 3 || deltas[0] != 1 || deltas[1] != 2 || deltas[2] != 1 {
+		t.Errorf("deltas = %v, want [1 2 1]", deltas)
+	}
+	snap := h.Snapshot()
+	if q := snap.Quantile(0.5); q <= 0.001 || q > 0.01 {
+		t.Errorf("parsed median = %g, want in (0.001, 0.01]", q)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_value\n",
+		`metric{unterminated="x 1` + "\n",
+		"metric not_a_number\n",
+		"metric 1 1700000000\n", // timestamps are not in our dialect
+		`metric{key=unquoted} 1` + "\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExposition accepted %q", bad)
+		}
+	}
+}
+
+func TestValidateExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{
+			"missing help",
+			"# TYPE orphan gauge\norphan 1\n",
+			"no # HELP",
+		},
+		{
+			"missing type",
+			"# HELP orphan Orphan.\norphan 1\n",
+			"no # TYPE",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" +
+				`h_bucket{le="1"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_sum 1\nh_count 5\n",
+			"cumulative-monotone",
+		},
+		{
+			"missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" +
+				"h_sum 1\nh_count 5\n",
+			`missing le="+Inf"`,
+		},
+		{
+			"+Inf != count",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_sum 1\nh_count 7\n",
+			"!= _count",
+		},
+	}
+	for _, c := range cases {
+		e, err := ParseExposition(strings.NewReader(c.text))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		errs := ValidateExposition(e)
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", c.name, errs, c.want)
+		}
+	}
+}
+
+func TestMergedSnapshot(t *testing.T) {
+	text := "# HELP h H.\n# TYPE h histogram\n" +
+		`h_bucket{r="a",le="0.001"} 2` + "\n" +
+		`h_bucket{r="a",le="+Inf"} 2` + "\n" +
+		`h_sum{r="a"} 0.001` + "\n" +
+		`h_count{r="a"} 2` + "\n" +
+		`h_bucket{r="b",le="0.001"} 0` + "\n" +
+		`h_bucket{r="b",le="+Inf"} 3` + "\n" +
+		`h_sum{r="b"} 3` + "\n" +
+		`h_count{r="b"} 3` + "\n"
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergedSnapshot(e.Histograms()["h"])
+	if m.Count != 5 {
+		t.Errorf("merged count = %d, want 5", m.Count)
+	}
+	if m.SumSeconds != 3.001 {
+		t.Errorf("merged sum = %g, want 3.001", m.SumSeconds)
+	}
+	if MergedSnapshot(nil).Count != 0 {
+		t.Error("empty merge not zero")
+	}
+}

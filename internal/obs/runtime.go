@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeProm appends Go runtime telemetry to a /metrics payload:
+// scheduler pressure (goroutines, GOMAXPROCS), heap footprint, and GC
+// cost. Everything comes from runtime.ReadMemStats and runtime
+// queries — one stop-the-world-free call per scrape, no background
+// collector goroutine to manage.
+func WriteRuntimeProm(w io.Writer) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	p := func(name, typ, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, value)
+	}
+	p("go_goroutines", "gauge", "Number of goroutines that currently exist.", runtime.NumGoroutine())
+	p("go_gomaxprocs", "gauge", "Value of GOMAXPROCS (OS threads executing Go code simultaneously).", runtime.GOMAXPROCS(0))
+	p("go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", m.HeapAlloc)
+	p("go_heap_inuse_bytes", "gauge", "Bytes in in-use heap spans.", m.HeapInuse)
+	p("go_gc_cycles_total", "counter", "Completed GC cycles since process start.", m.NumGC)
+	p("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.",
+		float64(m.PauseTotalNs)/1e9)
+}

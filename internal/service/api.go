@@ -217,13 +217,19 @@ type JobView struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Batch is the id of the batch this job was expanded from, when it
 	// was admitted through POST /v1/batches.
-	Batch      string      `json:"batch,omitempty"`
-	Error      string      `json:"error,omitempty"`
-	CreatedAt  string      `json:"createdAt"`
-	StartedAt  string      `json:"startedAt,omitempty"`
-	FinishedAt string      `json:"finishedAt,omitempty"`
-	TraceLen   int         `json:"traceLen"`
-	Report     *ReportView `json:"report,omitempty"`
+	Batch      string `json:"batch,omitempty"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"createdAt"`
+	StartedAt  string `json:"startedAt,omitempty"`
+	FinishedAt string `json:"finishedAt,omitempty"`
+	TraceLen   int    `json:"traceLen"`
+	// Timings is the per-phase lifecycle timing block: monotonic
+	// millisecond offsets from submission for each phase the job went
+	// through, ordered, plus cache-probe durations. Like the
+	// timestamps, it varies between identical runs and is operational
+	// metadata only.
+	Timings *TimingsView `json:"timings,omitempty"`
+	Report  *ReportView  `json:"report,omitempty"`
 }
 
 // ReportView is the wire rendering of a Report: the audited costs, the
@@ -361,6 +367,7 @@ func (j *Job) view() *JobView {
 		Error:     j.err,
 		CreatedAt: j.created.UTC().Format("2006-01-02T15:04:05.000Z"),
 		TraceLen:  len(j.trace),
+		Timings:   j.timings.view(),
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format("2006-01-02T15:04:05.000Z")

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"mpcgraph"
+	"mpcgraph/internal/obs"
 	"mpcgraph/internal/registry"
 	"mpcgraph/internal/scenario"
 )
@@ -256,6 +258,11 @@ type Batch struct {
 	created time.Time
 	specs   []batchSpec
 	jobs    []*Job // member records, same order as specs
+	// tel records the settle-time histogram when the last member turns
+	// terminal; lg is the batch-correlated logger. Set before the batch
+	// is visible; both tolerate a zero-telemetry test server.
+	tel *telemetry
+	lg  *obs.Logger
 
 	mu       sync.Mutex
 	canceled bool
@@ -276,16 +283,29 @@ type Batch struct {
 	failedResolve int // failed validation or instance materialization
 }
 
-// noteTerminal is every member's Job.notify hook.
+// noteTerminal is every member's Job.notify hook. The last member's
+// terminal transition settles the batch: the settle-time histogram and
+// the batch.settled log event both fire here, exactly once.
 func (b *Batch) noteTerminal(j *Job) {
 	b.mu.Lock()
 	b.completions = append(b.completions, j)
-	if len(b.completions) == len(b.jobs) {
+	settled := len(b.completions) == len(b.jobs)
+	if settled {
 		b.finished = time.Now()
 	}
+	finished := b.finished
 	close(b.changed)
 	b.changed = make(chan struct{})
 	b.mu.Unlock()
+	if settled {
+		elapsed := finished.Sub(b.created)
+		if b.tel != nil {
+			b.tel.batchSettle.With().Observe(elapsed)
+		}
+		b.lg.Info(context.Background(), "batch.settled",
+			obs.F("jobs", len(b.jobs)),
+			obs.F("ms", durMs(elapsed)))
+	}
 }
 
 // isCanceled reports whether DELETE hit the batch.
@@ -439,16 +459,19 @@ func (s *Server) submitBatch(req *BatchRequest) (*Batch, int, error) {
 		specs:   specs,
 		jobs:    make([]*Job, len(specs)),
 		changed: make(chan struct{}),
+		tel:     s.tel,
 	}
+	b.lg = s.tel.log.With(obs.F("batch", b.ID))
 	for i, spec := range specs {
 		s.nextID++
-		job := newJob(fmt.Sprintf("j%08d", s.nextID))
+		job := newJob(fmt.Sprintf("j%08d", s.nextID), s.tel)
 		job.problem, job.model = spec.problem, spec.model
 		job.source = fmt.Sprintf("batch %s [%d/%d]", b.ID, i+1, len(specs))
 		job.timeout = time.Duration(spec.req.TimeoutMs) * time.Millisecond
 		job.noCache = spec.req.NoCache
 		job.batchID = b.ID
 		job.notify = b.noteTerminal
+		job.lg = job.lg.With(obs.F("batch", b.ID))
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
 		b.jobs[i] = job
@@ -467,6 +490,7 @@ func (s *Server) submitBatch(req *BatchRequest) (*Batch, int, error) {
 	for _, job := range b.jobs {
 		job.armDeadline()
 	}
+	b.lg.Info(context.Background(), "batch.submit", obs.F("jobs", len(b.jobs)))
 	go s.feedBatch(b)
 	return b, 0, nil
 }
@@ -535,7 +559,10 @@ func (s *Server) feedBatch(b *Batch) {
 
 		// The blocking enqueue: the batch was admitted as a whole, so its
 		// leaders wait for queue slots instead of bouncing with 429. quit
-		// unblocks the send when a drain starts mid-batch.
+		// unblocks the send when a drain starts mid-batch. The queued
+		// stamp lands before the send so the worker's dequeued stamp can
+		// never precede it.
+		job.stampQueued()
 		select {
 		case s.queue <- job:
 			b.mu.Lock()

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"mpcgraph"
+	"mpcgraph/internal/obs"
 )
 
 // JobState is the lifecycle of one submitted job:
@@ -66,6 +68,12 @@ type Job struct {
 	// single-job submissions). Set before the job is visible.
 	batchID string
 
+	// tel is the server's telemetry bundle; lg is the job-correlated
+	// logger derived from it (nil when logging is off). Both are set
+	// before the job is visible.
+	tel *telemetry
+	lg  *obs.Logger
+
 	mu        sync.Mutex
 	state     JobState
 	err       string
@@ -75,6 +83,7 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	timings   jobTimings
 	deadline  *time.Timer // fires cancelJob when timeoutMs lapses
 
 	// Trace buffer: appended by the solve's Trace callback, replayed and
@@ -86,14 +95,19 @@ type Job struct {
 	changed      chan struct{}
 }
 
-func newJob(id string) *Job {
-	return &Job{
+func newJob(id string, tel *telemetry) *Job {
+	now := time.Now()
+	j := &Job{
 		ID:        id,
 		state:     StateQueued,
 		cacheTier: TierNone,
-		created:   time.Now(),
+		created:   now,
 		changed:   make(chan struct{}),
+		tel:       tel,
+		lg:        tel.log.With(obs.F("job", id)),
 	}
+	j.timings.received = now
+	return j
 }
 
 // currentState reads the lifecycle state.
@@ -124,6 +138,63 @@ func (j *Job) stopDeadlineLocked() {
 		j.deadline.Stop()
 		j.deadline = nil
 	}
+}
+
+// stampQueued records admission to the job queue (leaders only).
+// Idempotent: a batch leader is stamped once even if re-placed.
+func (j *Job) stampQueued() {
+	j.mu.Lock()
+	if j.timings.queued.IsZero() {
+		j.timings.queued = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// stampDequeued records the worker pickup and returns the queue wait
+// (ok is false when the job never carried a queued stamp).
+func (j *Job) stampDequeued() (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	j.timings.dequeued = now
+	if j.timings.queued.IsZero() {
+		return 0, false
+	}
+	return now.Sub(j.timings.queued), true
+}
+
+// stampAttached records a follower coalescing onto an existing flight.
+func (j *Job) stampAttached() {
+	j.mu.Lock()
+	j.timings.attached = time.Now()
+	j.mu.Unlock()
+}
+
+// stampProbe records one cache-tier probe duration and feeds the probe
+// histogram.
+func (j *Job) stampProbe(tier CacheTier, d time.Duration) {
+	j.mu.Lock()
+	switch tier {
+	case TierMemory:
+		j.timings.memProbe, j.timings.memProbed = d, true
+	case TierDisk:
+		j.timings.diskProbe, j.timings.diskProbed = d, true
+	}
+	j.mu.Unlock()
+	if j.tel != nil {
+		j.tel.cacheProbe.With(string(tier)).Observe(d)
+	}
+}
+
+// markPersisted records the write-through completion on a still-live
+// rider; terminal riders (canceled mid-flight) keep their record as is.
+func (j *Job) markPersisted(at time.Time) {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued, StateRunning:
+		j.timings.persisted = at
+	}
+	j.mu.Unlock()
 }
 
 // armDeadline schedules the per-job deadline, measured from submission
@@ -183,6 +254,7 @@ func (j *Job) completeCached(rep *mpcgraph.Report, tier CacheTier) {
 	j.cacheTier = tier
 	j.started = now
 	j.finished = now
+	j.timings.settled = now
 	j.stopDeadlineLocked()
 	j.signalLocked()
 	j.mu.Unlock()
@@ -199,6 +271,7 @@ func (j *Job) markRunning() {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.timings.solving = j.started
 	j.signalLocked()
 }
 
@@ -218,6 +291,7 @@ func (j *Job) complete(rep *mpcgraph.Report) {
 		j.started = j.created
 	}
 	j.finished = time.Now()
+	j.timings.settled = j.finished
 	j.stopDeadlineLocked()
 	j.signalLocked()
 	j.mu.Unlock()
@@ -239,6 +313,7 @@ func (j *Job) fail(err error) {
 		j.started = j.created
 	}
 	j.finished = time.Now()
+	j.timings.settled = j.finished
 	j.stopDeadlineLocked()
 	j.signalLocked()
 	j.mu.Unlock()
@@ -260,9 +335,13 @@ func (j *Job) cancelJob(reason string) bool {
 	j.state = StateCanceled
 	j.err = reason
 	j.finished = time.Now()
+	j.timings.settled = j.finished
+	f := j.flight
+	if f != nil {
+		j.timings.detached = j.finished
+	}
 	j.stopDeadlineLocked()
 	j.signalLocked()
-	f := j.flight
 	j.mu.Unlock()
 	if f != nil {
 		f.detach()
@@ -271,10 +350,35 @@ func (j *Job) cancelJob(reason string) bool {
 	return true
 }
 
-// notifyTerminal fires the terminal-transition observer. The state
-// machine admits exactly one terminal transition per job, so the
-// callback runs exactly once; callers invoke it with j.mu released.
+// notifyTerminal fires the terminal-transition observer, records the
+// end-to-end latency histogram, and emits the terminal log event. The
+// state machine admits exactly one terminal transition per job, so all
+// of it runs exactly once; callers invoke it with j.mu released.
 func (j *Job) notifyTerminal() {
+	if j.tel != nil {
+		j.mu.Lock()
+		state := j.state
+		e2e := j.finished.Sub(j.created)
+		hit := j.cacheHit
+		tier := j.cacheTier
+		coalesced := j.coalesced
+		errMsg := j.err
+		j.mu.Unlock()
+		j.tel.jobE2E.With(string(state)).Observe(e2e)
+		fields := []obs.Field{
+			obs.F("state", string(state)),
+			obs.F("ms", durMs(e2e)),
+			obs.F("cacheHit", hit),
+			obs.F("tier", string(tier)),
+		}
+		if coalesced {
+			fields = append(fields, obs.F("coalesced", true))
+		}
+		if errMsg != "" {
+			fields = append(fields, obs.F("error", errMsg))
+		}
+		j.lg.Info(context.Background(), "job.terminal", fields...)
+	}
 	if j.notify != nil {
 		j.notify(j)
 	}
@@ -330,7 +434,20 @@ func (j *Job) run(s *Server) {
 		s.mu.Lock()
 		s.solves++
 		s.mu.Unlock()
+		// The histogram records once per Solve call — the operation
+		// boundary — never inside the metered round loop, so the
+		// instrumentation is invisible to the routing benchmarks.
+		j.lg.Info(f.ctx, "job.solve.start",
+			obs.F("problem", j.problem.String()),
+			obs.F("model", j.model.String()),
+			obs.F("source", j.source))
+		solveStart := time.Now()
 		rep, err = mpcgraph.Solve(f.ctx, j.instance, j.problem, opts)
+		elapsed := time.Since(solveStart)
+		j.tel.solve.With(j.problem.String(), j.model.String()).Observe(elapsed)
+		j.lg.Info(f.ctx, "job.solve.done",
+			obs.F("ms", durMs(elapsed)),
+			obs.F("ok", err == nil))
 	} else {
 		err = f.ctx.Err()
 	}
@@ -343,7 +460,10 @@ func (j *Job) run(s *Server) {
 		// Even a noCache leader stores its result: the flag skips the
 		// lookup (forcing the cold recompute), not the refresh.
 		s.cache.Put(j.cacheKey, rep)
+		persistedAt := time.Now()
+		j.lg.Debug(context.Background(), "job.persisted")
 		for _, r := range s.dropFlight(f) {
+			r.markPersisted(persistedAt)
 			r.complete(rep)
 		}
 	case f.ctx.Err() != nil:
@@ -407,7 +527,10 @@ func (s *Server) place(job *Job) (*flight, placement) {
 	if !job.noCache {
 		// Only the in-memory tier is probed under s.mu: a disk probe here
 		// would stall every endpoint that takes s.mu behind one file read.
-		if rep, ok := s.cache.memGet(job.cacheKey); ok {
+		probeStart := time.Now()
+		rep, ok := s.cache.memGet(job.cacheKey)
+		job.stampProbe(TierMemory, time.Since(probeStart))
+		if ok {
 			job.completeCached(rep, TierMemory)
 			s.mu.Unlock()
 			return nil, placedMemory
@@ -420,8 +543,12 @@ func (s *Server) place(job *Job) (*flight, placement) {
 		// would complete no one) and that has not already fanned out.
 		if f, ok := s.flights[job.cacheKey]; ok && !f.done && f.ctx.Err() == nil {
 			f.attachLocked(job)
+			leader := f.riders[0].ID // read under s.mu; riders is s.mu-guarded
 			s.coalesces++
 			s.mu.Unlock()
+			job.stampAttached()
+			job.lg.Debug(context.Background(), "job.coalesced",
+				obs.F("leader", leader))
 			job.armDeadline()
 			return f, placedCoalesced
 		}
@@ -443,7 +570,10 @@ func (s *Server) place(job *Job) (*flight, placement) {
 	job.armDeadline()
 
 	if !job.noCache {
-		if rep, ok := s.cache.diskGet(job.cacheKey); ok {
+		probeStart := time.Now()
+		rep, ok := s.cache.diskGet(job.cacheKey)
+		job.stampProbe(TierDisk, time.Since(probeStart))
+		if ok {
 			// Recovered from the persistent tier: complete every rider
 			// (followers may have attached during the probe) as a disk hit.
 			for _, r := range s.dropFlight(f) {
@@ -475,7 +605,7 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 		return nil, 503, fmt.Errorf("service: draining, not accepting jobs")
 	}
 	s.nextID++
-	job := newJob(fmt.Sprintf("j%08d", s.nextID))
+	job := newJob(fmt.Sprintf("j%08d", s.nextID), s.tel)
 	job.problem, job.model, job.opts = problem, model, opts
 	job.instance, job.source = instance, source
 	job.timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -485,6 +615,12 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 	s.order = append(s.order, job.ID)
 	s.evictTerminalLocked()
 	s.mu.Unlock()
+
+	job.lg.Info(context.Background(), "job.submit",
+		obs.F("problem", problem.String()),
+		obs.F("model", model.String()),
+		obs.F("source", source),
+		obs.F("key", key))
 
 	f, p := s.place(job)
 	if p != placeEnqueue {
@@ -502,9 +638,13 @@ func (s *Server) submit(req *JobRequest) (*Job, int, error) {
 		}
 		return job, 503, fmt.Errorf("service: draining, not accepting jobs")
 	}
+	// Stamped before the send: a worker may dequeue the instant the
+	// send lands, and the dequeued stamp must never precede queued.
+	job.stampQueued()
 	select {
 	case s.queue <- job:
 		s.mu.Unlock()
+		job.lg.Debug(context.Background(), "job.queued")
 		return job, 0, nil
 	default:
 		s.mu.Unlock()

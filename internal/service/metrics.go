@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"mpcgraph/internal/obs"
 )
 
 // The operational endpoints. /metrics speaks the Prometheus text
-// exposition format (gauges and counters only, no client dependency)
-// so any standard scraper can watch a resident daemon; /healthz is the
-// liveness/readiness probe — 200 while serving, 503 once draining.
+// exposition format (hand-written gauges and counters plus the
+// internal/obs latency histograms and Go runtime telemetry — no client
+// dependency) so any standard scraper can watch a resident daemon;
+// /healthz is the liveness/readiness probe — 200 while serving, 503
+// once draining.
 
 // handleHealthz is GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -164,4 +168,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP mpcgraphd_workers Solve workers draining the queue.\n")
 	p("# TYPE mpcgraphd_workers gauge\n")
 	p("mpcgraphd_workers %d\n", s.cfg.Workers)
+
+	// The latency histograms (HTTP by route/status, queue wait, solve by
+	// problem/model, end-to-end, disk ops, batch settle, cache probes)
+	// and the Go runtime telemetry. Families with no observations yet
+	// expose nothing — a fresh daemon's scrape stays small.
+	s.tel.reg.WritePrometheus(w)
+	obs.WriteRuntimeProm(w)
 }

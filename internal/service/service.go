@@ -40,9 +40,12 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"sync"
 	"time"
+
+	"mpcgraph/internal/obs"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -93,6 +96,10 @@ type Config struct {
 	// GET /v1/batches inspection (default 256). The oldest fully
 	// terminal batches are evicted first; live batches never are.
 	MaxBatchesRetained int
+	// Logger receives the daemon's structured event stream (job
+	// lifecycle, HTTP access at debug level, drain). Nil disables
+	// logging; mpcgraphd wires one from -log-level/-log-format.
+	Logger *obs.Logger
 }
 
 // withDefaults resolves the documented defaults.
@@ -128,6 +135,7 @@ type Server struct {
 	cfg   Config
 	cache *tieredCache
 	fp    *failpoints
+	tel   *telemetry
 	start time.Time
 
 	mu          sync.Mutex
@@ -138,6 +146,7 @@ type Server struct {
 	batchOrder  []string // batch ids in submission order (listing, eviction)
 	nextID      uint64
 	nextBatchID uint64
+	nextReqID   uint64 // HTTP request ids for log correlation
 	batchJobs   uint64 // jobs ever admitted through POST /v1/batches
 	inflight    int
 	solves      uint64 // Solve calls actually made (excludes cache hits and coalesced riders)
@@ -177,16 +186,23 @@ func build(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := newTelemetry(cfg.Logger)
 	var disk *diskStore
 	if cfg.CacheDir != "" {
 		if disk, err = openDiskStore(cfg.CacheDir, cfg.DiskEntries, fp); err != nil {
 			return nil, err
+		}
+		// The store times its own reads and writes; the hook keeps the
+		// obs dependency out of the store's construction path.
+		disk.observe = func(op string, d time.Duration) {
+			tel.diskOp.With(op).Observe(d)
 		}
 	}
 	return &Server{
 		cfg:     cfg,
 		cache:   &tieredCache{mem: newResultCache(cfg.CacheEntries), disk: disk},
 		fp:      fp,
+		tel:     tel,
 		start:   time.Now(),
 		jobs:    make(map[string]*Job),
 		flights: make(map[string]*flight),
@@ -196,7 +212,9 @@ func build(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Handler returns the daemon's HTTP API. See docs/service.md.
+// Handler returns the daemon's HTTP API, wrapped in the telemetry
+// middleware (per-route latency histogram, request-id log
+// correlation). See docs/service.md.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -213,7 +231,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
 }
 
 // Drain gracefully stops the server: new submissions are rejected with
@@ -233,6 +251,8 @@ func (s *Server) Drain(deadline time.Duration) {
 	// panic on a closed channel.
 	close(s.quit)
 	s.mu.Unlock()
+	s.tel.log.Info(context.Background(), "daemon.drain.start",
+		obs.F("deadlineMs", durMs(deadline)))
 
 	done := make(chan struct{})
 	go func() {
@@ -260,6 +280,7 @@ func (s *Server) Drain(deadline time.Duration) {
 	// run it — cancel any such straggler so every admitted job is
 	// terminal when Drain returns.
 	s.cancelAllJobs()
+	s.tel.log.Info(context.Background(), "daemon.drain.done")
 }
 
 // cancelAllJobs cancels every retained non-terminal job; cancelJob is a
@@ -300,8 +321,12 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one dequeued job, maintaining the inflight gauge.
+// runJob executes one dequeued job, maintaining the inflight gauge and
+// the queue-wait histogram.
 func (s *Server) runJob(job *Job) {
+	if wait, ok := job.stampDequeued(); ok {
+		s.tel.queueWait.With().Observe(wait)
+	}
 	s.mu.Lock()
 	s.inflight++
 	s.mu.Unlock()

@@ -155,7 +155,8 @@ func stripVolatile(v *JobView) *JobView {
 	c.Coalesced = false
 	c.Source = "" // scenario vs upload origin; not part of the result
 	c.CreatedAt, c.StartedAt, c.FinishedAt = "", "", ""
-	c.TraceLen = 0 // a cache hit replays the Report, not the trace
+	c.Timings = nil // lifecycle stamps are operational, never deterministic
+	c.TraceLen = 0  // a cache hit replays the Report, not the trace
 	if c.Report != nil {
 		r := *c.Report
 		r.WallMs = 0

@@ -30,6 +30,11 @@ type diskStore struct {
 	dir        string
 	maxEntries int
 	fp         *failpoints
+	// observe, when non-nil, receives the duration of each disk
+	// operation ("read" for Get loads, "write" for Put persists) — the
+	// telemetry hook build wires to the disk-op histogram. It keeps the
+	// store free of any obs dependency.
+	observe func(op string, d time.Duration)
 
 	mu      sync.Mutex
 	keys    map[string]struct{} // validated entries present on disk
@@ -146,7 +151,11 @@ func (d *diskStore) Get(key string) (*mpcgraph.Report, bool) {
 	if !ok {
 		return nil, false
 	}
+	loadStart := time.Now()
 	rep, err := d.load(key)
+	if d.observe != nil {
+		d.observe("read", time.Since(loadStart))
+	}
 	if err != nil {
 		d.mu.Lock()
 		delete(d.keys, key)
@@ -188,7 +197,11 @@ func (d *diskStore) Put(key string, rep *mpcgraph.Report) {
 	d.writing[key] = struct{}{}
 	d.mu.Unlock()
 
+	writeStart := time.Now()
 	err := d.write(key, rep)
+	if d.observe != nil {
+		d.observe("write", time.Since(writeStart))
+	}
 
 	d.mu.Lock()
 	delete(d.writing, key)

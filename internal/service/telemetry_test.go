@@ -1,0 +1,158 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"mpcgraph/internal/obs"
+)
+
+// phaseIndex is the canonical lifecycle order the timings block must
+// follow; equal offsets keep this order, so index order is the
+// assertion, not just atMs.
+var phaseIndex = map[string]int{
+	"received":  0,
+	"queued":    1,
+	"attached":  2,
+	"dequeued":  3,
+	"solving":   4,
+	"persisted": 5,
+	"detached":  6,
+	"settled":   7,
+}
+
+func assertOrderedTimings(t *testing.T, v *JobView, wantPhases ...string) {
+	t.Helper()
+	if v.Timings == nil {
+		t.Fatalf("job %s (%s) has no timings block", v.ID, v.State)
+	}
+	prevIdx, prevAt := -1, -1.0
+	seen := map[string]bool{}
+	for _, p := range v.Timings.Phases {
+		idx, ok := phaseIndex[p.Phase]
+		if !ok {
+			t.Errorf("unknown phase %q", p.Phase)
+			continue
+		}
+		if seen[p.Phase] {
+			t.Errorf("phase %q appears twice", p.Phase)
+		}
+		seen[p.Phase] = true
+		if idx <= prevIdx {
+			t.Errorf("phase %q out of lifecycle order", p.Phase)
+		}
+		if p.AtMs < prevAt {
+			t.Errorf("phase %q atMs %.3f decreased (prev %.3f)", p.Phase, p.AtMs, prevAt)
+		}
+		if p.AtMs < 0 {
+			t.Errorf("phase %q has negative offset %.3f", p.Phase, p.AtMs)
+		}
+		prevIdx, prevAt = idx, p.AtMs
+	}
+	for _, want := range wantPhases {
+		if !seen[want] {
+			t.Errorf("phase %q missing from %v", want, v.Timings.Phases)
+		}
+	}
+}
+
+// TestJobTimingsColdRun: a cold run's terminal view carries the full
+// leader lifecycle — received through settled — in order, plus both
+// cache-tier probes (memory missed, disk missed).
+func TestJobTimingsColdRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	view := submitWait(t, ts.URL, &JobRequest{
+		Problem:  "mis",
+		Scenario: &ScenarioRequest{Name: "gnp", N: 200, Seed: 3},
+		Options:  OptionsRequest{Seed: 3},
+	})
+	if view.State != StateDone {
+		t.Fatalf("state %s (%s)", view.State, view.Error)
+	}
+	assertOrderedTimings(t, view,
+		"received", "queued", "dequeued", "solving", "persisted", "settled")
+	tiers := map[string]bool{}
+	for _, p := range view.Timings.CacheProbes {
+		if p.DurMs < 0 {
+			t.Errorf("probe %s has negative duration", p.Tier)
+		}
+		tiers[p.Tier] = true
+	}
+	if !tiers["memory"] || !tiers["disk"] {
+		t.Errorf("cold run should probe memory and disk, got %v", view.Timings.CacheProbes)
+	}
+}
+
+// TestJobTimingsCacheHit: a memory-tier hit settles straight from
+// place() — received and settled only, one memory probe, no queueing.
+func TestJobTimingsCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := &JobRequest{
+		Problem:  "mis",
+		Scenario: &ScenarioRequest{Name: "gnp", N: 200, Seed: 5},
+		Options:  OptionsRequest{Seed: 5},
+	}
+	if cold := submitWait(t, ts.URL, req); cold.State != StateDone {
+		t.Fatalf("cold run: state %s (%s)", cold.State, cold.Error)
+	}
+	hit := submitWait(t, ts.URL, req)
+	if !hit.CacheHit {
+		t.Fatalf("re-submission missed the cache")
+	}
+	assertOrderedTimings(t, hit, "received", "settled")
+	for _, p := range hit.Timings.Phases {
+		if p.Phase == "queued" || p.Phase == "dequeued" || p.Phase == "solving" {
+			t.Errorf("cache hit should not carry phase %q", p.Phase)
+		}
+	}
+}
+
+// TestMetricsHistogramExposition: after traffic, /metrics carries the
+// obs histogram families and the Go runtime gauges, and the whole
+// exposition passes the format invariants (HELP/TYPE per family,
+// cumulative-monotone buckets, le="+Inf" == _count).
+func TestMetricsHistogramExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if v := submitWait(t, ts.URL, &JobRequest{
+		Problem:  "mis",
+		Scenario: &ScenarioRequest{Name: "gnp", N: 200, Seed: 8},
+		Options:  OptionsRequest{Seed: 8},
+	}); v.State != StateDone {
+		t.Fatalf("state %s (%s)", v.State, v.Error)
+	}
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("parse exposition: %v", err)
+	}
+	if problems := obs.ValidateExposition(exp); len(problems) > 0 {
+		lines := make([]string, len(problems))
+		for i, p := range problems {
+			lines[i] = p.Error()
+		}
+		t.Fatalf("exposition invariants violated:\n  %s", strings.Join(lines, "\n  "))
+	}
+	for _, name := range []string{
+		"mpcgraphd_http_request_seconds",
+		"mpcgraphd_queue_wait_seconds",
+		"mpcgraphd_solve_seconds",
+		"mpcgraphd_job_e2e_seconds",
+		"mpcgraphd_cache_probe_seconds",
+	} {
+		if exp.Type[name] != "histogram" {
+			t.Errorf("family %s missing or not a histogram (type %q)", name, exp.Type[name])
+		}
+	}
+	if got, ok := exp.Value("mpcgraphd_solve_seconds_count", "problem", "mis"); !ok || got < 1 {
+		t.Errorf("solve histogram count %v (present %t), want >= 1", got, ok)
+	}
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if _, ok := exp.Type[name]; !ok {
+			t.Errorf("runtime family %s missing from /metrics", name)
+		}
+	}
+}

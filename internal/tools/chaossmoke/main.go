@@ -372,7 +372,7 @@ func canonical(view map[string]any) string {
 	c := make(map[string]any, len(view))
 	for k, v := range view {
 		switch k {
-		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
+		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source", "timings":
 			continue
 		}
 		c[k] = v

@@ -31,6 +31,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"mpcgraph/internal/obs"
 )
 
 func main() {
@@ -137,6 +139,14 @@ func run(bin string) error {
 			return fmt.Errorf("%s/%s: cache hit not bit-identical to cold run:\n cold: %s\n hit:  %s",
 				spec.problem, spec.model, a, b)
 		}
+		// Every terminal view must carry an ordered lifecycle timings
+		// block; the cold run's must show the full leader path.
+		if err := checkTimings(cold, "received", "queued", "dequeued", "solving", "persisted", "settled"); err != nil {
+			return fmt.Errorf("%s/%s cold timings: %w", spec.problem, spec.model, err)
+		}
+		if err := checkTimings(hit, "received", "settled"); err != nil {
+			return fmt.Errorf("%s/%s hit timings: %w", spec.problem, spec.model, err)
+		}
 		fmt.Printf("  %-22s %-17s cold+hit bit-identical (rounds=%v)\n",
 			spec.problem, spec.model, cold["report"].(map[string]any)["rounds"])
 	}
@@ -145,6 +155,30 @@ func run(bin string) error {
 	if err != nil {
 		return err
 	}
+	// Exposition-format invariants over the whole scrape: every series
+	// under a HELP/TYPE header, histogram buckets cumulative-monotone,
+	// le="+Inf" present and equal to _count.
+	exp, err := obs.ParseExposition(bytes.NewReader(metrics))
+	if err != nil {
+		return fmt.Errorf("/metrics does not parse as text exposition: %w", err)
+	}
+	if problems := obs.ValidateExposition(exp); len(problems) > 0 {
+		msgs := make([]string, len(problems))
+		for i, p := range problems {
+			msgs[i] = p.Error()
+		}
+		return fmt.Errorf("/metrics violates exposition invariants:\n  %s", strings.Join(msgs, "\n  "))
+	}
+	for _, family := range []string{
+		"mpcgraphd_http_request_seconds", "mpcgraphd_queue_wait_seconds",
+		"mpcgraphd_solve_seconds", "mpcgraphd_job_e2e_seconds",
+		"mpcgraphd_disk_op_seconds", "mpcgraphd_cache_probe_seconds",
+	} {
+		if exp.Type[family] != "histogram" {
+			return fmt.Errorf("/metrics family %s missing or not a histogram after traffic", family)
+		}
+	}
+	fmt.Printf("  metrics: exposition invariants hold (%d samples)\n", len(exp.Samples))
 	if !strings.Contains(string(metrics), fmt.Sprintf(`mpcgraphd_cache_hits_total{tier="memory"} %d`, len(specs))) {
 		return fmt.Errorf("metrics do not report %d memory-tier cache hits:\n%s", len(specs), metrics)
 	}
@@ -409,6 +443,51 @@ func cacheHit(view map[string]any) bool {
 	return hit
 }
 
+// timingsOrder is the canonical lifecycle phase order; every timings
+// block must list a subset of it, in order, with non-decreasing atMs.
+var timingsOrder = map[string]int{
+	"received": 0, "queued": 1, "attached": 2, "dequeued": 3,
+	"solving": 4, "persisted": 5, "detached": 6, "settled": 7,
+}
+
+// checkTimings asserts the terminal view carries an ordered timings
+// block containing at least the given phases.
+func checkTimings(view map[string]any, wantPhases ...string) error {
+	timings, ok := view["timings"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("no timings block in view: %v", view)
+	}
+	phases, ok := timings["phases"].([]any)
+	if !ok || len(phases) == 0 {
+		return fmt.Errorf("timings block has no phases: %v", timings)
+	}
+	prevIdx, prevAt := -1, -1.0
+	seen := map[string]bool{}
+	for _, raw := range phases {
+		p, _ := raw.(map[string]any)
+		name, _ := p["phase"].(string)
+		at, _ := p["atMs"].(float64)
+		idx, known := timingsOrder[name]
+		if !known {
+			return fmt.Errorf("unknown phase %q", name)
+		}
+		if idx <= prevIdx {
+			return fmt.Errorf("phase %q out of lifecycle order in %v", name, phases)
+		}
+		if at < prevAt {
+			return fmt.Errorf("phase %q atMs %v decreased (prev %v)", name, at, prevAt)
+		}
+		seen[name] = true
+		prevIdx, prevAt = idx, at
+	}
+	for _, want := range wantPhases {
+		if !seen[want] {
+			return fmt.Errorf("phase %q missing from %v", want, phases)
+		}
+	}
+	return nil
+}
+
 // canonical renders a job view with the volatile fields (identity,
 // timestamps, wall time, cache/trace bookkeeping) removed; everything
 // left must be bit-identical between a cold run and its cache hit.
@@ -416,7 +495,7 @@ func canonical(view map[string]any) []byte {
 	c := make(map[string]any, len(view))
 	for k, v := range view {
 		switch k {
-		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source":
+		case "id", "cacheHit", "cacheTier", "coalesced", "createdAt", "startedAt", "finishedAt", "traceLen", "source", "timings":
 			continue
 		}
 		c[k] = v
